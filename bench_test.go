@@ -1,0 +1,280 @@
+// Real-engine benchmarks, one family per paper figure. These drive the
+// actual Go implementation (not the contention simulator): they validate
+// the relative costs that calibrate the simulator's service times and let
+// `go test -bench` compare component variants directly.
+//
+//	BenchmarkFigure1_* / BenchmarkFigure4_*  — record-insert microbenchmark
+//	    per optimization stage (the figures' workload, on live code).
+//	BenchmarkFigure5_*  — TPC-C Payment and New Order transactions.
+//	BenchmarkFigure6_*  — free-space-manager mutex variants.
+//	BenchmarkFigure7_*  — full stage ladder, end-to-end inserts.
+//	BenchmarkPrimitive_* — the §6 synchronization primitives themselves.
+//	BenchmarkLog_*       — the three log-manager designs.
+//	BenchmarkBpool_*     — buffer-pool table variants.
+package shoremt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/lock"
+	"repro/internal/peers"
+	"repro/internal/space"
+	"repro/internal/sync2"
+	"repro/internal/tpcc"
+	"repro/internal/wal"
+)
+
+// newBenchEngine builds a real engine at the given stage.
+func newBenchEngine(b *testing.B, stage core.Stage) *core.Engine {
+	b.Helper()
+	cfg := core.StageConfig(stage)
+	cfg.Frames = 4096
+	e, err := core.Open(disk.NewMem(0), wal.NewMemStore(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { e.Close() })
+	return e
+}
+
+// benchInsert measures the record-insert path (the §3.2 microbenchmark's
+// inner loop) on the real engine.
+func benchInsert(b *testing.B, stage core.Stage) {
+	e := newBenchEngine(b, stage)
+	store, err := e.CreateTable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	t, err := e.Begin()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.HeapInsert(t, store, payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%1000 == 999 { // commit every 1000 records, per the paper
+			if err := e.Commit(t); err != nil {
+				b.Fatal(err)
+			}
+			if t, err = e.Begin(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if err := e.Commit(t); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFigure7_InsertByStage(b *testing.B) {
+	for _, stage := range core.Stages() {
+		stage := stage
+		b.Run(stage.String(), func(b *testing.B) { benchInsert(b, stage) })
+	}
+}
+
+func BenchmarkFigure1_InsertParallel(b *testing.B) {
+	// The Figure 1/4 workload shape on the real engine: each worker gets a
+	// private table (no logical contention); engine-internal contention
+	// only. Run with -cpu to vary parallelism.
+	for _, stage := range []core.Stage{core.StageBaseline, core.StageFinal} {
+		stage := stage
+		b.Run(stage.String(), func(b *testing.B) {
+			e := newBenchEngine(b, stage)
+			payload := []byte("0123456789abcdef0123456789abcdef")
+			var mu sync2.TATASLock // protects table handout
+			var tables []uint32
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				store, err := e.CreateTable()
+				if err != nil {
+					mu.Unlock()
+					b.Error(err)
+					return
+				}
+				tables = append(tables, store)
+				mu.Unlock()
+				t, err := e.Begin()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				n := 0
+				for pb.Next() {
+					if _, err := e.HeapInsert(t, store, payload); err != nil {
+						b.Error(err)
+						return
+					}
+					if n++; n%1000 == 999 {
+						if err := e.Commit(t); err != nil {
+							b.Error(err)
+							return
+						}
+						if t, err = e.Begin(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+				_ = e.Commit(t)
+			})
+		})
+	}
+}
+
+func BenchmarkFigure4_SimulatedEngines(b *testing.B) {
+	// One simulator evaluation per engine at 16 threads: regenerating a
+	// Figure 4 column inside the bench harness.
+	for _, m := range peers.Figure4Models() {
+		m := m
+		b.Run(m.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tps, _ := bench.RunInsert(m, 16, 50e6)
+				if tps <= 0 {
+					b.Fatal("no throughput")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigure5_Payment(b *testing.B) {
+	e := newBenchEngine(b, core.StageFinal)
+	db, err := tpcc.Load(e, tpcc.Scale{Warehouses: 2, Districts: 4, Customers: 50, Items: 200, StockPerItem: true}, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := tpcc.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.PaymentWithRetry(tpcc.GenPayment(r, db.Scale, uint32(i%2+1)), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5_NewOrder(b *testing.B) {
+	e := newBenchEngine(b, core.StageFinal)
+	db, err := tpcc.Load(e, tpcc.Scale{Warehouses: 2, Districts: 4, Customers: 50, Items: 200, StockPerItem: true}, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := tpcc.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := db.NewOrderWithRetry(tpcc.GenNewOrder(r, db.Scale, uint32(i%2+1)), 10)
+		if err != nil && err != tpcc.ErrUserAbort {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6_FreeSpaceMutex(b *testing.B) {
+	// The Figure 6 variants on the real free-space manager.
+	variants := []struct {
+		name string
+		opts space.Options
+	}{
+		{"pthread+latchInCS", space.Options{Mutex: sync2.KindBlocking, LatchInCS: true}},
+		{"TATAS+latchInCS", space.Options{Mutex: sync2.KindTATAS, LatchInCS: true}},
+		{"MCS+latchInCS", space.Options{Mutex: sync2.KindMCS, LatchInCS: true}},
+		{"MCS+refactored", space.Options{Mutex: sync2.KindMCS, LatchInCS: false, LastPageCache: true, ExtentCache: true}},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			vol := disk.NewMem(0)
+			m := space.NewManager(vol, v.opts)
+			store := m.CreateStore(space.KindHeap)
+			b.RunParallel(func(pb *testing.PB) {
+				var cache space.ExtentCache
+				for pb.Next() {
+					pid, err := m.AllocPage(store, nil)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					// The post-allocation membership check (§6.2.2),
+					// hitting the thread-local cache when enabled.
+					if err := m.CheckPage(store, pid, &cache); err != nil {
+						b.Error(err)
+						return
+					}
+					m.FreePage(pid)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkPrimitive_Locks(b *testing.B) {
+	for _, k := range []sync2.Kind{sync2.KindTAS, sync2.KindTATAS, sync2.KindTicket, sync2.KindMCS, sync2.KindCLH, sync2.KindHybrid, sync2.KindBlocking} {
+		k := k
+		b.Run(k.String(), func(b *testing.B) {
+			l := sync2.New(k)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					l.Lock()
+					l.Unlock() //nolint:staticcheck // empty critical section is the point
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkLog_Designs(b *testing.B) {
+	for _, d := range []wal.Design{wal.DesignCoupled, wal.DesignDecoupled, wal.DesignConsolidated} {
+		d := d
+		b.Run(d.String(), func(b *testing.B) {
+			m := wal.New(wal.NewMemStore(), wal.Options{Design: d})
+			defer m.Close()
+			payload := make([]byte, 64)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := m.Insert(&wal.Record{Type: wal.RecUpdate, TxID: 1, Redo: payload}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkLock_Manager(b *testing.B) {
+	for _, tm := range []lock.TableMode{lock.TableGlobal, lock.TablePerBucket} {
+		for _, pk := range []lock.PoolKind{lock.PoolMutex, lock.PoolLockFree} {
+			tm, pk := tm, pk
+			b.Run(fmt.Sprintf("%v/%v", tm, pk), func(b *testing.B) {
+				m := lock.NewManager(lock.Options{Table: tm, Pool: pk})
+				var txSeq sync2.TATASLock
+				next := uint64(1)
+				b.RunParallel(func(pb *testing.PB) {
+					txSeq.Lock()
+					txID := next
+					next++
+					txSeq.Unlock()
+					i := uint64(0)
+					for pb.Next() {
+						n := lock.StoreName(uint32(txID*1000 + i%100))
+						if err := m.Lock(txID, n, lock.IX, 0); err != nil {
+							b.Error(err)
+							return
+						}
+						m.Unlock(txID, n)
+						i++
+					}
+				})
+			})
+		}
+	}
+}

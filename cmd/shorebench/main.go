@@ -1,0 +1,104 @@
+// Command shorebench regenerates the figures of "Shore-MT: A Scalable
+// Storage Manager for the Multicore Era" (EDBT 2009) over the
+// deterministic contention simulator.
+//
+// Usage:
+//
+//	shorebench -fig 1          # Figure 1: four open-source engines, normalized
+//	shorebench -fig 2          # Figure 2: HW contexts per chip over time
+//	shorebench -fig 4          # Figure 4: all engines + shore-mt, tps/thread
+//	shorebench -fig 5          # Figure 5: TPC-C New Order + Payment
+//	shorebench -fig 6          # Figure 6: free-space manager mutex variants
+//	shorebench -fig 7          # Figure 7: optimization stages
+//	shorebench -fig profile    # §4-style per-engine bottleneck profiles
+//	shorebench -fig all        # everything
+//	shorebench -fig 4 -csv     # CSV instead of the aligned table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/peers"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1|2|4|5|6|7|ablation|profile|all")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	profileAt := flag.Int("clients", 16, "client count for -fig profile")
+	flag.Parse()
+	profileClients = *profileAt
+
+	emit := func(f bench.Figure) {
+		if *csv {
+			fmt.Print(f.CSV())
+		} else {
+			fmt.Println(f.Render())
+		}
+	}
+
+	switch *fig {
+	case "1":
+		emit(bench.Figure1())
+	case "2":
+		fmt.Println(bench.Figure2Render())
+	case "4":
+		emit(bench.Figure4())
+	case "5":
+		no, pay := bench.Figure5()
+		emit(no)
+		emit(pay)
+	case "6":
+		emit(bench.Figure6())
+	case "7":
+		emit(bench.Figure7())
+	case "ablation":
+		emit(bench.Ablation())
+	case "profile":
+		printProfiles()
+	case "all":
+		emit(bench.Figure1())
+		fmt.Println(bench.Figure2Render())
+		emit(bench.Figure4())
+		no, pay := bench.Figure5()
+		emit(no)
+		emit(pay)
+		emit(bench.Figure6())
+		emit(bench.Figure7())
+		emit(bench.Ablation())
+		printProfiles()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+var profileClients = 16
+
+// printProfiles reproduces the §4 bottleneck breakdowns (the paper
+// profiles its engines at 16-24 clients).
+func printProfiles() {
+	fmt.Printf("§4 profiles — fraction of total thread time spent waiting, %d clients\n", profileClients)
+	models := append(peers.Figure1Models(), peers.DBMSX(), peers.ShoreMT())
+	for _, m := range models {
+		fmt.Printf("\n%s:\n", m.Name)
+		entries := bench.Profile(m, profileClients)
+		shown := 0
+		for _, e := range entries {
+			if e.WaitPercent < 0.05 {
+				continue
+			}
+			fmt.Printf("  %-28s wait %6.1f%%   held %6.1f%% of wall-clock   %d/%d contended acquires\n",
+				e.Resource, e.WaitPercent, e.HoldPercent, e.Contended, e.Acquires)
+			shown++
+			if shown >= 6 {
+				break
+			}
+		}
+		if shown == 0 {
+			fmt.Println("  (no significant waiting — compute bound)")
+		}
+	}
+}

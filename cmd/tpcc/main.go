@@ -1,0 +1,132 @@
+// Command tpcc loads a TPC-C database into the real storage engine and
+// runs a Payment / New Order mix against it, reporting throughput and
+// engine statistics. Unlike shorebench (which reproduces the paper's
+// figures on the contention simulator), this drives the actual Go
+// implementation end to end.
+//
+// Usage:
+//
+//	tpcc -warehouses 2 -clients 4 -duration 5s -stage final
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/tpcc"
+	"repro/internal/wal"
+)
+
+func stageByName(name string) (core.Stage, bool) {
+	for _, s := range core.Stages() {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+func main() {
+	warehouses := flag.Int("warehouses", 2, "TPC-C warehouses")
+	clients := flag.Int("clients", 4, "concurrent client goroutines")
+	duration := flag.Duration("duration", 5*time.Second, "run duration")
+	stageName := flag.String("stage", "final", "engine optimization stage (baseline|bpool1|caching|log|lock mgr|bpool2|final)")
+	frames := flag.Int("frames", 8192, "buffer pool frames")
+	payPct := flag.Int("payment", 50, "percent of transactions that are Payment (rest New Order)")
+	flag.Parse()
+
+	stage, ok := stageByName(*stageName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown stage %q\n", *stageName)
+		os.Exit(2)
+	}
+	cfg := core.StageConfig(stage)
+	cfg.Frames = *frames
+
+	engine, err := core.Open(disk.NewMem(0), wal.NewMemStore(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer engine.Close()
+
+	scale := tpcc.DefaultScale(*warehouses)
+	fmt.Printf("loading %d warehouses (%d districts, %d customers/district, %d items)...\n",
+		scale.Warehouses, scale.Districts, scale.Customers, scale.Items)
+	start := time.Now()
+	db, err := tpcc.Load(engine, scale, 42)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "load:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded in %v\n", time.Since(start).Round(time.Millisecond))
+
+	var payments, newOrders, userAborts, failures atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := tpcc.NewRand(int64(1000 + c))
+			home := uint32(c%*warehouses + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if r.Int(1, 100) <= *payPct {
+					if err := db.PaymentWithRetry(tpcc.GenPayment(r, scale, home), 10); err != nil {
+						failures.Add(1)
+					} else {
+						payments.Add(1)
+					}
+				} else {
+					err := db.NewOrderWithRetry(tpcc.GenNewOrder(r, scale, home), 10)
+					switch {
+					case err == nil:
+						newOrders.Add(1)
+					case errors.Is(err, tpcc.ErrUserAbort):
+						userAborts.Add(1)
+					default:
+						failures.Add(1)
+					}
+				}
+			}
+		}(c)
+	}
+	fmt.Printf("running %d clients for %v (stage %s)...\n", *clients, *duration, stage)
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+
+	secs := duration.Seconds()
+	total := payments.Load() + newOrders.Load()
+	fmt.Printf("\nresults:\n")
+	fmt.Printf("  payments:    %8d (%8.1f tps)\n", payments.Load(), float64(payments.Load())/secs)
+	fmt.Printf("  new orders:  %8d (%8.1f tps)\n", newOrders.Load(), float64(newOrders.Load())/secs)
+	fmt.Printf("  user aborts: %8d (the spec's 1%% intentional rollbacks)\n", userAborts.Load())
+	fmt.Printf("  failures:    %8d\n", failures.Load())
+	fmt.Printf("  total:       %8d committed (%8.1f tps)\n", total, float64(total)/secs)
+
+	st := engine.Stats()
+	fmt.Printf("\nengine statistics:\n")
+	fmt.Printf("  buffer pool: %d hits, %d hot-array hits, %d misses, %d evictions\n",
+		st.Buffer.Hits, st.Buffer.HotHits, st.Buffer.Misses, st.Buffer.Evictions)
+	fmt.Printf("  log:         %d inserts (%.1f MiB), %d flushes\n",
+		st.Log.Inserts, float64(st.Log.InsertedBytes)/(1<<20), st.Log.Flushes)
+	fmt.Printf("  locks:       %d acquires, %d waits, %d deadlocks, %d timeouts\n",
+		st.Lock.Acquires, st.Lock.Waits, st.Lock.Deadlocks, st.Lock.Timeouts)
+	fmt.Printf("  space:       %d page allocations, %d extent grows\n",
+		st.Space.Allocs, st.Space.ExtentsGrown)
+	fmt.Printf("  tx:          %d begun, %d committed, %d aborted\n",
+		st.Tx.Begins, st.Tx.Commits, st.Tx.Aborts)
+}

@@ -1,0 +1,13 @@
+package shoremt
+
+import (
+	"errors"
+
+	"repro/internal/btree"
+)
+
+// isBtreeDup reports a duplicate-key failure from the index layer.
+func isBtreeDup(err error) bool { return errors.Is(err, btree.ErrDuplicateKey) }
+
+// isBtreeNotFound reports a missing-key failure from the index layer.
+func isBtreeNotFound(err error) bool { return errors.Is(err, btree.ErrKeyNotFound) }

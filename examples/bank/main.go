@@ -1,0 +1,150 @@
+// Bank: concurrent transfers between accounts, demonstrating isolation
+// (two-phase locking), deadlock detection with retry, and crash recovery
+// preserving the money-conservation invariant.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	shoremt "repro"
+)
+
+const (
+	accounts       = 64
+	initialBalance = 1000
+	transfers      = 400
+	workers        = 4
+)
+
+func encode(balance int64) []byte { return []byte(strconv.FormatInt(balance, 10)) }
+
+func decode(b []byte) int64 {
+	v, err := strconv.ParseInt(string(b), 10, 64)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func accountKey(i int) []byte { return []byte(fmt.Sprintf("acct%04d", i)) }
+
+// transfer moves amount between two accounts in one transaction,
+// retrying when chosen as a deadlock victim.
+func transfer(db *shoremt.DB, ix *shoremt.Index, from, to int, amount int64) error {
+	for attempt := 0; attempt < 20; attempt++ {
+		tx, err := db.Begin()
+		if err != nil {
+			return err
+		}
+		err = func() error {
+			fb, ok, err := ix.Get(tx, accountKey(from))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("account %d missing", from)
+			}
+			tb, ok, err := ix.Get(tx, accountKey(to))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("account %d missing", to)
+			}
+			if err := ix.Update(tx, accountKey(from), encode(decode(fb)-amount)); err != nil {
+				return err
+			}
+			return ix.Update(tx, accountKey(to), encode(decode(tb)+amount))
+		}()
+		if err != nil {
+			_ = tx.Abort()
+			if errors.Is(err, shoremt.ErrDeadlock) || errors.Is(err, shoremt.ErrTimeout) {
+				continue // victim: retry
+			}
+			return err
+		}
+		return tx.Commit()
+	}
+	return fmt.Errorf("transfer %d->%d: too many deadlock retries", from, to)
+}
+
+func audit(db *shoremt.DB, ix *shoremt.Index) (total int64, n int) {
+	tx, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tx.Commit()
+	if err := ix.Scan(tx, nil, nil, func(k, v []byte) bool {
+		total += decode(v)
+		n++
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	return total, n
+}
+
+func main() {
+	db, err := shoremt.Open(shoremt.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Load accounts.
+	tx, _ := db.Begin()
+	ix, err := db.CreateIndex(tx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < accounts; i++ {
+		if err := ix.Insert(tx, accountKey(i), encode(initialBalance)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d accounts with balance %d each\n", accounts, initialBalance)
+
+	// Concurrent random transfers (lock order is random → deadlocks occur
+	// and must be detected and retried).
+	var wg sync.WaitGroup
+	var done atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < transfers/workers; i++ {
+				from := rng.Intn(accounts)
+				to := rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				if err := transfer(db, ix, from, to, int64(rng.Intn(100))); err != nil {
+					log.Fatal(err)
+				}
+				done.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := db.Stats()
+	fmt.Printf("%d transfers done (%d deadlocks detected and retried)\n",
+		done.Load(), st.Lock.Deadlocks)
+
+	total, n := audit(db, ix)
+	fmt.Printf("audit: %d accounts, total balance %d (expected %d)\n",
+		n, total, int64(accounts*initialBalance))
+	if total != accounts*initialBalance {
+		log.Fatal("MONEY NOT CONSERVED")
+	}
+	fmt.Println("money conserved ✓")
+}

@@ -1,0 +1,87 @@
+// Quickstart: open an in-memory Shore-MT database, create a table and an
+// index, insert and query records, and demonstrate commit vs abort.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	shoremt "repro"
+)
+
+func main() {
+	db, err := shoremt.Open(shoremt.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Create a table and an index, insert a few rows.
+	tx, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	users, err := db.CreateTable(tx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byName, err := db.CreateIndex(tx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"ada", "grace", "edsger"} {
+		rid, err := users.Insert(tx, []byte("user:"+name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Index name → rid (encoded as its string form for simplicity).
+		if err := byName.Insert(tx, []byte(name), []byte(rid.String())); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("inserted %s at %v\n", name, rid)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Point query through the index.
+	tx2, _ := db.Begin()
+	v, ok, err := byName.Get(tx2, []byte("grace"))
+	if err != nil || !ok {
+		log.Fatalf("lookup failed: %v %v", ok, err)
+	}
+	fmt.Printf("index lookup grace -> record at %s\n", v)
+
+	// Range scan.
+	fmt.Println("all names in order:")
+	if err := byName.Scan(tx2, nil, nil, func(k, v []byte) bool {
+		fmt.Printf("  %s -> %s\n", k, v)
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Abort rolls everything back — even across B-tree splits.
+	tx3, _ := db.Begin()
+	if err := byName.Insert(tx3, []byte("zz-temporary"), []byte("x")); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx3.Abort(); err != nil {
+		log.Fatal(err)
+	}
+	tx4, _ := db.Begin()
+	if _, ok, _ := byName.Get(tx4, []byte("zz-temporary")); ok {
+		log.Fatal("aborted insert is visible!")
+	}
+	fmt.Println("aborted insert correctly invisible")
+	if err := tx4.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := db.Stats()
+	fmt.Printf("stats: %d log inserts, %d lock acquires, %d bpool hits\n",
+		st.Log.Inserts, st.Lock.Acquires, st.Buffer.Hits+st.Buffer.HotHits)
+}

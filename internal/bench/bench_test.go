@@ -1,0 +1,325 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/peers"
+)
+
+// Shape checks: every assertion below is a qualitative claim the paper
+// makes about a figure, tested against the regenerated curves. Absolute
+// values are not asserted — who wins, by roughly what factor, and where
+// curves flatten/cross are.
+
+const testHorizon = 100e6 // 100 virtual ms keeps the suite fast
+
+func sweep(t *testing.T, m peers.InsertModel, threads []int) map[int]float64 {
+	t.Helper()
+	out := map[int]float64{}
+	for _, n := range threads {
+		tps, _ := RunInsert(m, n, testHorizon)
+		if tps <= 0 {
+			t.Fatalf("%s at %d threads: no throughput", m.Name, n)
+		}
+		out[n] = tps
+	}
+	return out
+}
+
+func TestFigure1Shapes(t *testing.T) {
+	threads := []int{1, 4, 8, 16, 32}
+	curves := map[string]map[int]float64{}
+	for _, m := range peers.Figure1Models() {
+		curves[m.Name] = sweep(t, m, threads)
+	}
+	// "none of the four systems scales well": nobody reaches even half of
+	// linear speedup at 32 contexts.
+	for name, c := range curves {
+		if norm := c[32] / c[1]; norm > 16 {
+			t.Errorf("%s scales too well: %.1fx at 32 threads", name, norm)
+		}
+	}
+	// Shore plateaus at its single-thread rate (cooperative threading).
+	shore := curves["shore"]
+	if shore[32] > shore[1]*1.3 || shore[32] < shore[1]*0.5 {
+		t.Errorf("shore should plateau near 1x: %.2fx", shore[32]/shore[1])
+	}
+	// PostgreSQL plateaus (no significant drop from its peak).
+	pg := curves["postgres"]
+	if pg[32] < pg[8]*0.7 {
+		t.Errorf("postgres should plateau, dropped %.0f -> %.0f", pg[8], pg[32])
+	}
+	// BerkeleyDB and MySQL drop significantly from their peaks.
+	for _, name := range []string{"bdb", "mysql"} {
+		c := curves[name]
+		peak := 0.0
+		for _, v := range c {
+			if v > peak {
+				peak = v
+			}
+		}
+		if c[32] > peak*0.85 {
+			t.Errorf("%s should drop from its peak: peak %.0f, at-32 %.0f", name, peak, c[32])
+		}
+	}
+	// BDB's drop starts early ("more than four clients"): its per-thread
+	// efficiency at 8 is already well below 4's.
+	bdb := curves["bdb"]
+	if bdb[8]/8 > bdb[4]/4*0.9 {
+		t.Errorf("bdb per-thread at 8 (%.1f) should fall below at 4 (%.1f)", bdb[8]/8, bdb[4]/4)
+	}
+}
+
+func TestFigure4Shapes(t *testing.T) {
+	threads := []int{1, 4, 16, 32}
+	curves := map[string]map[int]float64{}
+	for _, m := range peers.Figure4Models() {
+		curves[m.Name] = sweep(t, m, threads)
+	}
+	shoreMT := curves["shore-mt"]
+	// "Shore-MT scales commensurately with the hardware": near-linear up
+	// to the SMT limit (~25.6x of single thread at 32 contexts).
+	if norm := shoreMT[32] / shoreMT[1]; norm < 18 {
+		t.Errorf("shore-mt scales only %.1fx at 32 threads", norm)
+	}
+	// "2-4 times as fast as the fastest open-source system" (total tps at
+	// high thread counts); allow 2-8x to keep the check robust.
+	bestOpen := 0.0
+	for _, name := range []string{"shore", "bdb", "mysql", "postgres"} {
+		if v := curves[name][32]; v > bestOpen {
+			bestOpen = v
+		}
+	}
+	if ratio := shoreMT[32] / bestOpen; ratio < 2 || ratio > 8 {
+		t.Errorf("shore-mt/best-open at 32 = %.1fx, want roughly 2-4x", ratio)
+	}
+	// Shore-MT at least matches the commercial engine at 32 ("at 32
+	// clients it scales better than DBMS X").
+	if shoreMT[32] < curves["dbms-x"][32] {
+		t.Errorf("shore-mt (%.0f) below dbms-x (%.0f) at 32", shoreMT[32], curves["dbms-x"][32])
+	}
+	// BDB is the single-thread leader (§5 footnote 6).
+	for name, c := range curves {
+		if name == "bdb" {
+			continue
+		}
+		if c[1] > curves["bdb"][1] {
+			t.Errorf("%s (%.1f) beats bdb (%.1f) single-threaded", name, c[1], curves["bdb"][1])
+		}
+	}
+}
+
+func TestFigure6Shapes(t *testing.T) {
+	threads := []int{1, 8, 32}
+	curves := map[string]map[int]float64{}
+	for _, m := range peers.Figure6Variants() {
+		curves[m.Name] = sweep(t, m, threads)
+	}
+	bpool1 := curves["bpool 1"]
+	tatas := curves["T&T&S mutex"]
+	mcs := curves["MCS mutex"]
+	refactor := curves["Refactor"]
+	// T&T&S improves single-thread performance substantially over the
+	// pthread mutex (paper: +90%).
+	if tatas[1] < bpool1[1]*1.2 {
+		t.Errorf("T&T&S single-thread gain too small: %.2f vs %.2f", tatas[1], bpool1[1])
+	}
+	// ... but does not improve 32-thread throughput much (so relative
+	// scalability drops).
+	if tatas[32] > bpool1[32]*1.6 {
+		t.Errorf("T&T&S should not scale: %.1f vs bpool1 %.1f at 32", tatas[32], bpool1[32])
+	}
+	if tatas[32]/tatas[1] > bpool1[32]/bpool1[1] {
+		t.Errorf("T&T&S scalability (%.1fx) should drop below pthread's (%.1fx)",
+			tatas[32]/tatas[1], bpool1[32]/bpool1[1])
+	}
+	// MCS beats T&T&S under contention.
+	if mcs[32] <= tatas[32] {
+		t.Errorf("MCS (%.1f) should beat T&T&S (%.1f) at 32", mcs[32], tatas[32])
+	}
+	// The refactor costs single-thread performance (paper: ~30%) but wins
+	// big at 32 (paper: ~200% net gain).
+	if refactor[1] >= mcs[1] {
+		t.Errorf("refactor should cost single-thread perf: %.2f vs %.2f", refactor[1], mcs[1])
+	}
+	if refactor[32] < mcs[32]*2 {
+		t.Errorf("refactor at 32 (%.1f) should be >= 2x MCS (%.1f)", refactor[32], mcs[32])
+	}
+}
+
+func TestFigure7Shapes(t *testing.T) {
+	threads := []int{1, 32}
+	tps := map[string]map[int]float64{}
+	for _, name := range peers.StageNames() {
+		tps[name] = sweep(t, peers.ShoreStage(name), threads)
+	}
+	// Monotone improvement at 32 threads across the stage ladder.
+	prev := 0.0
+	for _, name := range peers.StageNames() {
+		v := tps[name][32]
+		if v < prev*0.95 { // small tolerance for simulator granularity
+			t.Errorf("stage %q regressed at 32 threads: %.1f after %.1f", name, v, prev)
+		}
+		if v > prev {
+			prev = v
+		}
+	}
+	// Baseline is "completely unscalable": under 4x at 32 contexts.
+	base := tps["baseline"]
+	if base[32]/base[1] > 4 {
+		t.Errorf("baseline scales %.1fx, should be nearly flat", base[32]/base[1])
+	}
+	// Final scales near-linearly (SMT-bounded).
+	final := tps["final"]
+	if final[32]/final[1] < 18 {
+		t.Errorf("final scales only %.1fx", final[32]/final[1])
+	}
+	// Single-thread performance roughly tripled from baseline to final
+	// ("nearly 3x speedup in single-thread performance"); allow 2-5x.
+	if r := final[1] / base[1]; r < 2 || r > 5 {
+		t.Errorf("single-thread final/baseline = %.1fx, want ~3x", r)
+	}
+	// End-to-end improvement at 32 threads is enormous (paper: ~40x+).
+	if r := final[32] / base[32]; r < 20 {
+		t.Errorf("final/baseline at 32 = %.1fx, want > 20x", r)
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	threads := []int{1, 8, 16, 32}
+	type curve map[int]float64
+	newOrder := map[string]curve{}
+	payment := map[string]curve{}
+	for _, m := range peers.Figure5Models() {
+		no, pay := curve{}, curve{}
+		for _, n := range threads {
+			no[n] = RunTpcc(m, "neworder", n, testHorizon) / float64(n)
+			pay[n] = RunTpcc(m, "payment", n, testHorizon) / float64(n)
+		}
+		newOrder[m.Name] = no
+		payment[m.Name] = pay
+	}
+	// Shore-MT is fastest on both workloads at every measured point.
+	for _, n := range threads {
+		for _, other := range []string{"postgres", "dbms-x"} {
+			if newOrder["shore-mt"][n] < newOrder[other][n] {
+				t.Errorf("new order at %d: shore-mt (%.0f) below %s (%.0f)",
+					n, newOrder["shore-mt"][n], other, newOrder[other][n])
+			}
+			if payment["shore-mt"][n] < payment[other][n] {
+				t.Errorf("payment at %d: shore-mt (%.0f) below %s (%.0f)",
+					n, payment["shore-mt"][n], other, payment[other][n])
+			}
+		}
+	}
+	// New Order dips from STOCK/ITEM contention by 32 clients (the paper's
+	// "significant dip in scalability ... around 16 clients").
+	for name, c := range newOrder {
+		if c[32] > c[8]*0.8 {
+			t.Errorf("%s new order should dip: per-client %.0f at 8 vs %.0f at 32", name, c[8], c[32])
+		}
+	}
+	// Payment does NOT dip for shore-mt: it "scales all the way to 32".
+	if payment["shore-mt"][32] < payment["shore-mt"][1]*0.85 {
+		t.Errorf("shore-mt payment should stay flat per-client: %.0f at 1 vs %.0f at 32",
+			payment["shore-mt"][1], payment["shore-mt"][32])
+	}
+}
+
+func TestProfileIdentifiesPaperBottlenecks(t *testing.T) {
+	// §4: the profiler must blame the right component per engine.
+	top := func(m peers.InsertModel) string {
+		entries := Profile(m, 16)
+		if len(entries) == 0 {
+			return ""
+		}
+		return entries[0].Resource
+	}
+	if got := top(peers.Postgres()); got != "XLogInsert" && got != "malloc" && got != "ExecOpenIndices" {
+		t.Errorf("postgres top bottleneck = %q, want XLogInsert/malloc/ExecOpenIndices", got)
+	}
+	if got := top(peers.MySQL()); !strings.Contains(got, "srv_conc") && !strings.Contains(got, "log") {
+		t.Errorf("mysql top bottleneck = %q, want the admission gate or log", got)
+	}
+	if got := top(peers.BerkeleyDB()); !strings.Contains(got, "_bam") {
+		t.Errorf("bdb top bottleneck = %q, want a _bam page latch", got)
+	}
+	if got := top(peers.ShoreSingle()); !strings.Contains(got, "engine") {
+		t.Errorf("shore top bottleneck = %q, want the engine lock", got)
+	}
+}
+
+func TestAblationEveryRevertCosts(t *testing.T) {
+	// Each reverted optimization must cost throughput at 32 threads
+	// relative to the full final system (that is what made it into
+	// Shore-MT in the first place).
+	models := peers.AblationModels()
+	full := sweep(t, models[0], []int{32})[32]
+	for _, m := range models[1:] {
+		m := m
+		got := sweep(t, m, []int{32})[32]
+		if got > full*1.02 {
+			t.Errorf("reverting %q helps at 32 threads (%.1f vs %.1f)", m.Name, got, full)
+		}
+	}
+	// The log redesigns are among the paper's biggest wins: reverting all
+	// the way to the coupled log must hurt substantially.
+	for _, m := range models[1:] {
+		if m.Name == "- decoupled log" {
+			got := sweep(t, m, []int{32})[32]
+			if got > full*0.7 {
+				t.Errorf("coupled log costs too little: %.1f vs %.1f", got, full)
+			}
+		}
+	}
+}
+
+func TestDeterministicFigures(t *testing.T) {
+	a, _ := RunInsert(peers.ShoreMT(), 16, testHorizon)
+	b, _ := RunInsert(peers.ShoreMT(), 16, testHorizon)
+	if a != b {
+		t.Fatalf("nondeterministic simulation: %v vs %v", a, b)
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	fig := Figure{
+		ID: "t", Title: "T", XLabel: "Threads", YLabel: "tps", LogY: true,
+		Series: []Series{
+			{Name: "a", Points: []Point{{1, 1.5}, {2, 3.0}}},
+			{Name: "b two", Points: []Point{{1, 2.5}, {2, 5.0}}},
+		},
+	}
+	r := fig.Render()
+	if !strings.Contains(r, "t — T") || !strings.Contains(r, "1.500") || !strings.Contains(r, "log-scale") {
+		t.Errorf("render output wrong:\n%s", r)
+	}
+	c := fig.CSV()
+	if !strings.Contains(c, "threads,a,b_two") || !strings.Contains(c, "2,3,5") {
+		t.Errorf("csv output wrong:\n%s", c)
+	}
+	if fig.Series[0].At(99) != 0 {
+		t.Error("At on absent point should be 0")
+	}
+	// Figure 2 dataset sanity.
+	data := Figure2Data()
+	if len(data) < 20 {
+		t.Fatalf("figure 2 dataset has %d points", len(data))
+	}
+	niagaraSeen := false
+	for _, p := range data {
+		if p.Chip == "Niagara (T1)" && p.Contexts == 32 {
+			niagaraSeen = true
+		}
+		if p.Contexts < 1 || p.Year < 1990 || p.Year > 2010 {
+			t.Errorf("implausible point %+v", p)
+		}
+	}
+	if !niagaraSeen {
+		t.Error("the paper's own machine (Niagara, 32 contexts) missing from figure 2")
+	}
+	if !strings.Contains(Figure2Render(), "Niagara") {
+		t.Error("figure 2 render missing Niagara")
+	}
+}

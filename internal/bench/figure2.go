@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Figure 2 — "Number of HW contexts per chip as a function of time" — is a
+// historical dataset, not an experiment. The paper plots five processor
+// families from 1990 to 2010; the data below reconstructs the public
+// record of hardware thread counts (cores × threads/core) per flagship
+// part of each family.
+
+// ContextPoint is one (year, hardware contexts) sample of one family.
+type ContextPoint struct {
+	Family   string
+	Year     int
+	Chip     string
+	Contexts int
+}
+
+// Figure2Data returns the reconstructed dataset, sorted by family then
+// year.
+func Figure2Data() []ContextPoint {
+	data := []ContextPoint{
+		// Intel Pentium line: single context until HyperThreading.
+		{"Pentium", 1993, "Pentium", 1},
+		{"Pentium", 1997, "Pentium II", 1},
+		{"Pentium", 1999, "Pentium III", 1},
+		{"Pentium", 2002, "Pentium 4 HT", 2},
+		{"Pentium", 2005, "Pentium D", 2},
+		// Itanium.
+		{"Itanium", 2001, "Itanium", 1},
+		{"Itanium", 2002, "Itanium 2", 1},
+		{"Itanium", 2006, "Montecito", 4},
+		{"Itanium", 2010, "Tukwila", 8},
+		// Intel Core 2 era multicores.
+		{"Intel Core2", 2006, "Core 2 Duo", 2},
+		{"Intel Core2", 2007, "Core 2 Quad", 4},
+		{"Intel Core2", 2008, "Nehalem (i7)", 8},
+		{"Intel Core2", 2010, "Westmere", 12},
+		// Sun UltraSPARC: the CMT line the paper benchmarks.
+		{"UltraSparc", 1995, "UltraSPARC", 1},
+		{"UltraSparc", 2001, "UltraSPARC III", 1},
+		{"UltraSparc", 2005, "Niagara (T1)", 32},
+		{"UltraSparc", 2007, "Niagara 2 (T2)", 64},
+		// IBM POWER.
+		{"IBM Power", 1997, "POWER2", 1},
+		{"IBM Power", 2001, "POWER4", 2},
+		{"IBM Power", 2004, "POWER5", 4},
+		{"IBM Power", 2007, "POWER6", 4},
+		{"IBM Power", 2010, "POWER7", 32},
+		// AMD.
+		{"AMD", 1999, "Athlon", 1},
+		{"AMD", 2005, "Athlon 64 X2", 2},
+		{"AMD", 2007, "Barcelona", 4},
+		{"AMD", 2010, "Magny-Cours", 12},
+	}
+	sort.SliceStable(data, func(i, j int) bool {
+		if data[i].Family != data[j].Family {
+			return data[i].Family < data[j].Family
+		}
+		return data[i].Year < data[j].Year
+	})
+	return data
+}
+
+// Figure2Render formats the dataset as the table behind the figure.
+func Figure2Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "figure2 — Number of HW contexts per chip as a function of time\n")
+	fmt.Fprintf(&b, "%-12s %-6s %-18s %s\n", "Family", "Year", "Chip", "HW contexts")
+	for _, p := range Figure2Data() {
+		fmt.Fprintf(&b, "%-12s %-6d %-18s %d\n", p.Family, p.Year, p.Chip, p.Contexts)
+	}
+	b.WriteString("(doubling roughly every processor generation — the paper's premise)\n")
+	return b.String()
+}

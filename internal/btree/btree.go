@@ -1,0 +1,412 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+	"repro/internal/pageop"
+	"repro/internal/sync2"
+)
+
+// Env is the tree's view of the storage manager: page access through the
+// buffer pool, page allocation through the free-space manager, and
+// physiological logging. The core package implements it; tests use a
+// lightweight fake.
+type Env interface {
+	// Fix pins+latches a page.
+	Fix(pid page.ID, mode sync2.LatchMode) (*buffer.Frame, error)
+	// FixNew claims a frame for a freshly allocated page (EX-latched).
+	FixNew(pid page.ID) (*buffer.Frame, error)
+	// Unfix releases latch and pin.
+	Unfix(f *buffer.Frame, mode sync2.LatchMode)
+	// AllocPage allocates a page for store.
+	AllocPage(store uint32) (page.ID, error)
+	// Log records op against f's page (with optional logical undo payload;
+	// nil undo = redo-only), applies it, stamps the page LSN and marks the
+	// frame dirty. The frame must be EX-latched by the caller.
+	Log(txID uint64, f *buffer.Frame, op pageop.Op, undo []byte) error
+}
+
+// Tree is a B-link tree rooted at a fixed page.
+type Tree struct {
+	env   Env
+	store uint32
+	root  page.ID
+}
+
+// Create allocates and initializes an empty tree for store, returning the
+// tree and its root page id.
+func Create(env Env, txID uint64, store uint32) (*Tree, error) {
+	rootPid, err := env.AllocPage(store)
+	if err != nil {
+		return nil, err
+	}
+	f, err := env.FixNew(rootPid)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Unfix(f, sync2.LatchEX)
+	if err := env.Log(txID, f, pageop.Op{Kind: pageop.KindFormat, PType: page.TypeBTree, Store: store}, nil); err != nil {
+		return nil, err
+	}
+	hdr := nodeHeader{flags: flagLeaf | flagRoot, level: 0}
+	if err := env.Log(txID, f, pageop.Op{Kind: pageop.KindInsertAt, Slot: 0, Data: hdr.encode()}, nil); err != nil {
+		return nil, err
+	}
+	return &Tree{env: env, store: store, root: rootPid}, nil
+}
+
+// Open attaches to an existing tree.
+func Open(env Env, store uint32, root page.ID) *Tree {
+	return &Tree{env: env, store: store, root: root}
+}
+
+// Root returns the root page id (stable for the life of the tree).
+func (t *Tree) Root() page.ID { return t.root }
+
+// Store returns the owning store id.
+func (t *Tree) Store() uint32 { return t.store }
+
+func checkKV(key, value []byte) error {
+	if len(key) == 0 || len(key) > MaxKeySize {
+		return fmt.Errorf("%w: %d bytes", ErrKeyTooLarge, len(key))
+	}
+	if len(value) > MaxValueSize {
+		return fmt.Errorf("%w: %d bytes", ErrValueTooLarge, len(value))
+	}
+	return nil
+}
+
+// moveRight advances from a latched node to its right sibling while key is
+// beyond the node's high key; it returns the (possibly new) latched frame
+// and header.
+func (t *Tree) moveRight(f *buffer.Frame, hdr nodeHeader, key []byte, mode sync2.LatchMode) (*buffer.Frame, nodeHeader, error) {
+	for needsMoveRight(hdr, key) {
+		right := hdr.right
+		if right == 0 {
+			return f, hdr, fmt.Errorf("%w: high key without right sibling", ErrCorruptNode)
+		}
+		rf, err := t.env.Fix(right, mode)
+		if err != nil {
+			t.env.Unfix(f, mode)
+			return nil, nodeHeader{}, err
+		}
+		t.env.Unfix(f, mode)
+		f = rf
+		hdr, err = readHeader(f.Page())
+		if err != nil {
+			t.env.Unfix(f, mode)
+			return nil, nodeHeader{}, err
+		}
+	}
+	return f, hdr, nil
+}
+
+// descendToLeaf walks from the root to the leaf responsible for key,
+// latching in SH and crabbing; the leaf is returned latched in leafMode.
+// The returned path holds the page id of the parent at each level above
+// the leaf (for split propagation).
+func (t *Tree) descendToLeaf(key []byte, leafMode sync2.LatchMode) (*buffer.Frame, nodeHeader, []page.ID, error) {
+	var path []page.ID
+	pid := t.root
+	for {
+		mode := sync2.LatchSH
+		f, err := t.env.Fix(pid, mode)
+		if err != nil {
+			return nil, nodeHeader{}, nil, err
+		}
+		hdr, err := readHeader(f.Page())
+		if err != nil {
+			t.env.Unfix(f, mode)
+			return nil, nodeHeader{}, nil, err
+		}
+		f, hdr, err = t.moveRight(f, hdr, key, mode)
+		if err != nil {
+			return nil, nodeHeader{}, nil, err
+		}
+		if hdr.isLeaf() {
+			leafPid := f.Page().PID()
+			if leafMode == sync2.LatchEX {
+				// Re-take in EX; the node may split in between, so re-verify
+				// with move-right afterwards.
+				t.env.Unfix(f, mode)
+				f, err = t.env.Fix(leafPid, sync2.LatchEX)
+				if err != nil {
+					return nil, nodeHeader{}, nil, err
+				}
+				hdr, err = readHeader(f.Page())
+				if err != nil {
+					t.env.Unfix(f, sync2.LatchEX)
+					return nil, nodeHeader{}, nil, err
+				}
+				f, hdr, err = t.moveRight(f, hdr, key, sync2.LatchEX)
+				if err != nil {
+					return nil, nodeHeader{}, nil, err
+				}
+			}
+			return f, hdr, path, nil
+		}
+		child, err := branchChildFor(f.Page(), hdr, key)
+		if err != nil {
+			t.env.Unfix(f, mode)
+			return nil, nodeHeader{}, nil, err
+		}
+		path = append(path, f.Page().PID())
+		t.env.Unfix(f, mode)
+		pid = child
+	}
+}
+
+// Search returns the value stored for key.
+func (t *Tree) Search(key []byte) ([]byte, bool, error) {
+	if err := checkKV(key, nil); err != nil {
+		return nil, false, err
+	}
+	f, _, _, err := t.descendToLeaf(key, sync2.LatchSH)
+	if err != nil {
+		return nil, false, err
+	}
+	defer t.env.Unfix(f, sync2.LatchSH)
+	slot, exact, err := searchEntries(f.Page(), key)
+	if err != nil {
+		return nil, false, err
+	}
+	if !exact {
+		return nil, false, nil
+	}
+	rec, err := f.Page().Record(slot)
+	if err != nil {
+		return nil, false, err
+	}
+	_, v, err := decodeLeafEntry(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// Insert adds key→value; ErrDuplicateKey if present. The operation is
+// logged with a logical undo (delete key), so aborting the transaction
+// removes the key even if splits moved it.
+func (t *Tree) Insert(txID uint64, key, value []byte) error {
+	return t.insert(txID, key, value, true)
+}
+
+// InsertNoUndo adds key→value with redo-only logging. Recovery's logical
+// undo path uses it (a CLR-covered action must not generate further undo).
+func (t *Tree) InsertNoUndo(txID uint64, key, value []byte) error {
+	return t.insert(txID, key, value, false)
+}
+
+func (t *Tree) insert(txID uint64, key, value []byte, withUndo bool) error {
+	if err := checkKV(key, value); err != nil {
+		return err
+	}
+	entry := encodeLeafEntry(key, value)
+	for {
+		f, hdr, path, err := t.descendToLeaf(key, sync2.LatchEX)
+		if err != nil {
+			return err
+		}
+		slot, exact, err := searchEntries(f.Page(), key)
+		if err != nil {
+			t.env.Unfix(f, sync2.LatchEX)
+			return err
+		}
+		if exact {
+			t.env.Unfix(f, sync2.LatchEX)
+			return fmt.Errorf("%w: %q", ErrDuplicateKey, key)
+		}
+		if f.Page().CanFit(len(entry)) {
+			var undo []byte
+			if withUndo {
+				undo = pageop.Logical{Kind: pageop.LogicalBTreeDelete, Store: t.store, Key: key}.Encode()
+			}
+			err := t.env.Log(txID, f, pageop.Op{Kind: pageop.KindInsertAt, Slot: uint16(slot), Data: entry}, undo)
+			t.env.Unfix(f, sync2.LatchEX)
+			return err
+		}
+		// Leaf full: split, then retry the insert (the retry re-descends,
+		// which is simple and correct; splits are rare).
+		if err := t.splitNode(txID, f, hdr, path); err != nil {
+			return err
+		}
+	}
+}
+
+// Update replaces the value for key. Logged with logical undo restoring
+// the old value.
+func (t *Tree) Update(txID uint64, key, value []byte) error {
+	return t.update(txID, key, value, true)
+}
+
+// UpdateNoUndo is Update with redo-only logging (for recovery undo).
+func (t *Tree) UpdateNoUndo(txID uint64, key, value []byte) error {
+	return t.update(txID, key, value, false)
+}
+
+func (t *Tree) update(txID uint64, key, value []byte, withUndo bool) error {
+	if err := checkKV(key, value); err != nil {
+		return err
+	}
+	entry := encodeLeafEntry(key, value)
+	for {
+		f, hdr, path, err := t.descendToLeaf(key, sync2.LatchEX)
+		if err != nil {
+			return err
+		}
+		slot, exact, err := searchEntries(f.Page(), key)
+		if err != nil {
+			t.env.Unfix(f, sync2.LatchEX)
+			return err
+		}
+		if !exact {
+			t.env.Unfix(f, sync2.LatchEX)
+			return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+		}
+		rec, err := f.Page().Record(slot)
+		if err != nil {
+			t.env.Unfix(f, sync2.LatchEX)
+			return err
+		}
+		_, oldVal, err := decodeLeafEntry(rec)
+		if err != nil {
+			t.env.Unfix(f, sync2.LatchEX)
+			return err
+		}
+		oldCopy := append([]byte(nil), oldVal...)
+		// The new entry may be larger than the old; ensure it fits.
+		if len(entry) > len(rec) && !f.Page().CanFit(len(entry)-len(rec)) {
+			if err := t.splitNode(txID, f, hdr, path); err != nil {
+				return err
+			}
+			continue
+		}
+		var undo []byte
+		if withUndo {
+			undo = pageop.Logical{Kind: pageop.LogicalBTreeUpdate, Store: t.store, Key: key, Value: oldCopy}.Encode()
+		}
+		err = t.env.Log(txID, f, pageop.Op{Kind: pageop.KindUpdateAt, Slot: uint16(slot), Data: entry, Old: rec}, undo)
+		t.env.Unfix(f, sync2.LatchEX)
+		return err
+	}
+}
+
+// Delete removes key, returning its old value. Logged with logical undo
+// re-inserting the key. Underflowed leaves are left in place (lazy
+// deletion; no merges), which keeps sibling pointers stable.
+func (t *Tree) Delete(txID uint64, key []byte) ([]byte, error) {
+	return t.delete(txID, key, true)
+}
+
+// DeleteNoUndo is Delete with redo-only logging (for recovery undo).
+func (t *Tree) DeleteNoUndo(txID uint64, key []byte) ([]byte, error) {
+	return t.delete(txID, key, false)
+}
+
+func (t *Tree) delete(txID uint64, key []byte, withUndo bool) ([]byte, error) {
+	if err := checkKV(key, nil); err != nil {
+		return nil, err
+	}
+	f, _, _, err := t.descendToLeaf(key, sync2.LatchEX)
+	if err != nil {
+		return nil, err
+	}
+	slot, exact, err := searchEntries(f.Page(), key)
+	if err != nil {
+		t.env.Unfix(f, sync2.LatchEX)
+		return nil, err
+	}
+	if !exact {
+		t.env.Unfix(f, sync2.LatchEX)
+		return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	rec, err := f.Page().Record(slot)
+	if err != nil {
+		t.env.Unfix(f, sync2.LatchEX)
+		return nil, err
+	}
+	recCopy := append([]byte(nil), rec...)
+	_, oldVal, err := decodeLeafEntry(recCopy)
+	if err != nil {
+		t.env.Unfix(f, sync2.LatchEX)
+		return nil, err
+	}
+	var undo []byte
+	if withUndo {
+		undo = pageop.Logical{Kind: pageop.LogicalBTreeInsert, Store: t.store, Key: key, Value: oldVal}.Encode()
+	}
+	err = t.env.Log(txID, f, pageop.Op{Kind: pageop.KindRemoveAt, Slot: uint16(slot), Data: recCopy}, undo)
+	t.env.Unfix(f, sync2.LatchEX)
+	if err != nil {
+		return nil, err
+	}
+	return oldVal, nil
+}
+
+// Scan calls fn for each key in [from, to) in ascending order until fn
+// returns false. nil from starts at the smallest key; nil to means no
+// upper bound. fn must not re-enter the tree.
+func (t *Tree) Scan(from, to []byte, fn func(key, value []byte) bool) error {
+	start := from
+	if start == nil {
+		start = []byte{0}
+	}
+	f, _, _, err := t.descendToLeaf(start, sync2.LatchSH)
+	if err != nil {
+		return err
+	}
+	for {
+		p := f.Page()
+		slot := 1
+		if from != nil {
+			s, _, err := searchEntries(p, from)
+			if err != nil {
+				t.env.Unfix(f, sync2.LatchSH)
+				return err
+			}
+			slot = s
+			from = nil // only applies to the first leaf
+		}
+		n := numEntries(p)
+		for ; slot <= n; slot++ {
+			rec, err := p.Record(slot)
+			if err != nil {
+				t.env.Unfix(f, sync2.LatchSH)
+				return err
+			}
+			k, v, err := decodeLeafEntry(rec)
+			if err != nil {
+				t.env.Unfix(f, sync2.LatchSH)
+				return err
+			}
+			if to != nil && bytes.Compare(k, to) >= 0 {
+				t.env.Unfix(f, sync2.LatchSH)
+				return nil
+			}
+			if !fn(k, v) {
+				t.env.Unfix(f, sync2.LatchSH)
+				return nil
+			}
+		}
+		hdr, err := readHeader(p)
+		if err != nil {
+			t.env.Unfix(f, sync2.LatchSH)
+			return err
+		}
+		right := hdr.right
+		if right == 0 {
+			t.env.Unfix(f, sync2.LatchSH)
+			return nil
+		}
+		rf, err := t.env.Fix(right, sync2.LatchSH)
+		if err != nil {
+			t.env.Unfix(f, sync2.LatchSH)
+			return err
+		}
+		t.env.Unfix(f, sync2.LatchSH)
+		f = rf
+	}
+}

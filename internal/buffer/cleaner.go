@@ -1,0 +1,113 @@
+package buffer
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// cleanerState holds the background dirty-page cleaner. Beyond keeping
+// evictions cheap (clean victims need no write-back), the cleaner
+// implements the paper's final checkpoint optimization (§7.7): because it
+// already sweeps the whole pool asynchronously, it tracks the log position
+// each sweep started at; once a sweep completes, every page dirtied before
+// that position has been written, so the checkpoint can use the published
+// value instead of serially scanning the buffer pool while blocking all
+// transactions.
+type cleanerState struct {
+	stop    chan struct{}
+	done    chan struct{}
+	running atomic.Bool
+	// ckptLSN is the published "oldest possible recLSN" from the last
+	// completed sweep; NullLSN until one completes.
+	ckptLSN atomic.Uint64
+}
+
+// StartCleaner launches the background cleaner sweeping every interval.
+func (p *Pool) StartCleaner(interval time.Duration) {
+	if p.cleaner.running.Swap(true) {
+		return
+	}
+	p.cleaner.stop = make(chan struct{})
+	p.cleaner.done = make(chan struct{})
+	go p.cleanerLoop(interval)
+}
+
+// StopCleaner stops the background cleaner and waits for it to exit.
+func (p *Pool) StopCleaner() {
+	if !p.cleaner.running.Swap(false) {
+		return
+	}
+	close(p.cleaner.stop)
+	<-p.cleaner.done
+}
+
+func (p *Pool) cleanerLoop(interval time.Duration) {
+	defer close(p.cleaner.done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.cleaner.stop:
+			return
+		case <-ticker.C:
+			p.CleanerSweep()
+		}
+	}
+}
+
+// CleanerSweep performs one full cleaning pass and publishes the
+// checkpoint LSN. It is exported so tests and checkpoints can force a
+// sweep synchronously.
+func (p *Pool) CleanerSweep() {
+	var sweepStart wal.LSN
+	if p.opts.CurLSN != nil {
+		sweepStart = p.opts.CurLSN()
+	}
+	// minSkipped tracks the recLSN of dirty frames the sweep could not
+	// write (pinned/EX-latched); the published checkpoint LSN must not
+	// pass them.
+	minSkipped := wal.LSN(^uint64(0))
+	for _, f := range p.frames {
+		if !f.Dirty() {
+			continue
+		}
+		if !f.pin.tryPin() {
+			if rec := f.RecLSN(); rec != wal.NullLSN && rec < minSkipped {
+				minSkipped = rec
+			}
+			continue
+		}
+		if !f.latch.TryLatchSH() {
+			if rec := f.RecLSN(); rec != wal.NullLSN && rec < minSkipped {
+				minSkipped = rec
+			}
+			f.pin.unpin()
+			continue
+		}
+		if f.Dirty() && f.PID() != 0 {
+			if err := p.writeBack(f); err == nil {
+				p.cleanerIO.Add(1)
+			} else if rec := f.RecLSN(); rec != wal.NullLSN && rec < minSkipped {
+				minSkipped = rec
+			}
+		}
+		f.latch.UnlatchSH()
+		f.pin.unpin()
+	}
+	ckpt := sweepStart
+	if minSkipped < ckpt {
+		ckpt = minSkipped
+	}
+	if ckpt != wal.NullLSN && ckpt != wal.LSN(^uint64(0)) {
+		p.cleaner.ckptLSN.Store(uint64(ckpt))
+	}
+}
+
+// CleanerCkptLSN returns the cleaner-published oldest-dirty bound for
+// checkpoints, or NullLSN if no sweep has completed yet (callers fall back
+// to scanning the pool).
+func (p *Pool) CleanerCkptLSN() wal.LSN {
+	return wal.LSN(p.cleaner.ckptLSN.Load())
+}

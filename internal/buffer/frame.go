@@ -1,0 +1,123 @@
+// Package buffer implements the buffer pool manager whose step-by-step
+// de-bottlenecking is the spine of the Shore-MT paper: pluggable hash
+// index (global-mutex chain, per-bucket chain, 3-ary cuckoo), atomic
+// pin-if-pinned, a hot-page array, CLOCK replacement with early hand
+// release, partitioned in-transit lists with the transit-bypass
+// optimization, and background dirty-page cleaning that doubles as the
+// checkpoint's oldest-dirty-LSN tracker.
+package buffer
+
+import (
+	"sync/atomic"
+
+	"repro/internal/page"
+	"repro/internal/sync2"
+	"repro/internal/wal"
+)
+
+// Frame is one buffer-pool slot: a page image plus its control state.
+type Frame struct {
+	buf   []byte
+	pg    *page.Page
+	pid   atomic.Uint64 // current page id, 0 if free
+	pin   pinCount
+	latch sync2.RWLatch
+	dirty atomic.Bool
+	// recLSN is the LSN of the first update since the page was last clean
+	// (the ARIES dirty-page-table entry).
+	recLSN atomic.Uint64
+	refbit atomic.Bool // CLOCK reference bit
+}
+
+// newFrame allocates a frame and its page buffer.
+func newFrame() *Frame {
+	buf := make([]byte, page.Size)
+	pg, err := page.Wrap(buf)
+	if err != nil {
+		panic(err) // buffer is page.Size by construction
+	}
+	return &Frame{buf: buf, pg: pg}
+}
+
+// Page returns the page image. Callers must hold the frame's latch.
+func (f *Frame) Page() *page.Page { return f.pg }
+
+// PID returns the page currently cached in this frame (0 if free).
+func (f *Frame) PID() page.ID { return page.ID(f.pid.Load()) }
+
+// Latch acquires the frame latch in mode.
+func (f *Frame) Latch(mode sync2.LatchMode) { f.latch.Latch(mode) }
+
+// Unlatch releases the frame latch taken in mode.
+func (f *Frame) Unlatch(mode sync2.LatchMode) { f.latch.Unlatch(mode) }
+
+// MarkDirty records that the holder (who must hold the EX latch) modified
+// the page under log record lsn. The first dirtying since the page was
+// clean establishes recLSN.
+func (f *Frame) MarkDirty(lsn wal.LSN) {
+	if !f.dirty.Swap(true) {
+		f.recLSN.Store(uint64(lsn))
+	}
+}
+
+// Dirty reports whether the frame holds unflushed modifications.
+func (f *Frame) Dirty() bool { return f.dirty.Load() }
+
+// RecLSN returns the frame's dirty-page-table recLSN (0 when clean).
+func (f *Frame) RecLSN() wal.LSN {
+	if !f.dirty.Load() {
+		return wal.NullLSN
+	}
+	return wal.LSN(f.recLSN.Load())
+}
+
+// LatchStats exposes the frame latch's contention counters.
+func (f *Frame) LatchStats() sync2.Stats { return f.latch.Stats() }
+
+// pinCount extends sync2.PinCount semantics with the transitions the
+// buffer pool needs: pins from zero race against eviction freezes.
+//
+// n > 0: pinned; n == 0: unpinned, evictable; n == -1: frozen by an
+// evictor.
+type pinCount struct {
+	n atomic.Int32
+}
+
+// tryPin increments the count unless the frame is frozen (-1).
+func (p *pinCount) tryPin() bool {
+	for {
+		old := p.n.Load()
+		if old < 0 {
+			return false
+		}
+		if p.n.CompareAndSwap(old, old+1) {
+			return true
+		}
+	}
+}
+
+// pinIfPinned increments only when already pinned (the §6.2.1 fast path).
+func (p *pinCount) pinIfPinned() bool {
+	for {
+		old := p.n.Load()
+		if old <= 0 {
+			return false
+		}
+		if p.n.CompareAndSwap(old, old+1) {
+			return true
+		}
+	}
+}
+
+// unpin decrements the count.
+func (p *pinCount) unpin() { p.n.Add(-1) }
+
+// tryFreeze claims an unpinned frame for eviction (0 → -1).
+func (p *pinCount) tryFreeze() bool { return p.n.CompareAndSwap(0, -1) }
+
+// unfreezeTo releases a frozen frame directly into the pinned state (the
+// evictor hands the frame to the fixer) or back to free (count 0).
+func (p *pinCount) unfreezeTo(count int32) { p.n.Store(count) }
+
+// get returns the raw count.
+func (p *pinCount) get() int32 { return p.n.Load() }

@@ -1,0 +1,662 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/disk"
+	"repro/internal/hash"
+	"repro/internal/page"
+	"repro/internal/sync2"
+	"repro/internal/wal"
+)
+
+// TableKind selects the buffer pool's page-table implementation, tracing
+// the paper's evolution: one global mutex over an open-chaining table
+// (original Shore), per-bucket mutexes (bpool1), and the 3-ary cuckoo hash
+// (§6.2.3).
+type TableKind int
+
+// Page table kinds.
+const (
+	TableGlobalChain TableKind = iota
+	TablePerBucketChain
+	TableCuckoo
+)
+
+// String names the table kind.
+func (k TableKind) String() string {
+	switch k {
+	case TableGlobalChain:
+		return "globalChain"
+	case TablePerBucketChain:
+		return "perBucketChain"
+	case TableCuckoo:
+		return "cuckoo"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a Pool; each field maps to one optimization stage in
+// §7 of the paper.
+type Options struct {
+	Frames            int       // buffer pool capacity in pages
+	Table             TableKind // page-table implementation
+	AtomicPin         bool      // §6.2.1 pin-if-pinned fast path
+	HotArray          int       // entries in the hot-page array (§7.3), 0 = off
+	TransitPartitions int       // in-transit list partitions (1 = original, 128 = §6.2.3)
+	TransitBypass     bool      // in-transit-in pages visible in the table (§6.2.3)
+	ClockHandRelease  bool      // release clock mutex before eviction I/O (§7.6)
+	// FlushLog enforces the WAL rule before a dirty page is written; nil
+	// disables (for tests without a log).
+	FlushLog func(wal.LSN) error
+	// CurLSN reports the current end of the log (for cleaner checkpoint
+	// tracking); nil disables.
+	CurLSN func() wal.LSN
+	Seed   int64
+}
+
+// Stats counts pool activity.
+type Stats struct {
+	Hits        uint64
+	HotHits     uint64
+	Misses      uint64
+	Evictions   uint64
+	Writebacks  uint64 // eviction write-backs
+	CleanerIO   uint64 // cleaner write-backs
+	TransitWait uint64
+	PinRetries  uint64
+	TableLock   sync2.Stats // chain-table latch contention (zero for cuckoo)
+	ClockLock   sync2.Stats
+	GlobalLock  sync2.Stats // pin-discipline mutex (baseline only)
+}
+
+// Errors returned by the pool.
+var (
+	ErrNoFreeFrames = errors.New("buffer: no evictable frames")
+	ErrPoolClosed   = errors.New("buffer: pool closed")
+)
+
+// pageTable abstracts the pid → frame-index map.
+type pageTable interface {
+	get(pid page.ID) (uint32, bool)
+	getOrInsert(pid page.ID, idx uint32) (uint32, bool, error)
+	delete(pid page.ID) bool
+	lockStats() sync2.Stats
+}
+
+type chainAdapter struct{ t *hash.ChainTable }
+
+func (a chainAdapter) get(pid page.ID) (uint32, bool) { return a.t.Get(uint64(pid)) }
+func (a chainAdapter) getOrInsert(pid page.ID, idx uint32) (uint32, bool, error) {
+	v, ins := a.t.GetOrInsert(uint64(pid), idx)
+	return v, ins, nil
+}
+func (a chainAdapter) delete(pid page.ID) bool { return a.t.Delete(uint64(pid)) }
+func (a chainAdapter) lockStats() sync2.Stats  { return a.t.LockStats() }
+
+type cuckooAdapter struct {
+	t    *hash.Cuckoo
+	pool *Pool
+}
+
+func (a cuckooAdapter) get(pid page.ID) (uint32, bool) { return a.t.Get(uint64(pid)) }
+func (a cuckooAdapter) getOrInsert(pid page.ID, idx uint32) (uint32, bool, error) {
+	v, ins, ev, err := a.t.GetOrInsert(uint64(pid), idx)
+	if err != nil {
+		return 0, false, err
+	}
+	if ev != nil {
+		// A cascade overflow displaced another cached page's mapping. The
+		// paper's remedy: evict the troublesome page to end the cascade.
+		a.pool.dropOrphan(page.ID(ev.Key), ev.Value)
+	}
+	return v, ins, nil
+}
+func (a cuckooAdapter) delete(pid page.ID) bool { return a.t.Delete(uint64(pid)) }
+func (a cuckooAdapter) lockStats() sync2.Stats  { return sync2.Stats{} }
+
+// Pool is the buffer pool manager.
+type Pool struct {
+	opts   Options
+	vol    disk.Volume
+	frames []*Frame
+	table  pageTable
+	// pinMu is the baseline pin discipline: without AtomicPin, every
+	// lookup+pin holds this single mutex (the original Shore global lock).
+	pinMu   sync2.Locker
+	clockMu sync2.Locker
+	hand    int // guarded by clockMu
+	transit *transitSet
+	hot     []atomic.Uint64 // packed pid<<24|idx hot-page array
+	closed  atomic.Bool
+
+	hits        atomic.Uint64
+	hotHits     atomic.Uint64
+	misses      atomic.Uint64
+	evictions   atomic.Uint64
+	writebacks  atomic.Uint64
+	cleanerIO   atomic.Uint64
+	transitWait atomic.Uint64
+	pinRetries  atomic.Uint64
+
+	cleaner cleanerState
+}
+
+// New builds a buffer pool over vol.
+func New(vol disk.Volume, opts Options) *Pool {
+	if opts.Frames <= 0 {
+		opts.Frames = 1024
+	}
+	if opts.TransitPartitions <= 0 {
+		opts.TransitPartitions = 1
+	}
+	p := &Pool{
+		opts:    opts,
+		vol:     vol,
+		frames:  make([]*Frame, opts.Frames),
+		transit: newTransitSet(opts.TransitPartitions),
+		clockMu: new(sync2.HybridLock),
+	}
+	for i := range p.frames {
+		p.frames[i] = newFrame()
+	}
+	switch opts.Table {
+	case TableCuckoo:
+		p.table = cuckooAdapter{t: hash.NewCuckoo(opts.Frames*4, opts.Seed), pool: p}
+	case TablePerBucketChain:
+		p.table = chainAdapter{t: hash.NewChainTable(opts.Frames*2, hash.PerBucketLock, opts.Seed,
+			func() sync2.Locker { return new(sync2.HybridLock) })}
+	default:
+		p.pinMu = new(sync2.BlockingLock)
+		p.table = chainAdapter{t: hash.NewChainTable(opts.Frames*2, hash.GlobalLock, opts.Seed,
+			func() sync2.Locker { return new(sync2.BlockingLock) })}
+	}
+	if opts.HotArray > 0 {
+		p.hot = make([]atomic.Uint64, opts.HotArray)
+	}
+	return p
+}
+
+// NumFrames returns the pool capacity.
+func (p *Pool) NumFrames() int { return len(p.frames) }
+
+// hot-page array ------------------------------------------------------------
+
+func (p *Pool) hotSlot(pid page.ID) *atomic.Uint64 {
+	h := uint64(pid) * 0x9e3779b97f4a7c15
+	return &p.hot[(h>>33)%uint64(len(p.hot))]
+}
+
+func (p *Pool) hotRecord(pid page.ID, idx uint32) {
+	if p.hot == nil {
+		return
+	}
+	p.hotSlot(pid).Store(uint64(pid)<<24 | uint64(idx))
+}
+
+func (p *Pool) hotLookup(pid page.ID) (uint32, bool) {
+	if p.hot == nil {
+		return 0, false
+	}
+	v := p.hotSlot(pid).Load()
+	if v>>24 != uint64(pid) || v == 0 {
+		return 0, false
+	}
+	return uint32(v & 0xffffff), true
+}
+
+// Fix pins page pid into the pool and acquires its latch in mode. The
+// caller must Unfix with the same mode when done.
+func (p *Pool) Fix(pid page.ID, mode sync2.LatchMode) (*Frame, error) {
+	if pid == page.InvalidID {
+		return nil, fmt.Errorf("buffer: fix of invalid page id")
+	}
+	for attempt := 0; ; attempt++ {
+		if p.closed.Load() {
+			return nil, ErrPoolClosed
+		}
+		// Hot-page array: pin first, check the ID after (§7.3 — "we changed
+		// the search to pin the page, then check its ID before acquiring
+		// the latch; if a page eviction occurs before the pin completes the
+		// IDs would not match").
+		if idx, ok := p.hotLookup(pid); ok {
+			f := p.frames[idx]
+			if f.pin.pinIfPinned() {
+				if f.PID() == pid {
+					f.refbit.Store(true)
+					f.Latch(mode)
+					p.hotHits.Add(1)
+					return f, nil
+				}
+				f.pin.unpin()
+			}
+		}
+		if f := p.lookupAndPin(pid); f != nil {
+			f.refbit.Store(true)
+			f.Latch(mode)
+			p.hits.Add(1)
+			p.hotRecord(pid, p.frameIndex(f))
+			return f, nil
+		}
+		f, err := p.miss(pid, mode)
+		if err != nil {
+			return nil, err
+		}
+		if f != nil {
+			return f, nil
+		}
+		// Retry: someone else was loading or evicting this page.
+		if attempt%16 == 15 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// lookupAndPin returns a pinned (not latched) frame holding pid, or nil.
+func (p *Pool) lookupAndPin(pid page.ID) *Frame {
+	if !p.opts.AtomicPin {
+		// Baseline discipline: one global mutex across lookup + pin.
+		p.pinMu.Lock()
+		defer p.pinMu.Unlock()
+		idx, ok := p.table.get(pid)
+		if !ok {
+			return nil
+		}
+		f := p.frames[idx]
+		if f.pin.tryPin() {
+			if f.PID() == pid {
+				return f
+			}
+			f.pin.unpin()
+		}
+		return nil
+	}
+	// Atomic-pin discipline (§6.2.1): no table-side mutex for hits. Pin
+	// first (conditionally), verify the ID afterwards.
+	for {
+		idx, ok := p.table.get(pid)
+		if !ok {
+			return nil
+		}
+		f := p.frames[idx]
+		if f.pin.pinIfPinned() || f.pin.tryPin() {
+			if f.PID() == pid {
+				return f
+			}
+			f.pin.unpin()
+			p.pinRetries.Add(1)
+			continue // stale mapping; re-read the table
+		}
+		// Frame frozen by an evictor: the mapping will disappear shortly.
+		p.pinRetries.Add(1)
+		runtime.Gosched()
+	}
+}
+
+func (p *Pool) frameIndex(f *Frame) uint32 {
+	for i := range p.frames {
+		if p.frames[i] == f {
+			return uint32(i)
+		}
+	}
+	return 0
+}
+
+// miss loads pid from disk. It returns a pinned, latched frame; nil frame
+// (no error) means "retry Fix".
+func (p *Pool) miss(pid page.ID, mode sync2.LatchMode) (*Frame, error) {
+	if !p.opts.TransitBypass {
+		// Original design: all transits (in and out) are invisible to the
+		// table; a missing page may be mid-read by another thread.
+		if e, ok := p.transit.lookup(pid); ok {
+			p.transitWait.Add(1)
+			e.wait()
+			return nil, nil // retry: the loader has inserted the mapping
+		}
+		e, fresh := p.transit.begin(pid)
+		if !fresh {
+			p.transitWait.Add(1)
+			e.wait()
+			return nil, nil
+		}
+		f, err := p.load(pid, mode, e)
+		if err != nil {
+			p.transit.end(pid, e)
+			return nil, err
+		}
+		if f == nil {
+			p.transit.end(pid, e)
+			return nil, nil
+		}
+		p.transit.end(pid, e)
+		return f, nil
+	}
+	// Bypass design (§6.2.3): only dirty evictions live in the transit
+	// lists; wait for any in-flight write-back of this page, then load.
+	if e, ok := p.transit.lookup(pid); ok {
+		p.transitWait.Add(1)
+		e.wait()
+	}
+	return p.load(pid, mode, nil)
+}
+
+// load claims a victim frame, maps it to pid, and reads the page. With
+// TransitBypass the mapping becomes visible before the read and the EX
+// latch blocks other fixers; otherwise the mapping appears only after the
+// read completes (transit waiters handle the rest).
+func (p *Pool) load(pid page.ID, mode sync2.LatchMode, transitIn *transitEntry) (*Frame, error) {
+	f, idx, err := p.allocFrame()
+	if err != nil {
+		return nil, err
+	}
+	if p.opts.TransitBypass {
+		// Publish first; hold EX during the read.
+		f.pid.Store(uint64(pid))
+		f.pin.unfreezeTo(1)
+		f.latch.LatchEX()
+		got, inserted, err := p.table.getOrInsert(pid, idx)
+		if err != nil || !inserted {
+			// Lost the race (or table error): return the frame to free.
+			f.latch.UnlatchEX()
+			f.pin.unfreezeTo(0)
+			f.pid.Store(0)
+			_ = got
+			if err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		if err := p.vol.Read(pid, f.buf); err != nil {
+			p.table.delete(pid)
+			f.latch.UnlatchEX()
+			f.pin.unfreezeTo(0)
+			f.pid.Store(0)
+			return nil, err
+		}
+		// Never-written pages read back zeroed; stamp the true id so the
+		// in-memory header is always self-consistent (redo relies on it).
+		f.pg.SetPID(pid)
+		p.misses.Add(1)
+		if mode == sync2.LatchSH {
+			f.latch.Downgrade()
+		}
+		p.hotRecord(pid, idx)
+		return f, nil
+	}
+	// Non-bypass: read first, publish after.
+	if err := p.vol.Read(pid, f.buf); err != nil {
+		f.pin.unfreezeTo(0)
+		return nil, err
+	}
+	f.pg.SetPID(pid)
+	f.pid.Store(uint64(pid))
+	f.pin.unfreezeTo(1)
+	got, inserted, err := p.table.getOrInsert(pid, idx)
+	if err != nil || !inserted {
+		f.pin.unpin()
+		// Another loader won despite the transit list (possible only if
+		// callers raced begin/end); fall back to retry.
+		f.pid.Store(0)
+		f.pin.unfreezeTo(0)
+		_ = got
+		return nil, err
+	}
+	f.Latch(mode)
+	p.misses.Add(1)
+	p.hotRecord(pid, idx)
+	return f, nil
+}
+
+// FixNew claims a frame for a freshly allocated page without reading disk.
+// The frame comes back EX-latched and pinned; the caller formats the page.
+func (p *Pool) FixNew(pid page.ID) (*Frame, error) {
+	if p.closed.Load() {
+		return nil, ErrPoolClosed
+	}
+	f, idx, err := p.allocFrame()
+	if err != nil {
+		return nil, err
+	}
+	f.pid.Store(uint64(pid))
+	f.pin.unfreezeTo(1)
+	f.latch.LatchEX()
+	_, inserted, err := p.table.getOrInsert(pid, idx)
+	if err != nil || !inserted {
+		f.latch.UnlatchEX()
+		f.pin.unfreezeTo(0)
+		f.pid.Store(0)
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("buffer: FixNew(%v): page already cached", pid)
+	}
+	f.pg.Init(pid, page.TypeFree, 0)
+	return f, nil
+}
+
+// Unfix releases the latch (taken in mode) and unpins the frame.
+func (p *Pool) Unfix(f *Frame, mode sync2.LatchMode) {
+	f.Unlatch(mode)
+	f.pin.unpin()
+}
+
+// allocFrame runs the CLOCK hand to claim a victim frame. The returned
+// frame is frozen (pin == -1), unmapped, and clean.
+func (p *Pool) allocFrame() (*Frame, uint32, error) {
+	p.clockMu.Lock()
+	released := false
+	unlock := func() {
+		if !released {
+			p.clockMu.Unlock()
+			released = true
+		}
+	}
+	defer unlock()
+	limit := 3 * len(p.frames)
+	for i := 0; i < limit; i++ {
+		p.hand = (p.hand + 1) % len(p.frames)
+		f := p.frames[p.hand]
+		if f.refbit.Swap(false) {
+			continue // second chance
+		}
+		if f.pin.get() != 0 {
+			continue
+		}
+		if !f.pin.tryFreeze() {
+			continue
+		}
+		idx := uint32(p.hand)
+		if p.opts.ClockHandRelease {
+			// §7.6: release the clock hand before the (possibly slow)
+			// eviction I/O so other misses can proceed.
+			unlock()
+		}
+		if err := p.evictContents(f); err != nil {
+			f.pin.unfreezeTo(0)
+			return nil, 0, err
+		}
+		unlock()
+		return f, idx, nil
+	}
+	return nil, 0, ErrNoFreeFrames
+}
+
+// evictContents writes back and unmaps whatever page the frozen frame
+// holds.
+func (p *Pool) evictContents(f *Frame) error {
+	oldPid := f.PID()
+	if oldPid == 0 {
+		return nil
+	}
+	p.evictions.Add(1)
+	if f.Dirty() {
+		// Register in-transit-out before unmapping so that concurrent
+		// misses on oldPid wait for the write instead of reading a stale
+		// disk image.
+		e, fresh := p.transit.begin(oldPid)
+		if !fresh {
+			// Another transit in flight for this pid; wait and retry once.
+			e.wait()
+			e, fresh = p.transit.begin(oldPid)
+			if !fresh {
+				return fmt.Errorf("buffer: persistent transit conflict on %v", oldPid)
+			}
+		}
+		p.table.delete(oldPid)
+		err := p.writeBack(f)
+		p.transit.end(oldPid, e)
+		if err != nil {
+			return err
+		}
+		p.writebacks.Add(1)
+	} else {
+		p.table.delete(oldPid)
+	}
+	f.pid.Store(0)
+	return nil
+}
+
+// writeBack flushes the WAL up to the page LSN (the WAL rule), then writes
+// the frame to the volume and clears its dirty bit.
+func (p *Pool) writeBack(f *Frame) error {
+	if p.opts.FlushLog != nil {
+		if err := p.opts.FlushLog(wal.LSN(f.pg.LSN())); err != nil {
+			return err
+		}
+	}
+	if err := p.vol.Write(f.PID(), f.buf); err != nil {
+		return err
+	}
+	f.dirty.Store(false)
+	return nil
+}
+
+// dropOrphan handles a cuckoo cascade overflow: the mapping for pid was
+// displaced from the table while its page may still occupy frame idx. Try
+// to retire the frame; if it is pinned, restore the mapping instead.
+func (p *Pool) dropOrphan(pid page.ID, idx uint32) {
+	if int(idx) >= len(p.frames) {
+		return
+	}
+	f := p.frames[idx]
+	if f.PID() != pid {
+		return // already recycled
+	}
+	if f.pin.tryFreeze() {
+		if f.PID() == pid {
+			if f.Dirty() {
+				_ = p.writeBack(f)
+			}
+			f.pid.Store(0)
+		}
+		f.pin.unfreezeTo(0)
+		return
+	}
+	// Pinned: the page must stay reachable. Re-insert (may cascade again,
+	// but geometry has changed).
+	_, _, _ = p.table.getOrInsert(pid, idx)
+}
+
+// Drop removes pid from the pool without writing it back (used when a page
+// is deallocated). The page must not be pinned by the caller.
+func (p *Pool) Drop(pid page.ID) {
+	idx, ok := p.table.get(pid)
+	if !ok {
+		return
+	}
+	f := p.frames[idx]
+	if !f.pin.tryFreeze() {
+		return // someone is using it; the clock will get it eventually
+	}
+	if f.PID() == pid {
+		p.table.delete(pid)
+		f.dirty.Store(false)
+		f.pid.Store(0)
+	}
+	f.pin.unfreezeTo(0)
+}
+
+// FlushAll writes every dirty page to the volume (e.g. at clean shutdown).
+func (p *Pool) FlushAll() error {
+	var firstErr error
+	for _, f := range p.frames {
+		if !f.Dirty() {
+			continue
+		}
+		if !f.pin.tryPin() {
+			continue // being evicted; the evictor writes it
+		}
+		f.latch.LatchSH()
+		if f.Dirty() {
+			if err := p.writeBack(f); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		f.latch.UnlatchSH()
+		f.pin.unpin()
+	}
+	return firstErr
+}
+
+// DirtyPageTable collects the (pid, recLSN) of every dirty frame — the
+// checkpoint's dirty page table. beginLSN is the checkpoint-begin LSN used
+// as a conservative recLSN for frames being modified during the scan.
+func (p *Pool) DirtyPageTable(beginLSN wal.LSN) []wal.DirtyInfo {
+	var out []wal.DirtyInfo
+	for _, f := range p.frames {
+		if !f.pin.tryPin() {
+			continue // frozen: mid-eviction, will be clean on disk
+		}
+		if f.latch.TryLatchSH() {
+			if f.Dirty() && f.PID() != 0 {
+				out = append(out, wal.DirtyInfo{Page: f.PID(), RecLSN: f.RecLSN()})
+			}
+			f.latch.UnlatchSH()
+		} else {
+			// EX-held: being modified right now; include conservatively.
+			pid := f.PID()
+			if pid != 0 {
+				rec := f.RecLSN()
+				if rec == wal.NullLSN || rec > beginLSN {
+					rec = beginLSN
+				}
+				out = append(out, wal.DirtyInfo{Page: pid, RecLSN: rec})
+			}
+		}
+		f.pin.unpin()
+	}
+	return out
+}
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() Stats {
+	s := Stats{
+		Hits:        p.hits.Load(),
+		HotHits:     p.hotHits.Load(),
+		Misses:      p.misses.Load(),
+		Evictions:   p.evictions.Load(),
+		Writebacks:  p.writebacks.Load(),
+		CleanerIO:   p.cleanerIO.Load(),
+		TransitWait: p.transitWait.Load(),
+		PinRetries:  p.pinRetries.Load(),
+		TableLock:   p.table.lockStats(),
+		ClockLock:   p.clockMu.Stats(),
+	}
+	if p.pinMu != nil {
+		s.GlobalLock = p.pinMu.Stats()
+	}
+	return s
+}
+
+// Close stops the cleaner and flushes all dirty pages.
+func (p *Pool) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	p.StopCleaner()
+	return p.FlushAll()
+}

@@ -1,0 +1,155 @@
+// Package core wires the substrates — buffer pool, log manager, lock
+// manager, free-space manager, transaction manager, B-tree — into the
+// storage manager whose optimization journey the Shore-MT paper narrates.
+// Every Figure 7 stage is a Config preset; Figure 6's mutex variants are a
+// Config knob on the free-space manager.
+package core
+
+import (
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/lock"
+	"repro/internal/space"
+	"repro/internal/sync2"
+	"repro/internal/wal"
+)
+
+// Stage names one point on the Figure 7 optimization ladder.
+type Stage int
+
+// Optimization stages, in the order §7 applies them.
+const (
+	StageBaseline Stage = iota // §7.1: global mutexes everywhere
+	StageBpool1                // §7.2: per-bucket bpool locks, atomic pin
+	StageCaching               // §7.3: free-space refactor, caches, hot array
+	StageLog                   // §7.4: decoupled log, cuckoo bpool table
+	StageLockMgr               // §7.5: per-bucket lock table, lock-free pool
+	StageBpool2                // §7.6: clock-hand release, partitioned transit
+	StageFinal                 // §7.7: consolidated log, cleaner checkpoints
+)
+
+// String names the stage as Figure 7 labels it.
+func (s Stage) String() string {
+	switch s {
+	case StageBaseline:
+		return "baseline"
+	case StageBpool1:
+		return "bpool1"
+	case StageCaching:
+		return "caching"
+	case StageLog:
+		return "log"
+	case StageLockMgr:
+		return "lock mgr"
+	case StageBpool2:
+		return "bpool2"
+	case StageFinal:
+		return "final"
+	default:
+		return "unknown"
+	}
+}
+
+// Stages lists all stages in order.
+func Stages() []Stage {
+	return []Stage{StageBaseline, StageBpool1, StageCaching, StageLog, StageLockMgr, StageBpool2, StageFinal}
+}
+
+// Config selects component implementations. Use StageConfig for the
+// paper's presets and tweak fields for ablations.
+type Config struct {
+	Stage Stage
+
+	Frames        int           // buffer pool frames (default 4096)
+	LogBuffer     int           // log buffer bytes (default 1 MiB)
+	LockTimeout   time.Duration // lock wait bound (default 500ms)
+	EscalateAfter int           // row locks per store before escalation (default 1024; <0 disables)
+
+	Buffer       buffer.Options
+	LogDesign    wal.Design
+	Lock         lock.Options
+	Space        space.Options
+	CachedOldest bool
+	// ProbeLockTable re-enables the unnecessary lock-table search on B-tree
+	// probes that §7.7 removed.
+	ProbeLockTable bool
+	// CleanerCheckpoint uses the page-cleaner-tracked LSN for checkpoints
+	// (§7.7) instead of serially scanning the buffer pool.
+	CleanerCheckpoint bool
+	// CleanerInterval runs the background dirty-page cleaner (0 disables).
+	CleanerInterval time.Duration
+	Seed            int64
+}
+
+// StageConfig returns the paper's preset for stage.
+func StageConfig(stage Stage) Config {
+	c := Config{
+		Stage:         stage,
+		Frames:        4096,
+		LogBuffer:     wal.DefaultBufferSize,
+		LockTimeout:   500 * time.Millisecond,
+		EscalateAfter: 1024,
+	}
+	// Baseline defaults (original Shore): global mutexes, coupled log.
+	c.Buffer = buffer.Options{
+		Table:             buffer.TableGlobalChain,
+		AtomicPin:         false,
+		TransitPartitions: 1,
+	}
+	c.LogDesign = wal.DesignCoupled
+	c.Lock = lock.Options{Table: lock.TableGlobal, Pool: lock.PoolMutex, DetectDeadlock: true}
+	c.Space = space.Options{Mutex: sync2.KindBlocking, LatchInCS: true}
+	c.CachedOldest = false
+	c.ProbeLockTable = true
+	c.CleanerCheckpoint = false
+
+	if stage >= StageBpool1 {
+		c.Buffer.Table = buffer.TablePerBucketChain
+		c.Buffer.AtomicPin = true
+	}
+	if stage >= StageCaching {
+		c.Buffer.HotArray = 256
+		c.Space = space.Options{Mutex: sync2.KindMCS, LatchInCS: false, LastPageCache: true}
+		c.CachedOldest = true
+	}
+	if stage >= StageLog {
+		c.LogDesign = wal.DesignDecoupled
+		c.Buffer.Table = buffer.TableCuckoo
+		c.Space.ExtentCache = true
+	}
+	if stage >= StageLockMgr {
+		c.Lock.Table = lock.TablePerBucket
+		c.Lock.Pool = lock.PoolLockFree
+	}
+	if stage >= StageBpool2 {
+		c.Buffer.ClockHandRelease = true
+		c.Buffer.TransitPartitions = 128
+		c.Buffer.TransitBypass = true
+	}
+	if stage >= StageFinal {
+		c.LogDesign = wal.DesignConsolidated
+		c.ProbeLockTable = false
+		c.CleanerCheckpoint = true
+	}
+	return c
+}
+
+// normalize fills defaults on a partially specified config.
+func (c *Config) normalize() {
+	if c.Frames <= 0 {
+		c.Frames = 4096
+	}
+	if c.LogBuffer <= 0 {
+		c.LogBuffer = wal.DefaultBufferSize
+	}
+	if c.LockTimeout == 0 {
+		c.LockTimeout = 500 * time.Millisecond
+	}
+	if c.EscalateAfter == 0 {
+		c.EscalateAfter = 1024
+	}
+	c.Buffer.Frames = c.Frames
+	c.Buffer.Seed = c.Seed
+	c.Lock.DefaultTimeout = c.LockTimeout
+}

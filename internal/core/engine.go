@@ -1,0 +1,323 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/lock"
+	"repro/internal/page"
+	"repro/internal/pageop"
+	"repro/internal/space"
+	"repro/internal/sync2"
+	"repro/internal/tx"
+	"repro/internal/wal"
+)
+
+// Errors returned by the engine.
+var (
+	ErrClosed  = errors.New("core: engine closed")
+	ErrAborted = errors.New("core: transaction aborted")
+)
+
+// Engine is the storage manager: the paper's contribution, assembled from
+// the substrate packages according to Config.
+type Engine struct {
+	cfg      Config
+	vol      disk.Volume
+	logStore wal.Store
+	log      wal.Manager
+	pool     *buffer.Pool
+	locks    *lock.Manager
+	txns     *tx.Manager
+	sm       *space.Manager
+
+	ckptMu sync.Mutex
+	closed atomic.Bool
+}
+
+// Open builds an engine over vol and logStore per cfg, running ARIES
+// restart recovery if the log is non-empty.
+func Open(vol disk.Volume, logStore wal.Store, cfg Config) (*Engine, error) {
+	cfg.normalize()
+	e := &Engine{cfg: cfg, vol: vol, logStore: logStore}
+	e.log = wal.New(logStore, wal.Options{Design: cfg.LogDesign, BufferSize: cfg.LogBuffer})
+	bopts := cfg.Buffer
+	bopts.FlushLog = func(l wal.LSN) error { return e.log.Flush(l + 1) }
+	bopts.CurLSN = func() wal.LSN { return e.log.CurLSN() }
+	e.pool = buffer.New(vol, bopts)
+	e.locks = lock.NewManager(cfg.Lock)
+	e.txns = tx.NewManager(tx.Options{CachedOldest: cfg.CachedOldest})
+	e.sm = space.NewManager(vol, cfg.Space)
+
+	if logStore.DurableSize() > 8 { // anything beyond the preamble
+		if err := e.restart(); err != nil {
+			return nil, fmt.Errorf("core: recovery: %w", err)
+		}
+	}
+	if cfg.CleanerInterval > 0 {
+		e.pool.StartCleaner(cfg.CleanerInterval)
+	}
+	return e, nil
+}
+
+// Config returns the engine's resolved configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Pool exposes the buffer pool (read-mostly: stats, sweeps).
+func (e *Engine) Pool() *buffer.Pool { return e.pool }
+
+// Log exposes the log manager.
+func (e *Engine) Log() wal.Manager { return e.log }
+
+// Locks exposes the lock manager.
+func (e *Engine) Locks() *lock.Manager { return e.locks }
+
+// Space exposes the free-space manager.
+func (e *Engine) Space() *space.Manager { return e.sm }
+
+// Close flushes and shuts the engine down cleanly.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	if err := e.pool.Close(); err != nil {
+		return err
+	}
+	return e.log.Close()
+}
+
+// Begin starts a transaction and logs its begin record.
+func (e *Engine) Begin() (*tx.Tx, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	t := e.txns.Begin()
+	lsn, err := e.log.Insert(&wal.Record{Type: wal.RecTxBegin, TxID: t.ID()})
+	if err != nil {
+		return nil, err
+	}
+	t.RecordLog(lsn)
+	return t, nil
+}
+
+// Commit makes t durable: commit record, group-commit log flush, lock
+// release.
+func (e *Engine) Commit(t *tx.Tx) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	lsn, err := e.log.Insert(&wal.Record{
+		Type: wal.RecTxCommit, TxID: t.ID(), PrevLSN: t.LastLSN(),
+	})
+	if err != nil {
+		return err
+	}
+	t.RecordLog(lsn)
+	if err := e.log.Flush(e.log.CurLSN()); err != nil {
+		return err
+	}
+	e.releaseLocks(t)
+	return e.txns.Commit(t)
+}
+
+// Abort rolls t back: undo every update (physical or logical), writing
+// compensation records, then release locks.
+func (e *Engine) Abort(t *tx.Tx) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	lsn, err := e.log.Insert(&wal.Record{
+		Type: wal.RecTxAbort, TxID: t.ID(), PrevLSN: t.LastLSN(),
+	})
+	if err != nil {
+		return err
+	}
+	t.RecordLog(lsn)
+	if err := e.rollback(t.ID(), t.UndoNext()); err != nil {
+		return fmt.Errorf("core: rollback of tx %d: %w", t.ID(), err)
+	}
+	if _, err := e.log.Insert(&wal.Record{
+		Type: wal.RecTxEnd, TxID: t.ID(), PrevLSN: t.LastLSN(),
+	}); err != nil {
+		return err
+	}
+	e.releaseLocks(t)
+	return e.txns.Abort(t)
+}
+
+// releaseLocks drops every lock t holds (end of 2PL).
+func (e *Engine) releaseLocks(t *tx.Tx) {
+	names := t.Locks()
+	for i := len(names) - 1; i >= 0; i-- {
+		e.locks.Unlock(t.ID(), names[i])
+	}
+}
+
+// acquire takes a lock for t, recording it for release.
+func (e *Engine) acquire(t *tx.Tx, n lock.Name, m lock.Mode) error {
+	if err := e.locks.Lock(t.ID(), n, m, 0); err != nil {
+		return err
+	}
+	t.AddLock(n)
+	return nil
+}
+
+// lockRow performs hierarchical locking for a row access in mode
+// (lock.S or lock.X), with table-level escalation past the threshold.
+func (e *Engine) lockRow(t *tx.Tx, store uint32, rid page.RID, m lock.Mode) error {
+	intent := lock.Intention(m)
+	// If already escalated to a covering store lock, nothing to do.
+	if held, ok := t.Escalated(store); ok && lock.StrongerOrEqual(held, m) {
+		return nil
+	}
+	if err := e.acquire(t, lock.DatabaseName(), intent); err != nil {
+		return err
+	}
+	if err := e.acquire(t, lock.StoreName(store), intent); err != nil {
+		return err
+	}
+	if e.cfg.EscalateAfter > 0 && t.CountRowLock(store) > e.cfg.EscalateAfter {
+		esc := lock.S
+		if m == lock.X || m == lock.U {
+			esc = lock.X
+		}
+		if err := e.acquire(t, lock.StoreName(store), esc); err == nil {
+			t.MarkEscalated(store, esc)
+			return nil
+		}
+		// Escalation failed (somebody else holds conflicting locks): fall
+		// back to row locking.
+	}
+	return e.acquire(t, lock.RowName(store, rid), m)
+}
+
+// logPhysical appends an update record for op on f's page, applies it, and
+// stamps LSN + dirty. undo may be a physical inverse (computed here when
+// nil and invertible), a logical descriptor, or explicitly empty for
+// redo-only records (pass redoOnly=true).
+func (e *Engine) logPhysical(txID uint64, t *tx.Tx, f *buffer.Frame, op pageop.Op, undo []byte, redoOnly bool) error {
+	if undo == nil && !redoOnly {
+		if inv, ok := pageop.Invert(op); ok {
+			undo = inv.Encode()
+		}
+	}
+	rec := &wal.Record{
+		Type: wal.RecUpdate,
+		TxID: txID,
+		Page: f.PID(),
+		Redo: op.Encode(),
+		Undo: undo,
+	}
+	if t != nil {
+		rec.PrevLSN = t.LastLSN()
+	}
+	lsn, err := e.log.Insert(rec)
+	if err != nil {
+		return err
+	}
+	if err := pageop.Apply(f.Page(), op); err != nil {
+		// The log record is already out; crash-correct but the in-memory
+		// state diverged. Treat as fatal for this operation.
+		return fmt.Errorf("core: apply %v on %v: %w", op.Kind, f.PID(), err)
+	}
+	f.Page().SetLSN(uint64(lsn))
+	f.MarkDirty(lsn)
+	if t != nil {
+		t.RecordLog(lsn)
+	}
+	return nil
+}
+
+// Checkpoint takes a fuzzy checkpoint: begin record, transaction + dirty
+// page tables, end record, master update. With CleanerCheckpoint (§7.7)
+// the dirty-page table collapses to the cleaner-published low-water mark
+// instead of a serial buffer pool sweep.
+func (e *Engine) Checkpoint() error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	beginLSN, err := e.log.Insert(&wal.Record{Type: wal.RecCkptBegin})
+	if err != nil {
+		return err
+	}
+	data := wal.CheckpointData{
+		BeginLSN: beginLSN,
+		Txs:      e.txns.Snapshot(),
+	}
+	if e.cfg.CleanerCheckpoint {
+		if l := e.pool.CleanerCkptLSN(); l != wal.NullLSN {
+			// Low-water mark entry: page 0 carries the oldest possible
+			// recLSN; redo starts there, no page list needed.
+			data.Dirty = []wal.DirtyInfo{{Page: 0, RecLSN: l}}
+		} else {
+			data.Dirty = e.pool.DirtyPageTable(beginLSN)
+		}
+	} else {
+		// The pre-§7.7 serial sweep of the whole buffer pool.
+		data.Dirty = e.pool.DirtyPageTable(beginLSN)
+	}
+	endLSN, err := e.log.Insert(&wal.Record{
+		Type: wal.RecCkptEnd,
+		Redo: data.Encode(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := e.log.Flush(endLSN + 1); err != nil {
+		return err
+	}
+	return e.logStore.SetMaster(beginLSN)
+}
+
+// Crash simulates power failure for recovery testing: background work
+// stops, the log's volatile tail vanishes, and nothing is flushed.
+func (e *Engine) Crash() {
+	if e.closed.Swap(true) {
+		return
+	}
+	e.pool.StopCleaner()
+	_ = e.log.Close() // flushes staged buffer contents up to close point
+	e.logStore.Crash()
+}
+
+// CrashHard is Crash without the close-time log flush: only what group
+// commit already made durable survives. It most closely models pulling
+// the plug.
+func (e *Engine) CrashHard() {
+	if e.closed.Swap(true) {
+		return
+	}
+	e.pool.StopCleaner()
+	e.logStore.Crash()
+}
+
+// EngineStats aggregates component statistics for profiling output.
+type EngineStats struct {
+	Buffer buffer.Stats
+	Log    wal.ManagerStats
+	Lock   lock.Stats
+	Space  space.Stats
+	Tx     tx.Stats
+}
+
+// Stats snapshots all component counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Buffer: e.pool.Stats(),
+		Log:    e.log.Stats(),
+		Lock:   e.locks.Stats(),
+		Space:  e.sm.Stats(),
+		Tx:     e.txns.Stats(),
+	}
+}
+
+// fix wraps pool.Fix.
+func (e *Engine) fix(pid page.ID, mode sync2.LatchMode) (*buffer.Frame, error) {
+	return e.pool.Fix(pid, mode)
+}

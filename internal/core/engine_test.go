@@ -1,0 +1,647 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+// newEngine builds an engine at the given stage over fresh stores.
+func newEngine(t *testing.T, stage Stage) (*Engine, *disk.MemVolume, *wal.MemStore) {
+	t.Helper()
+	vol := disk.NewMem(0)
+	logStore := wal.NewMemStore()
+	cfg := StageConfig(stage)
+	cfg.Frames = 256
+	e, err := Open(vol, logStore, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e, vol, logStore
+}
+
+// reopen closes nothing and opens a new engine over the same stores
+// (post-crash).
+func reopen(t *testing.T, vol *disk.MemVolume, logStore *wal.MemStore, stage Stage) *Engine {
+	t.Helper()
+	cfg := StageConfig(stage)
+	cfg.Frames = 256
+	e, err := Open(vol, logStore, cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func allStages(t *testing.T, fn func(t *testing.T, stage Stage)) {
+	for _, s := range Stages() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) { fn(t, s) })
+	}
+}
+
+func TestHeapCRUDCommit(t *testing.T) {
+	allStages(t, func(t *testing.T, stage Stage) {
+		e, _, _ := newEngine(t, stage)
+		store, err := e.CreateTable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx1, err := e.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rid, err := e.HeapInsert(tx1, store, []byte("hello"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.HeapRead(tx1, store, rid)
+		if err != nil || string(got) != "hello" {
+			t.Fatalf("read own write: %q, %v", got, err)
+		}
+		if err := e.HeapUpdate(tx1, store, rid, []byte("world")); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Commit(tx1); err != nil {
+			t.Fatal(err)
+		}
+		// New transaction sees committed state.
+		tx2, _ := e.Begin()
+		got, err = e.HeapRead(tx2, store, rid)
+		if err != nil || string(got) != "world" {
+			t.Fatalf("after commit: %q, %v", got, err)
+		}
+		if err := e.HeapDelete(tx2, store, rid); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.HeapRead(tx2, store, rid); !errors.Is(err, ErrNoRecord) {
+			t.Fatalf("read after delete = %v", err)
+		}
+		if err := e.Commit(tx2); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAbortUndoesHeapChanges(t *testing.T) {
+	allStages(t, func(t *testing.T, stage Stage) {
+		e, _, _ := newEngine(t, stage)
+		store, _ := e.CreateTable()
+		// Committed baseline row.
+		tx1, _ := e.Begin()
+		rid, err := e.HeapInsert(tx1, store, []byte("stable"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Commit(tx1); err != nil {
+			t.Fatal(err)
+		}
+		// Aborted transaction: insert + update + delete.
+		tx2, _ := e.Begin()
+		rid2, err := e.HeapInsert(tx2, store, []byte("doomed"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.HeapUpdate(tx2, store, rid, []byte("mutated")); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Abort(tx2); err != nil {
+			t.Fatal(err)
+		}
+		// Stable row restored; doomed row gone.
+		tx3, _ := e.Begin()
+		got, err := e.HeapRead(tx3, store, rid)
+		if err != nil || string(got) != "stable" {
+			t.Fatalf("after abort: %q, %v", got, err)
+		}
+		if _, err := e.HeapRead(tx3, store, rid2); !errors.Is(err, ErrNoRecord) {
+			t.Fatalf("aborted insert still visible: %v", err)
+		}
+		if err := e.Commit(tx3); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestHeapScanMany(t *testing.T) {
+	e, _, _ := newEngine(t, StageFinal)
+	store, _ := e.CreateTable()
+	tx1, _ := e.Begin()
+	const n = 3000 // spans many pages and extents
+	want := map[string]bool{}
+	for i := 0; i < n; i++ {
+		data := []byte(fmt.Sprintf("row-%05d", i))
+		if _, err := e.HeapInsert(tx1, store, data); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		want[string(data)] = true
+	}
+	if err := e.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := e.Begin()
+	seen := 0
+	err := e.HeapScan(tx2, store, func(rid page.RID, rec []byte) bool {
+		if !want[string(rec)] {
+			t.Errorf("unexpected record %q", rec)
+			return false
+		}
+		seen++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != n {
+		t.Fatalf("scan saw %d records, want %d", seen, n)
+	}
+	if err := e.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexCRUDAndAbort(t *testing.T) {
+	allStages(t, func(t *testing.T, stage Stage) {
+		e, _, _ := newEngine(t, stage)
+		tx1, _ := e.Begin()
+		ix, err := e.CreateIndex(tx1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			if err := e.IndexInsert(tx1, ix, []byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Commit(tx1); err != nil {
+			t.Fatal(err)
+		}
+		// Abort an update + insert + delete mix.
+		tx2, _ := e.Begin()
+		if err := e.IndexInsert(tx2, ix, []byte("zzz"), []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.IndexUpdate(tx2, ix, []byte("k0001"), []byte("changed")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.IndexDelete(tx2, ix, []byte("k0002")); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Abort(tx2); err != nil {
+			t.Fatal(err)
+		}
+		tx3, _ := e.Begin()
+		if _, ok, _ := e.IndexLookup(tx3, ix, []byte("zzz")); ok {
+			t.Fatal("aborted index insert visible")
+		}
+		v, ok, err := e.IndexLookup(tx3, ix, []byte("k0001"))
+		if err != nil || !ok || string(v) != "v1" {
+			t.Fatalf("aborted update not undone: %q,%v,%v", v, ok, err)
+		}
+		v, ok, err = e.IndexLookup(tx3, ix, []byte("k0002"))
+		if err != nil || !ok || string(v) != "v2" {
+			t.Fatalf("aborted delete not undone: %q,%v,%v", v, ok, err)
+		}
+		if err := e.Commit(tx3); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestIndexScanRange(t *testing.T) {
+	e, _, _ := newEngine(t, StageFinal)
+	tx1, _ := e.Begin()
+	ix, err := e.CreateIndex(tx1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := e.IndexInsert(tx1, ix, []byte(fmt.Sprintf("k%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := e.Begin()
+	var keys []string
+	err = e.IndexScan(tx2, ix, []byte("k0100"), []byte("k0200"), func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 100 || keys[0] != "k0100" || keys[99] != "k0199" {
+		t.Fatalf("range scan got %d keys [%s..%s]", len(keys), keys[0], keys[len(keys)-1])
+	}
+	if err := e.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashRecoveryCommittedSurvive(t *testing.T) {
+	allStages(t, func(t *testing.T, stage Stage) {
+		vol := disk.NewMem(0)
+		logStore := wal.NewMemStore()
+		cfg := StageConfig(stage)
+		cfg.Frames = 128
+		e, err := Open(vol, logStore, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store, _ := e.CreateTable()
+		tx1, _ := e.Begin()
+		var rids []page.RID
+		for i := 0; i < 100; i++ {
+			rid, err := e.HeapInsert(tx1, store, []byte(fmt.Sprintf("committed-%d", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rids = append(rids, rid)
+		}
+		if err := e.Commit(tx1); err != nil {
+			t.Fatal(err)
+		}
+		// In-flight transaction that must roll back at restart.
+		tx2, _ := e.Begin()
+		if _, err := e.HeapInsert(tx2, store, []byte("in-flight")); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.HeapUpdate(tx2, store, rids[0], []byte("tampered")); err != nil {
+			t.Fatal(err)
+		}
+		// Force the tampering into the durable log so recovery must undo
+		// it (rather than just losing it).
+		if err := e.Log().Flush(e.Log().CurLSN()); err != nil {
+			t.Fatal(err)
+		}
+		e.CrashHard()
+
+		e2 := reopen(t, vol, logStore, stage)
+		tx3, err := e2.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, rid := range rids {
+			got, err := e2.HeapRead(tx3, store, rid)
+			if err != nil {
+				t.Fatalf("committed row %d lost: %v", i, err)
+			}
+			want := fmt.Sprintf("committed-%d", i)
+			if i == 0 {
+				// Must be the original, not the in-flight tampering.
+				want = "committed-0"
+			}
+			if string(got) != want {
+				t.Fatalf("row %d = %q, want %q", i, got, want)
+			}
+		}
+		// The in-flight insert must not be visible in a scan.
+		count := 0
+		if err := e2.HeapScan(tx3, store, func(rid page.RID, rec []byte) bool {
+			if bytes.Equal(rec, []byte("in-flight")) {
+				t.Error("in-flight insert survived recovery")
+				return false
+			}
+			count++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if count != 100 {
+			t.Fatalf("scan after recovery saw %d rows, want 100", count)
+		}
+		if err := e2.Commit(tx3); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestCrashRecoveryUncommittedInvisible(t *testing.T) {
+	// Without any flush, uncommitted work simply vanishes with the
+	// volatile log tail.
+	vol := disk.NewMem(0)
+	logStore := wal.NewMemStore()
+	e, err := Open(vol, logStore, StageConfig(StageFinal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, _ := e.CreateTable()
+	tx1, _ := e.Begin()
+	if _, err := e.HeapInsert(tx1, store, []byte("ghost")); err != nil {
+		t.Fatal(err)
+	}
+	e.CrashHard() // no commit, no flush
+
+	e2 := reopen(t, vol, logStore, StageFinal)
+	// The store may not even exist (nothing durable); either way no ghost.
+	for _, st := range e2.Space().Stores() {
+		tx2, _ := e2.Begin()
+		_ = e2.HeapScan(tx2, st, func(rid page.RID, rec []byte) bool {
+			if bytes.Equal(rec, []byte("ghost")) {
+				t.Error("unflushed uncommitted record visible after crash")
+			}
+			return true
+		})
+		_ = e2.Commit(tx2)
+	}
+}
+
+func TestCrashRecoveryIndex(t *testing.T) {
+	vol := disk.NewMem(0)
+	logStore := wal.NewMemStore()
+	cfg := StageConfig(StageFinal)
+	cfg.Frames = 128
+	e, err := Open(vol, logStore, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx1, _ := e.Begin()
+	ix, err := e.CreateIndex(tx1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000 // force splits
+	for i := 0; i < n; i++ {
+		if err := e.IndexInsert(tx1, ix, []byte(fmt.Sprintf("key%06d", i)), []byte(fmt.Sprintf("val%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+	ixStore := ix.Store()
+	// Loser transaction touching the index, flushed but uncommitted.
+	tx2, _ := e.Begin()
+	if err := e.IndexInsert(tx2, ix, []byte("loser-key"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.IndexDelete(tx2, ix, []byte("key000500")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Log().Flush(e.Log().CurLSN()); err != nil {
+		t.Fatal(err)
+	}
+	e.CrashHard()
+
+	e2 := reopen(t, vol, logStore, StageFinal)
+	ix2, err := e2.OpenIndex(ixStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx3, _ := e2.Begin()
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key%06d", i))
+		v, ok, err := e2.IndexLookup(tx3, ix2, k)
+		if err != nil || !ok {
+			t.Fatalf("committed key %s lost after recovery: %v %v", k, ok, err)
+		}
+		if want := fmt.Sprintf("val%d", i); string(v) != want {
+			t.Fatalf("key %s = %q, want %q", k, v, want)
+		}
+	}
+	if _, ok, _ := e2.IndexLookup(tx3, ix2, []byte("loser-key")); ok {
+		t.Fatal("loser insert survived recovery")
+	}
+	if err := e2.Commit(tx3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointShortensRecovery(t *testing.T) {
+	for _, cleanerCkpt := range []bool{false, true} {
+		name := "sweepCkpt"
+		if cleanerCkpt {
+			name = "cleanerCkpt"
+		}
+		t.Run(name, func(t *testing.T) {
+			vol := disk.NewMem(0)
+			logStore := wal.NewMemStore()
+			cfg := StageConfig(StageFinal)
+			cfg.Frames = 128
+			cfg.CleanerCheckpoint = cleanerCkpt
+			e, err := Open(vol, logStore, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			store, _ := e.CreateTable()
+			tx1, _ := e.Begin()
+			rid, err := e.HeapInsert(tx1, store, []byte("pre-ckpt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Commit(tx1); err != nil {
+				t.Fatal(err)
+			}
+			if cleanerCkpt {
+				e.Pool().CleanerSweep()
+			}
+			if err := e.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			tx2, _ := e.Begin()
+			rid2, err := e.HeapInsert(tx2, store, []byte("post-ckpt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Commit(tx2); err != nil {
+				t.Fatal(err)
+			}
+			e.CrashHard()
+
+			e2 := reopen(t, vol, logStore, StageFinal)
+			tx3, _ := e2.Begin()
+			if got, err := e2.HeapRead(tx3, store, rid); err != nil || string(got) != "pre-ckpt" {
+				t.Fatalf("pre-ckpt row: %q, %v", got, err)
+			}
+			if got, err := e2.HeapRead(tx3, store, rid2); err != nil || string(got) != "post-ckpt" {
+				t.Fatalf("post-ckpt row: %q, %v", got, err)
+			}
+			if err := e2.Commit(tx3); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConcurrentTransactionsDisjointTables(t *testing.T) {
+	// The record-insert microbenchmark shape: one private table per
+	// worker, no logical contention.
+	allStages(t, func(t *testing.T, stage Stage) {
+		e, _, _ := newEngine(t, stage)
+		const g, n = 4, 100
+		stores := make([]uint32, g)
+		for i := range stores {
+			s, err := e.CreateTable()
+			if err != nil {
+				t.Fatal(err)
+			}
+			stores[i] = s
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				txw, err := e.Begin()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < n; i++ {
+					if _, err := e.HeapInsert(txw, stores[w], []byte(fmt.Sprintf("w%d-row%d", w, i))); err != nil {
+						t.Errorf("worker %d insert %d: %v", w, i, err)
+						return
+					}
+					if i%25 == 24 {
+						if err := e.Commit(txw); err != nil {
+							t.Error(err)
+							return
+						}
+						if txw, err = e.Begin(); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+				if err := e.Commit(txw); err != nil {
+					t.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Verify counts.
+		for w := 0; w < g; w++ {
+			txv, _ := e.Begin()
+			count := 0
+			if err := e.HeapScan(txv, stores[w], func(page.RID, []byte) bool {
+				count++
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if count != n {
+				t.Fatalf("store %d has %d rows, want %d", w, count, n)
+			}
+			if err := e.Commit(txv); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestRowLockConflictBlocksAndResolves(t *testing.T) {
+	e, _, _ := newEngine(t, StageFinal)
+	store, _ := e.CreateTable()
+	tx1, _ := e.Begin()
+	rid, err := e.HeapInsert(tx1, store, []byte("v0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+	// tx2 updates and holds the X lock; tx3's read must wait for commit.
+	tx2, _ := e.Begin()
+	if err := e.HeapUpdate(tx2, store, rid, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	readDone := make(chan string, 1)
+	go func() {
+		tx3, _ := e.Begin()
+		got, err := e.HeapRead(tx3, store, rid)
+		if err != nil {
+			readDone <- "err:" + err.Error()
+			return
+		}
+		_ = e.Commit(tx3)
+		readDone <- string(got)
+	}()
+	if err := e.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-readDone; got != "v1" {
+		t.Fatalf("reader saw %q, want v1 (committed)", got)
+	}
+}
+
+func TestLockEscalation(t *testing.T) {
+	vol := disk.NewMem(0)
+	logStore := wal.NewMemStore()
+	cfg := StageConfig(StageFinal)
+	cfg.EscalateAfter = 50
+	e, err := Open(vol, logStore, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	store, _ := e.CreateTable()
+	tx1, _ := e.Begin()
+	for i := 0; i < 200; i++ {
+		if _, err := e.HeapInsert(tx1, store, []byte("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After escalation the transaction holds a store-level X lock.
+	if _, ok := tx1.Escalated(store); !ok {
+		t.Fatal("transaction never escalated despite 200 row locks (threshold 50)")
+	}
+	if err := e.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleCommitFails(t *testing.T) {
+	e, _, _ := newEngine(t, StageFinal)
+	tx1, _ := e.Begin()
+	if err := e.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(tx1); err == nil {
+		t.Fatal("double commit succeeded")
+	}
+}
+
+func TestStageConfigPresets(t *testing.T) {
+	base := StageConfig(StageBaseline)
+	if base.Buffer.AtomicPin || base.LogDesign != wal.DesignCoupled || !base.Space.LatchInCS {
+		t.Errorf("baseline preset wrong: %+v", base)
+	}
+	final := StageConfig(StageFinal)
+	if !final.Buffer.TransitBypass || final.LogDesign != wal.DesignConsolidated ||
+		final.ProbeLockTable || !final.CleanerCheckpoint {
+		t.Errorf("final preset wrong: %+v", final)
+	}
+	for _, s := range Stages() {
+		if s.String() == "unknown" {
+			t.Errorf("stage %d has no name", s)
+		}
+	}
+}
+
+func TestEngineStatsPopulated(t *testing.T) {
+	e, _, _ := newEngine(t, StageFinal)
+	store, _ := e.CreateTable()
+	tx1, _ := e.Begin()
+	for i := 0; i < 50; i++ {
+		if _, err := e.HeapInsert(tx1, store, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Log.Inserts == 0 || st.Lock.Acquires == 0 || st.Space.Allocs == 0 || st.Tx.Commits != 1 {
+		t.Errorf("stats look empty: %+v", st)
+	}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/lock"
+	"repro/internal/page"
+	"repro/internal/pageop"
+	"repro/internal/space"
+	"repro/internal/sync2"
+	"repro/internal/tx"
+)
+
+// Heap-table operations: the record-insert microbenchmark path, exercising
+// the free-space manager (page targeting, the §6.2.2 membership check),
+// buffer pool, log manager and lock manager together.
+
+// ErrNoRecord is returned when a RID does not name a live record.
+var ErrNoRecord = errors.New("core: no such record")
+
+// MaxRecord bounds heap record size.
+const MaxRecord = page.MaxRecordSize / 2
+
+// CreateTable registers a new heap store.
+func (e *Engine) CreateTable() (uint32, error) {
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	return e.sm.CreateStore(space.KindHeap), nil
+}
+
+// freeSlot returns the slot an insert into p would use: the first
+// tombstone, or the next directory position.
+func freeSlot(p *page.Page) uint16 {
+	n := p.NumSlots()
+	for i := 0; i < n; i++ {
+		if _, err := p.Record(i); err != nil {
+			return uint16(i)
+		}
+	}
+	return uint16(n)
+}
+
+// allocHeapPage allocates and formats a fresh heap page for store. With
+// Space.LatchInCS the page fix happens inside the allocation critical
+// section (the Figure 6 pathology); otherwise after it. The returned frame
+// is EX-latched and pinned.
+func (e *Engine) allocHeapPage(t *tx.Tx, store uint32) (*buffer.Frame, page.ID, error) {
+	var f *buffer.Frame
+	pid, err := e.sm.AllocPage(store, func(p page.ID) error {
+		var ferr error
+		f, ferr = e.pool.FixNew(p)
+		return ferr
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	op := pageop.Op{Kind: pageop.KindFormat, PType: page.TypeHeap, Store: store}
+	if err := e.logPhysical(t.ID(), t, f, op, nil, true); err != nil {
+		e.pool.Unfix(f, sync2.LatchEX)
+		return nil, 0, err
+	}
+	e.sm.SetLastPage(store, pid)
+	return f, pid, nil
+}
+
+// HeapInsert appends data to the table, returning its RID. Locking
+// protocol: IX on database and store, X on the new row (acquired
+// conditionally under the page latch; on conflict the latch is released
+// and the lock awaited before retrying).
+func (e *Engine) HeapInsert(t *tx.Tx, store uint32, data []byte) (page.RID, error) {
+	if e.closed.Load() {
+		return page.RID{}, ErrClosed
+	}
+	if len(data) == 0 || len(data) > MaxRecord {
+		return page.RID{}, fmt.Errorf("core: record size %d out of range", len(data))
+	}
+	if err := e.acquire(t, lock.DatabaseName(), lock.IX); err != nil {
+		return page.RID{}, err
+	}
+	if err := e.acquire(t, lock.StoreName(store), lock.IX); err != nil {
+		return page.RID{}, err
+	}
+	_, escalated := t.Escalated(store)
+
+	for attempt := 0; attempt < 1000; attempt++ {
+		pid, err := e.sm.LastPage(store)
+		if err != nil {
+			return page.RID{}, err
+		}
+		var f *buffer.Frame
+		if pid == 0 {
+			f, pid, err = e.allocHeapPage(t, store)
+			if err != nil {
+				return page.RID{}, err
+			}
+		} else {
+			// §6.2.2: verify the target page belongs to this table, via the
+			// per-transaction extent cache when enabled.
+			if err := e.sm.CheckPage(store, pid, &t.ExtentCache); err != nil {
+				return page.RID{}, err
+			}
+			f, err = e.fix(pid, sync2.LatchEX)
+			if err != nil {
+				return page.RID{}, err
+			}
+			if !f.Page().CanFit(len(data)) {
+				e.pool.Unfix(f, sync2.LatchEX)
+				f, pid, err = e.allocHeapPage(t, store)
+				if err != nil {
+					return page.RID{}, err
+				}
+			}
+		}
+		slot := freeSlot(f.Page())
+		rid := page.RID{Page: pid, Slot: slot}
+		if !escalated {
+			// Conditional row lock under the latch; never wait here.
+			name := lock.RowName(store, rid)
+			if err := e.locks.TryLockNoWait(t.ID(), name, lock.X); err != nil {
+				e.pool.Unfix(f, sync2.LatchEX)
+				if errors.Is(err, lock.ErrWouldBlock) {
+					// Wait without the latch, keep the lock (2PL), retry the
+					// slot choice from scratch.
+					if err := e.acquire(t, name, lock.X); err != nil {
+						return page.RID{}, err
+					}
+					continue
+				}
+				return page.RID{}, err
+			}
+			t.AddLock(name)
+			if e.cfg.EscalateAfter > 0 && t.CountRowLock(store) > e.cfg.EscalateAfter {
+				// Escalate to a store-level X lock. Conditional only: we
+				// hold the page latch, so we must never block here.
+				name := lock.StoreName(store)
+				if err := e.locks.TryLockNoWait(t.ID(), name, lock.X); err == nil {
+					t.AddLock(name)
+					t.MarkEscalated(store, lock.X)
+					escalated = true
+				}
+			}
+		}
+		op := pageop.Op{Kind: pageop.KindHeapInsert, Slot: slot, Data: data}
+		err = e.logPhysical(t.ID(), t, f, op, nil, false)
+		e.pool.Unfix(f, sync2.LatchEX)
+		if err != nil {
+			return page.RID{}, err
+		}
+		e.sm.SetLastPage(store, pid)
+		return rid, nil
+	}
+	return page.RID{}, fmt.Errorf("core: HeapInsert: could not claim a slot after many retries")
+}
+
+// HeapRead returns a copy of the record at rid under an S row lock.
+func (e *Engine) HeapRead(t *tx.Tx, store uint32, rid page.RID) ([]byte, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := e.lockRow(t, store, rid, lock.S); err != nil {
+		return nil, err
+	}
+	f, err := e.fix(rid.Page, sync2.LatchSH)
+	if err != nil {
+		return nil, err
+	}
+	defer e.pool.Unfix(f, sync2.LatchSH)
+	rec, err := f.Page().Record(int(rid.Slot))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoRecord, rid)
+	}
+	return append([]byte(nil), rec...), nil
+}
+
+// HeapUpdate replaces the record at rid under an X row lock.
+func (e *Engine) HeapUpdate(t *tx.Tx, store uint32, rid page.RID, data []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if len(data) == 0 || len(data) > MaxRecord {
+		return fmt.Errorf("core: record size %d out of range", len(data))
+	}
+	if err := e.lockRow(t, store, rid, lock.X); err != nil {
+		return err
+	}
+	f, err := e.fix(rid.Page, sync2.LatchEX)
+	if err != nil {
+		return err
+	}
+	defer e.pool.Unfix(f, sync2.LatchEX)
+	old, err := f.Page().Record(int(rid.Slot))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNoRecord, rid)
+	}
+	oldCopy := append([]byte(nil), old...)
+	op := pageop.Op{Kind: pageop.KindUpdateAt, Slot: rid.Slot, Data: data, Old: oldCopy}
+	return e.logPhysical(t.ID(), t, f, op, nil, false)
+}
+
+// HeapDelete removes the record at rid under an X row lock. The slot is
+// tombstoned; its RID may be reused after the transaction commits.
+func (e *Engine) HeapDelete(t *tx.Tx, store uint32, rid page.RID) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if err := e.lockRow(t, store, rid, lock.X); err != nil {
+		return err
+	}
+	f, err := e.fix(rid.Page, sync2.LatchEX)
+	if err != nil {
+		return err
+	}
+	defer e.pool.Unfix(f, sync2.LatchEX)
+	old, err := f.Page().Record(int(rid.Slot))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNoRecord, rid)
+	}
+	oldCopy := append([]byte(nil), old...)
+	op := pageop.Op{Kind: pageop.KindHeapDelete, Slot: rid.Slot, Old: oldCopy}
+	return e.logPhysical(t.ID(), t, f, op, nil, false)
+}
+
+// HeapScan iterates every record of the table in RID order under a
+// store-level S lock, calling fn with the rid and a copy of each record.
+// fn returning false stops the scan.
+func (e *Engine) HeapScan(t *tx.Tx, store uint32, fn func(rid page.RID, rec []byte) bool) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if err := e.acquire(t, lock.DatabaseName(), lock.IS); err != nil {
+		return err
+	}
+	if err := e.acquire(t, lock.StoreName(store), lock.S); err != nil {
+		return err
+	}
+	pids, err := e.sm.Pages(store)
+	if err != nil {
+		return err
+	}
+	type item struct {
+		rid page.RID
+		rec []byte
+	}
+	for _, pid := range pids {
+		f, err := e.fix(pid, sync2.LatchSH)
+		if err != nil {
+			return err
+		}
+		p := f.Page()
+		if p.Type() != page.TypeHeap {
+			e.pool.Unfix(f, sync2.LatchSH)
+			continue
+		}
+		var batch []item
+		for i := 0; i < p.NumSlots(); i++ {
+			rec, err := p.Record(i)
+			if err != nil {
+				continue // tombstone
+			}
+			batch = append(batch, item{
+				rid: page.RID{Page: pid, Slot: uint16(i)},
+				rec: append([]byte(nil), rec...),
+			})
+		}
+		e.pool.Unfix(f, sync2.LatchSH)
+		for _, it := range batch {
+			if !fn(it.rid, it.rec) {
+				return nil
+			}
+		}
+	}
+	return nil
+}

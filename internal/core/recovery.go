@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/btree"
+	"repro/internal/page"
+	"repro/internal/pageop"
+	"repro/internal/space"
+	"repro/internal/sync2"
+	"repro/internal/wal"
+)
+
+// ARIES restart recovery: analysis → redo → (directory rebuild) → undo.
+//
+// Allocation metadata is not logged; after redo, every page header carries
+// its owning store and type, so the free-space manager and store directory
+// are rebuilt by scanning pages (through the buffer pool, so redone-but-
+// unflushed state is visible). B-tree roots are rediscovered from the root
+// flag in node headers.
+
+// loserState tracks one in-flight transaction during analysis.
+type loserState struct {
+	lastLSN  wal.LSN
+	undoNext wal.LSN
+}
+
+// restart runs crash recovery. Called from Open when the log is non-empty.
+func (e *Engine) restart() error {
+	losers, _, redoStart, maxTxID, err := e.analyze()
+	if err != nil {
+		return fmt.Errorf("analysis: %w", err)
+	}
+	if err := e.redo(redoStart); err != nil {
+		return fmt.Errorf("redo: %w", err)
+	}
+	if err := e.rebuildDirectory(); err != nil {
+		return fmt.Errorf("directory rebuild: %w", err)
+	}
+	e.txns.NextIDFloor(maxTxID)
+	if err := e.undoLosers(losers); err != nil {
+		return fmt.Errorf("undo: %w", err)
+	}
+	return e.Checkpoint()
+}
+
+// analyze scans the log from the last checkpoint, reconstructing the
+// active-transaction table and dirty-page table.
+func (e *Engine) analyze() (losers map[uint64]*loserState, dpt map[page.ID]wal.LSN, redoStart wal.LSN, maxTxID uint64, err error) {
+	losers = make(map[uint64]*loserState)
+	dpt = make(map[page.ID]wal.LSN)
+	master, err := e.logStore.Master()
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	lowWater := wal.NullLSN
+
+	sc := wal.NewScanner(e.logStore, master)
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		if rec.TxID > maxTxID {
+			maxTxID = rec.TxID
+		}
+		switch rec.Type {
+		case wal.RecTxBegin:
+			losers[rec.TxID] = &loserState{lastLSN: rec.LSN, undoNext: wal.NullLSN}
+		case wal.RecUpdate:
+			l := losers[rec.TxID]
+			if l == nil {
+				l = &loserState{}
+				losers[rec.TxID] = l
+			}
+			l.lastLSN = rec.LSN
+			l.undoNext = rec.LSN
+			if rec.Page != 0 {
+				if _, ok := dpt[rec.Page]; !ok {
+					dpt[rec.Page] = rec.LSN
+				}
+			}
+		case wal.RecCLR:
+			l := losers[rec.TxID]
+			if l == nil {
+				l = &loserState{}
+				losers[rec.TxID] = l
+			}
+			l.lastLSN = rec.LSN
+			l.undoNext = rec.UndoNext
+			if rec.Page != 0 {
+				if _, ok := dpt[rec.Page]; !ok {
+					dpt[rec.Page] = rec.LSN
+				}
+			}
+		case wal.RecTxCommit, wal.RecTxEnd:
+			delete(losers, rec.TxID)
+		case wal.RecTxAbort:
+			if l := losers[rec.TxID]; l != nil {
+				l.lastLSN = rec.LSN
+			}
+		case wal.RecCkptEnd:
+			data, err := wal.DecodeCheckpoint(rec.Redo)
+			if err != nil {
+				return nil, nil, 0, 0, err
+			}
+			for _, t := range data.Txs {
+				if _, seen := losers[t.TxID]; !seen {
+					losers[t.TxID] = &loserState{lastLSN: t.LastLSN, undoNext: t.UndoNext}
+				}
+				if t.TxID > maxTxID {
+					maxTxID = t.TxID
+				}
+			}
+			for _, d := range data.Dirty {
+				if d.Page == 0 {
+					// Cleaner-tracked low-water mark (§7.7 checkpoints).
+					if lowWater == wal.NullLSN || d.RecLSN < lowWater {
+						lowWater = d.RecLSN
+					}
+					continue
+				}
+				if cur, ok := dpt[d.Page]; !ok || d.RecLSN < cur {
+					dpt[d.Page] = d.RecLSN
+				}
+			}
+		}
+	}
+	// Redo starts at the oldest recLSN we know about.
+	redoStart = wal.NullLSN
+	for _, l := range dpt {
+		if redoStart == wal.NullLSN || l < redoStart {
+			redoStart = l
+		}
+	}
+	if lowWater != wal.NullLSN && (redoStart == wal.NullLSN || lowWater < redoStart) {
+		redoStart = lowWater
+	}
+	if redoStart == wal.NullLSN || (master != wal.NullLSN && master < redoStart) {
+		// No dirty info: be conservative and start at the checkpoint (or
+		// the log head when there is none). Page-LSN gating makes extra
+		// redo scanning harmless.
+		if master != wal.NullLSN {
+			redoStart = master
+		} else {
+			redoStart = wal.NullLSN // scanner clamps to log start
+		}
+	}
+	// Drop losers that never logged anything undoable.
+	for id, l := range losers {
+		if l.lastLSN == wal.NullLSN {
+			delete(losers, id)
+		}
+	}
+	return losers, dpt, redoStart, maxTxID, nil
+}
+
+// redo replays every page update from redoStart, gated by page LSN.
+func (e *Engine) redo(redoStart wal.LSN) error {
+	sc := wal.NewScanner(e.logStore, redoStart)
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if rec.Page == 0 || len(rec.Redo) == 0 {
+			continue
+		}
+		if rec.Type != wal.RecUpdate && rec.Type != wal.RecCLR {
+			continue
+		}
+		// No per-page DPT skip: with cleaner-fed checkpoints the table
+		// holds only a low-water mark, and analysis-derived recLSNs can
+		// postdate unflushed pre-checkpoint updates. The page-LSN gate
+		// below is the sound (and sufficient) redo filter.
+		// The volume may be shorter than the page id if growth raced the
+		// crash; extend it (fresh pages read zeroed, the ops reformat them).
+		for uint64(rec.Page) > e.vol.NumPages() {
+			if _, err := e.vol.Grow(space.ExtentSize); err != nil {
+				return err
+			}
+		}
+		f, err := e.fix(rec.Page, sync2.LatchEX)
+		if err != nil {
+			return err
+		}
+		if f.Page().LSN() < uint64(rec.LSN) {
+			op, err := pageop.Decode(rec.Redo)
+			if err != nil {
+				e.pool.Unfix(f, sync2.LatchEX)
+				return err
+			}
+			if err := pageop.Apply(f.Page(), op); err != nil {
+				e.pool.Unfix(f, sync2.LatchEX)
+				return fmt.Errorf("redo %v on %v at %v: %w", op.Kind, rec.Page, rec.LSN, err)
+			}
+			f.Page().SetLSN(uint64(rec.LSN))
+			f.MarkDirty(rec.LSN)
+		}
+		e.pool.Unfix(f, sync2.LatchEX)
+	}
+}
+
+// rebuildDirectory reconstructs the free-space manager and store directory
+// from page headers (read through the buffer pool so redone state wins).
+func (e *Engine) rebuildDirectory() error {
+	n := e.vol.NumPages()
+	for pid := page.ID(1); uint64(pid) <= n; pid++ {
+		f, err := e.fix(pid, sync2.LatchSH)
+		if err != nil {
+			return err
+		}
+		p := f.Page()
+		switch p.Type() {
+		case page.TypeHeap:
+			e.sm.RestoreStore(p.Store(), space.KindHeap)
+			e.sm.RestorePage(pid, p.Store())
+		case page.TypeBTree:
+			e.sm.RestoreStore(p.Store(), space.KindBTree)
+			e.sm.RestorePage(pid, p.Store())
+			if btree.PageIsRoot(p) {
+				if err := e.sm.SetRoot(p.Store(), pid); err != nil {
+					e.pool.Unfix(f, sync2.LatchSH)
+					return err
+				}
+			}
+		}
+		e.pool.Unfix(f, sync2.LatchSH)
+	}
+	e.sm.CoverVolume()
+	return nil
+}
+
+// undoLosers rolls back every in-flight transaction found by analysis.
+func (e *Engine) undoLosers(losers map[uint64]*loserState) error {
+	for id, l := range losers {
+		undoNext := l.undoNext
+		if undoNext == wal.NullLSN {
+			undoNext = l.lastLSN
+		}
+		t := e.txns.Restore(id, l.lastLSN, undoNext)
+		if err := e.rollback(id, undoNext); err != nil {
+			return fmt.Errorf("tx %d: %w", id, err)
+		}
+		if _, err := e.log.Insert(&wal.Record{
+			Type: wal.RecTxEnd, TxID: id, PrevLSN: t.LastLSN(),
+		}); err != nil {
+			return err
+		}
+		if err := e.txns.Abort(t); err != nil {
+			return err
+		}
+	}
+	return e.log.Flush(e.log.CurLSN())
+}

@@ -1,0 +1,73 @@
+package disk
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/page"
+)
+
+// ErrInjected is the error produced by FaultVolume failures.
+var ErrInjected = errors.New("disk: injected fault")
+
+// FaultVolume wraps a Volume with programmable failure injection, for
+// testing that the storage manager surfaces (rather than swallows) I/O
+// errors and keeps its invariants when the disk misbehaves.
+type FaultVolume struct {
+	Volume
+	// FailWritesAfter fails every Write once the counter reaches zero
+	// (negative = disabled).
+	failWritesAfter atomic.Int64
+	// failReadPID fails reads of one specific page (0 = disabled).
+	failReadPID atomic.Uint64
+	reads       atomic.Uint64
+	writes      atomic.Uint64
+}
+
+// NewFault wraps v with fault injection disabled.
+func NewFault(v Volume) *FaultVolume {
+	f := &FaultVolume{Volume: v}
+	f.failWritesAfter.Store(-1)
+	return f
+}
+
+// FailWritesAfter arms write failure after n more successful writes.
+func (f *FaultVolume) FailWritesAfter(n int64) { f.failWritesAfter.Store(n) }
+
+// HealWrites disarms write failures.
+func (f *FaultVolume) HealWrites() { f.failWritesAfter.Store(-1) }
+
+// FailReadsOf arms read failure for page pid.
+func (f *FaultVolume) FailReadsOf(pid page.ID) { f.failReadPID.Store(uint64(pid)) }
+
+// HealReads disarms read failures.
+func (f *FaultVolume) HealReads() { f.failReadPID.Store(0) }
+
+// Read implements Volume.
+func (f *FaultVolume) Read(pid page.ID, buf []byte) error {
+	if f.failReadPID.Load() == uint64(pid) && pid != 0 {
+		return ErrInjected
+	}
+	f.reads.Add(1)
+	return f.Volume.Read(pid, buf)
+}
+
+// Write implements Volume.
+func (f *FaultVolume) Write(pid page.ID, buf []byte) error {
+	for {
+		n := f.failWritesAfter.Load()
+		if n < 0 {
+			break
+		}
+		if n == 0 {
+			return ErrInjected
+		}
+		if f.failWritesAfter.CompareAndSwap(n, n-1) {
+			break
+		}
+	}
+	f.writes.Add(1)
+	return f.Volume.Write(pid, buf)
+}
+
+var _ Volume = (*FaultVolume)(nil)

@@ -1,0 +1,67 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/page"
+)
+
+func TestFaultVolumeWrites(t *testing.T) {
+	v := NewFault(NewMem(4))
+	buf := make([]byte, page.Size)
+	// Disabled by default.
+	for i := 0; i < 3; i++ {
+		if err := v.Write(1, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fail after 2 more writes.
+	v.FailWritesAfter(2)
+	if err := v.Write(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Write(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Write(3, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed write = %v, want injected", err)
+	}
+	// Stays failed until healed.
+	if err := v.Write(3, buf); !errors.Is(err, ErrInjected) {
+		t.Fatal("fault did not persist")
+	}
+	v.HealWrites()
+	if err := v.Write(3, buf); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestFaultVolumeReads(t *testing.T) {
+	v := NewFault(NewMem(4))
+	buf := make([]byte, page.Size)
+	v.FailReadsOf(2)
+	if err := v.Read(1, buf); err != nil {
+		t.Fatalf("unaffected page read failed: %v", err)
+	}
+	if err := v.Read(2, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("targeted read = %v, want injected", err)
+	}
+	v.HealReads()
+	if err := v.Read(2, buf); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	// Pass-through of the rest of the interface.
+	if v.NumPages() != 4 {
+		t.Fatalf("NumPages = %d", v.NumPages())
+	}
+	if _, err := v.Grow(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package hash
+
+import (
+	"repro/internal/sync2"
+)
+
+// chainEntry is a node in an open-chaining bucket list.
+type chainEntry struct {
+	key  uint64
+	val  uint32
+	next *chainEntry
+}
+
+// LockingMode selects how a ChainTable is protected, reproducing the
+// buffer-pool evolution in §7.2: the original Shore used "a single, global
+// mutex that very quickly became contended"; bpool1 replaced it with "one
+// mutex per hash bucket".
+type LockingMode int
+
+// Locking modes for ChainTable.
+const (
+	GlobalLock    LockingMode = iota // one mutex for the whole table
+	PerBucketLock                    // one mutex per bucket
+)
+
+// ChainTable is an open-chaining hash table with pluggable locking
+// granularity. It is the baseline buffer-pool index and the lock-manager
+// table substrate.
+type ChainTable struct {
+	mode    LockingMode
+	h       Combined
+	buckets []*chainEntry
+	locks   []sync2.Locker // len 1 (global) or len(buckets) (per bucket)
+	mask    uint64
+	size    int64 // guarded by the global lock or distributed; see Len
+	sizes   []int64
+}
+
+// NewChainTable creates a table with at least capacity buckets (rounded to
+// a power of two), protected per mode, using locks built by mkLock.
+func NewChainTable(capacity int, mode LockingMode, seed int64, mkLock func() sync2.Locker) *ChainTable {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	t := &ChainTable{
+		mode:    mode,
+		h:       NewCombined(seed),
+		buckets: make([]*chainEntry, n),
+		mask:    uint64(n - 1),
+	}
+	if mode == GlobalLock {
+		t.locks = []sync2.Locker{mkLock()}
+	} else {
+		t.locks = make([]sync2.Locker, n)
+		for i := range t.locks {
+			t.locks[i] = mkLock()
+		}
+		t.sizes = make([]int64, n)
+	}
+	return t
+}
+
+// bucket returns the bucket index for key.
+func (t *ChainTable) bucket(key uint64) uint64 { return t.h.Hash(key) & t.mask }
+
+// lockFor returns the lock guarding bucket b.
+func (t *ChainTable) lockFor(b uint64) sync2.Locker {
+	if t.mode == GlobalLock {
+		return t.locks[0]
+	}
+	return t.locks[b]
+}
+
+// Get returns the value stored for key.
+func (t *ChainTable) Get(key uint64) (uint32, bool) {
+	b := t.bucket(key)
+	l := t.lockFor(b)
+	l.Lock()
+	defer l.Unlock()
+	for e := t.buckets[b]; e != nil; e = e.next {
+		if e.key == key {
+			return e.val, true
+		}
+	}
+	return 0, false
+}
+
+// Insert stores key→val, replacing any existing value, and reports whether
+// a new entry was created.
+func (t *ChainTable) Insert(key uint64, val uint32) bool {
+	b := t.bucket(key)
+	l := t.lockFor(b)
+	l.Lock()
+	defer l.Unlock()
+	for e := t.buckets[b]; e != nil; e = e.next {
+		if e.key == key {
+			e.val = val
+			return false
+		}
+	}
+	t.buckets[b] = &chainEntry{key: key, val: val, next: t.buckets[b]}
+	t.addSize(b, 1)
+	return true
+}
+
+// GetOrInsert returns the value for key, inserting val first if absent.
+func (t *ChainTable) GetOrInsert(key uint64, val uint32) (got uint32, inserted bool) {
+	b := t.bucket(key)
+	l := t.lockFor(b)
+	l.Lock()
+	defer l.Unlock()
+	for e := t.buckets[b]; e != nil; e = e.next {
+		if e.key == key {
+			return e.val, false
+		}
+	}
+	t.buckets[b] = &chainEntry{key: key, val: val, next: t.buckets[b]}
+	t.addSize(b, 1)
+	return val, true
+}
+
+// Delete removes key and reports whether it was present.
+func (t *ChainTable) Delete(key uint64) bool {
+	b := t.bucket(key)
+	l := t.lockFor(b)
+	l.Lock()
+	defer l.Unlock()
+	for pp := &t.buckets[b]; *pp != nil; pp = &(*pp).next {
+		if (*pp).key == key {
+			*pp = (*pp).next
+			t.addSize(b, -1)
+			return true
+		}
+	}
+	return false
+}
+
+func (t *ChainTable) addSize(b uint64, d int64) {
+	if t.mode == GlobalLock {
+		t.size += d
+	} else {
+		t.sizes[b] += d
+	}
+}
+
+// Len returns the number of entries. With per-bucket locking the result is
+// a racy sum, adequate for stats.
+func (t *ChainTable) Len() int {
+	if t.mode == GlobalLock {
+		t.locks[0].Lock()
+		defer t.locks[0].Unlock()
+		return int(t.size)
+	}
+	var n int64
+	for i := range t.sizes {
+		n += t.sizes[i]
+	}
+	return int(n)
+}
+
+// LockStats aggregates contention statistics across the table's locks.
+func (t *ChainTable) LockStats() sync2.Stats {
+	var agg sync2.Stats
+	for _, l := range t.locks {
+		s := l.Stats()
+		agg.Acquisitions += s.Acquisitions
+		agg.Contended += s.Contended
+		agg.SpinIters += s.SpinIters
+	}
+	return agg
+}
+
+// Range calls fn for each entry until it returns false, locking one bucket
+// at a time. fn must not call back into the table.
+func (t *ChainTable) Range(fn func(key uint64, val uint32) bool) {
+	for b := range t.buckets {
+		l := t.lockFor(uint64(b))
+		l.Lock()
+		for e := t.buckets[b]; e != nil; e = e.next {
+			if !fn(e.key, e.val) {
+				l.Unlock()
+				return
+			}
+		}
+		l.Unlock()
+	}
+}

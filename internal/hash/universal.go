@@ -1,0 +1,62 @@
+// Package hash provides the hash-table substrates of the buffer pool and
+// lock manager: combined universal hash functions, a 3-ary cuckoo hash
+// table (§6.2.3 of the Shore-MT paper) with lock-free lookups, and an
+// open-chaining table with pluggable per-bucket or global locking.
+package hash
+
+import "math/rand"
+
+// Universal is a multiply-shift universal hash function over 64-bit keys.
+// The paper notes (§6.2.3 footnote 8) that cuckoo hashing is "extremely
+// prone to clustering with weak hash functions" and that Shore-MT combines
+// three universal hash functions to make one high-quality hash; Combined
+// below does the same.
+type Universal struct {
+	a, b uint64
+}
+
+// NewUniversal returns a universal hash function seeded from rng.
+func NewUniversal(rng *rand.Rand) Universal {
+	// Multipliers must be odd for multiply-shift to be universal.
+	return Universal{a: rng.Uint64() | 1, b: rng.Uint64()}
+}
+
+// Hash maps key to a 64-bit hash value.
+func (u Universal) Hash(key uint64) uint64 {
+	// Dietzfelbinger multiply-shift on the high half, mixed with an
+	// xorshift finalizer for avalanche in the low bits.
+	h := key*u.a + u.b
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return h
+}
+
+// Combined composes three independent universal hash functions into one
+// high-quality function, as Shore-MT does for its cuckoo table.
+type Combined struct {
+	f [3]Universal
+}
+
+// NewCombined returns a combined hash seeded deterministically from seed.
+func NewCombined(seed int64) Combined {
+	rng := rand.New(rand.NewSource(seed))
+	return Combined{f: [3]Universal{
+		NewUniversal(rng), NewUniversal(rng), NewUniversal(rng),
+	}}
+}
+
+// Hash returns the combined hash of key.
+func (c Combined) Hash(key uint64) uint64 {
+	return c.f[0].Hash(key) ^ rotl(c.f[1].Hash(key), 21) ^ rotl(c.f[2].Hash(key), 42)
+}
+
+// Sub returns the i-th constituent hash (i in 0..2), used by the cuckoo
+// table to derive its N independent slot locations.
+func (c Combined) Sub(i int, key uint64) uint64 {
+	// Mix the constituent with the combined value so the three locations
+	// stay independent even for adversarial key sets.
+	return c.f[i].Hash(key ^ rotl(key, uint(13*(i+1))))
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

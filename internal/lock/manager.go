@@ -1,0 +1,617 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sync2"
+)
+
+// Errors returned by Lock.
+var (
+	ErrDeadlock = errors.New("lock: deadlock detected")
+	ErrTimeout  = errors.New("lock: wait timed out")
+)
+
+// TableMode selects the latching granularity of the lock hash table,
+// reproducing §7.5: "Like the bufferpool, the lock manager's hash table was
+// protected by a single mutex. However, the lock manager code included
+// support for a mutex per bucket, statically disabled by a single #define."
+type TableMode int
+
+// Table latching modes.
+const (
+	TableGlobal    TableMode = iota // one mutex for the whole table
+	TablePerBucket                  // one mutex per bucket
+)
+
+// String names the table mode.
+func (m TableMode) String() string {
+	if m == TablePerBucket {
+		return "perBucket"
+	}
+	return "global"
+}
+
+// Options configures a Manager.
+type Options struct {
+	Buckets        int           // hash buckets (default 1024)
+	Table          TableMode     // latch granularity
+	Pool           PoolKind      // request pool implementation
+	DefaultTimeout time.Duration // wait bound; 0 means 500ms
+	DetectDeadlock bool          // waits-for cycle detection before blocking
+}
+
+// Stats reports lock-manager activity.
+type Stats struct {
+	Acquires   uint64 // granted lock requests (incl. re-grants/conversions)
+	Waits      uint64 // requests that had to block
+	Deadlocks  uint64 // requests aborted by the detector
+	Timeouts   uint64 // requests aborted by timeout
+	PoolAllocs uint64 // request-pool misses
+	Latch      sync2.Stats
+}
+
+// lockHead is the per-object lock state: an intrusive FIFO queue of
+// requests, granted ones first in arrival order.
+type lockHead struct {
+	name  Name
+	queue *request
+	next  *lockHead // bucket chain
+}
+
+type bucket struct {
+	latch sync2.Locker
+	heads *lockHead
+}
+
+// Manager is the lock manager.
+type Manager struct {
+	opts    Options
+	buckets []bucket
+	global  sync2.Locker // used in TableGlobal mode
+	pool    requestPool
+	mask    uint64
+
+	// waits-for graph for deadlock detection.
+	wfMu sync.Mutex
+	wf   map[uint64]map[uint64]struct{}
+
+	acquires  atomic.Uint64
+	waits     atomic.Uint64
+	deadlocks atomic.Uint64
+	timeouts  atomic.Uint64
+}
+
+// NewManager builds a lock manager.
+func NewManager(opts Options) *Manager {
+	if opts.Buckets <= 0 {
+		opts.Buckets = 1024
+	}
+	n := 16
+	for n < opts.Buckets {
+		n <<= 1
+	}
+	if opts.DefaultTimeout == 0 {
+		opts.DefaultTimeout = 500 * time.Millisecond
+	}
+	m := &Manager{
+		opts:    opts,
+		buckets: make([]bucket, n),
+		pool:    newPool(opts.Pool),
+		mask:    uint64(n - 1),
+		wf:      make(map[uint64]map[uint64]struct{}),
+	}
+	if opts.Table == TableGlobal {
+		m.global = new(sync2.HybridLock)
+		for i := range m.buckets {
+			m.buckets[i].latch = m.global
+		}
+	} else {
+		for i := range m.buckets {
+			m.buckets[i].latch = new(sync2.HybridLock)
+		}
+	}
+	return m
+}
+
+func (m *Manager) bucketFor(n Name) *bucket {
+	return &m.buckets[n.hashKey()&m.mask]
+}
+
+// findHead returns the head for name in b, creating it if asked.
+// Caller holds the bucket latch.
+func (b *bucket) findHead(name Name, create bool) *lockHead {
+	for h := b.heads; h != nil; h = h.next {
+		if h.name == name {
+			return h
+		}
+	}
+	if !create {
+		return nil
+	}
+	h := &lockHead{name: name, next: b.heads}
+	b.heads = h
+	return h
+}
+
+// removeHeadIfEmpty unlinks h from b when it has no requests.
+func (b *bucket) removeHeadIfEmpty(h *lockHead) {
+	if h.queue != nil {
+		return
+	}
+	for pp := &b.heads; *pp != nil; pp = &(*pp).next {
+		if *pp == h {
+			*pp = h.next
+			return
+		}
+	}
+}
+
+// grantedCompatible reports whether mode is compatible with every granted
+// request except exclude.
+func grantedCompatible(h *lockHead, mode Mode, exclude *request) bool {
+	for r := h.queue; r != nil; r = r.next {
+		if r == exclude || !r.granted {
+			continue
+		}
+		if !Compatible(r.mode, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasWaiters reports whether any request other than exclude is blocked on
+// h (callers test admission for a request already linked into the queue).
+func hasWaiters(h *lockHead, exclude *request) bool {
+	for r := h.queue; r != nil; r = r.next {
+		if r == exclude {
+			continue
+		}
+		if !r.granted || r.want != r.mode {
+			return true
+		}
+	}
+	return false
+}
+
+// grantWaiters re-examines h after a release or conversion and grants
+// whatever can now proceed: conversions first (they already hold the
+// object), then FIFO waiters until the first incompatible one.
+// Caller holds the bucket latch. The manager is needed to retire the
+// grantee's waits-for edges *at grant time*: clearing them only when the
+// woken goroutine resumes leaves a window in which a stale edge
+// ("A waits for B") coexists with the new reality ("B waits for A"),
+// producing false deadlock cycles.
+func (h *lockHead) grantWaiters(m *Manager) {
+	grant := func(r *request) {
+		if m.opts.DetectDeadlock {
+			m.clearEdges(r.txID)
+		}
+		if r.wake != nil {
+			close(r.wake)
+			r.wake = nil
+		}
+	}
+	// Conversions.
+	for r := h.queue; r != nil; r = r.next {
+		if r.granted && r.want != r.mode {
+			if grantedCompatible(h, r.want, r) {
+				r.mode = r.want
+				grant(r)
+			}
+		}
+	}
+	// FIFO waiters: queue is in reverse arrival order (push-front), so
+	// collect and scan oldest-first.
+	var reqs []*request
+	for r := h.queue; r != nil; r = r.next {
+		reqs = append(reqs, r)
+	}
+	for i := len(reqs) - 1; i >= 0; i-- {
+		r := reqs[i]
+		if r.granted {
+			continue
+		}
+		if grantedCompatible(h, r.want, r) {
+			r.granted = true
+			r.mode = r.want
+			grant(r)
+		} else {
+			break // strict FIFO beyond the first blocked waiter
+		}
+	}
+}
+
+// holdersIncompatibleWith collects txIDs whose granted requests block mode.
+func holdersIncompatibleWith(h *lockHead, mode Mode, exclude *request) []uint64 {
+	var ids []uint64
+	for r := h.queue; r != nil; r = r.next {
+		if r == exclude || !r.granted {
+			continue
+		}
+		if !Compatible(r.mode, mode) {
+			ids = append(ids, r.txID)
+		}
+	}
+	return ids
+}
+
+// Lock acquires name in mode for txID, blocking until granted, deadlock,
+// or timeout (0 uses the default). Re-acquiring an equal-or-weaker mode is
+// a no-op; a stronger mode performs a conversion.
+func (m *Manager) Lock(txID uint64, name Name, mode Mode, timeout time.Duration) error {
+	if mode == NL {
+		return nil
+	}
+	if timeout == 0 {
+		timeout = m.opts.DefaultTimeout
+	}
+	b := m.bucketFor(name)
+	b.latch.Lock()
+	h := b.findHead(name, true)
+
+	// Existing request by this transaction?
+	var mine *request
+	for r := h.queue; r != nil; r = r.next {
+		if r.txID == txID {
+			mine = r
+			break
+		}
+	}
+	if mine != nil && mine.granted {
+		want := Supremum(mine.mode, mode)
+		if want == mine.mode {
+			b.latch.Unlock()
+			m.acquires.Add(1)
+			return nil // already strong enough
+		}
+		// Conversion.
+		if grantedCompatible(h, want, mine) {
+			mine.mode = want
+			mine.want = want
+			b.latch.Unlock()
+			m.acquires.Add(1)
+			return nil
+		}
+		mine.want = want
+		mine.wake = make(chan struct{})
+		wake := mine.wake
+		blockers := holdersIncompatibleWith(h, want, mine)
+		b.latch.Unlock()
+		return m.wait(txID, name, mine, wake, blockers, timeout, true)
+	}
+
+	// Fresh request.
+	r := m.pool.get()
+	r.txID = txID
+	r.want = mode
+	r.head = h
+	r.next = h.queue
+	h.queue = r
+	if !hasWaiters(h, r) && grantedCompatible(h, mode, r) {
+		r.granted = true
+		r.mode = mode
+		b.latch.Unlock()
+		m.acquires.Add(1)
+		return nil
+	}
+	r.wake = make(chan struct{})
+	wake := r.wake
+	blockers := holdersIncompatibleWith(h, mode, r)
+	b.latch.Unlock()
+	return m.wait(txID, name, r, wake, blockers, timeout, false)
+}
+
+// wait blocks txID's request until granted, deadlock or timeout.
+func (m *Manager) wait(txID uint64, name Name, r *request, wake chan struct{}, blockers []uint64, timeout time.Duration, conversion bool) error {
+	m.waits.Add(1)
+	if m.opts.DetectDeadlock {
+		defer m.clearEdges(txID)
+		if m.addEdgesAndCheck(txID, blockers) {
+			// A cycle through this transaction exists — but edges are
+			// added outside the bucket latch, so it may be an artifact of
+			// a concurrent grant racing the edge registration. Real
+			// deadlocks persist (every participant is blocked); stale
+			// cycles evaporate as soon as the granted party's edges clear.
+			// Double-check after a grace period before declaring a victim.
+			deadlock := false
+			for i := 0; i < 12; i++ {
+				select {
+				case <-wake:
+					m.acquires.Add(1)
+					return nil
+				default:
+				}
+				time.Sleep(time.Millisecond)
+				cycle, victim := m.hasCycleVictim(txID)
+				if !cycle {
+					break // transient artifact; wait normally
+				}
+				if victim {
+					deadlock = true
+					break
+				}
+				// Not the designated victim: give the youngest participant
+				// time to abort (its own detector fires at wait entry). If
+				// the cycle outlives the whole window — the victim already
+				// slept past its check — abort ourselves as a fallback
+				// rather than stalling until the lock timeout.
+				if i == 11 {
+					deadlock = true
+				}
+			}
+			select {
+			case <-wake:
+				m.acquires.Add(1)
+				return nil
+			default:
+			}
+			if deadlock {
+				m.deadlocks.Add(1)
+				m.clearEdges(txID)
+				m.cancelWait(name, r, conversion)
+				return fmt.Errorf("%w: tx %d on %v", ErrDeadlock, txID, name)
+			}
+		}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-wake:
+		m.acquires.Add(1)
+		return nil
+	case <-timer.C:
+		// Re-check under the latch: the grant may have raced the timer.
+		b := m.bucketFor(name)
+		b.latch.Lock()
+		select {
+		case <-wake:
+			b.latch.Unlock()
+			m.acquires.Add(1)
+			return nil
+		default:
+		}
+		m.cancelWaitLocked(b, r, conversion)
+		b.latch.Unlock()
+		m.timeouts.Add(1)
+		return fmt.Errorf("%w: tx %d on %v after %v", ErrTimeout, txID, name, timeout)
+	}
+}
+
+// cancelWait removes a no-longer-wanted waiting request (or reverts a
+// pending conversion).
+func (m *Manager) cancelWait(name Name, r *request, conversion bool) {
+	b := m.bucketFor(name)
+	b.latch.Lock()
+	m.cancelWaitLocked(b, r, conversion)
+	b.latch.Unlock()
+}
+
+func (m *Manager) cancelWaitLocked(b *bucket, r *request, conversion bool) {
+	h := r.head
+	if conversion {
+		// Keep the original granted mode; drop the conversion intent.
+		r.want = r.mode
+		r.wake = nil
+	} else {
+		unlinkRequest(h, r)
+		m.pool.put(r)
+	}
+	h.grantWaiters(m)
+	b.removeHeadIfEmpty(h)
+}
+
+func unlinkRequest(h *lockHead, r *request) {
+	for pp := &h.queue; *pp != nil; pp = &(*pp).next {
+		if *pp == r {
+			*pp = r.next
+			return
+		}
+	}
+}
+
+// ErrWouldBlock is returned by TryLockNoWait when the request cannot be
+// granted immediately.
+var ErrWouldBlock = errors.New("lock: would block")
+
+// TryLockNoWait acquires name in mode for txID only if it can be granted
+// immediately, without ever enqueueing. Callers holding page latches use
+// this to avoid lock-waits-under-latch deadlocks.
+func (m *Manager) TryLockNoWait(txID uint64, name Name, mode Mode) error {
+	if mode == NL {
+		return nil
+	}
+	b := m.bucketFor(name)
+	b.latch.Lock()
+	defer b.latch.Unlock()
+	h := b.findHead(name, true)
+	var mine *request
+	for r := h.queue; r != nil; r = r.next {
+		if r.txID == txID {
+			mine = r
+			break
+		}
+	}
+	if mine != nil && mine.granted {
+		want := Supremum(mine.mode, mode)
+		if want == mine.mode {
+			m.acquires.Add(1)
+			return nil
+		}
+		if grantedCompatible(h, want, mine) {
+			mine.mode = want
+			mine.want = want
+			m.acquires.Add(1)
+			return nil
+		}
+		b.removeHeadIfEmpty(h)
+		return ErrWouldBlock
+	}
+	if !hasWaiters(h, nil) && grantedCompatible(h, mode, nil) {
+		r := m.pool.get()
+		r.txID = txID
+		r.mode = mode
+		r.want = mode
+		r.granted = true
+		r.head = h
+		r.next = h.queue
+		h.queue = r
+		m.acquires.Add(1)
+		return nil
+	}
+	b.removeHeadIfEmpty(h)
+	return ErrWouldBlock
+}
+
+// Unlock releases txID's lock on name. Unlocking a name not held is a
+// no-op (idempotent release simplifies abort paths).
+func (m *Manager) Unlock(txID uint64, name Name) {
+	b := m.bucketFor(name)
+	b.latch.Lock()
+	h := b.findHead(name, false)
+	if h == nil {
+		b.latch.Unlock()
+		return
+	}
+	var mine *request
+	for r := h.queue; r != nil; r = r.next {
+		if r.txID == txID && r.granted {
+			mine = r
+			break
+		}
+	}
+	if mine == nil {
+		b.latch.Unlock()
+		return
+	}
+	unlinkRequest(h, mine)
+	h.grantWaiters(m)
+	b.removeHeadIfEmpty(h)
+	b.latch.Unlock()
+	m.pool.put(mine)
+}
+
+// Holds returns the mode txID currently holds on name (NL if none).
+func (m *Manager) Holds(txID uint64, name Name) Mode {
+	b := m.bucketFor(name)
+	b.latch.Lock()
+	defer b.latch.Unlock()
+	h := b.findHead(name, false)
+	if h == nil {
+		return NL
+	}
+	for r := h.queue; r != nil; r = r.next {
+		if r.txID == txID && r.granted {
+			return r.mode
+		}
+	}
+	return NL
+}
+
+// addEdgesAndCheck records txID waiting on blockers and reports whether
+// that creates a cycle in the waits-for graph. The edges remain registered
+// either way (the caller clears them when its wait resolves).
+func (m *Manager) addEdgesAndCheck(txID uint64, blockers []uint64) bool {
+	m.wfMu.Lock()
+	defer m.wfMu.Unlock()
+	set := m.wf[txID]
+	if set == nil {
+		set = make(map[uint64]struct{})
+		m.wf[txID] = set
+	}
+	for _, b := range blockers {
+		if b != txID {
+			set[b] = struct{}{}
+		}
+	}
+	return m.cycleLocked(txID)
+}
+
+// hasCycleVictim re-runs cycle detection for txID and reports whether a
+// cycle exists and whether txID should be its victim. Victim policy:
+// youngest-dies — the largest transaction id on the cycle aborts, so
+// exactly one participant backs out and mutual victimization (livelock
+// under retry loops) cannot occur.
+func (m *Manager) hasCycleVictim(txID uint64) (cycle, victim bool) {
+	m.wfMu.Lock()
+	defer m.wfMu.Unlock()
+	if !m.cycleLocked(txID) {
+		return false, false
+	}
+	// txID is on a cycle; find the cycle's members by walking edges
+	// restricted to nodes that can reach txID (approximation: all nodes on
+	// any path back to txID).
+	maxID := txID
+	seen := map[uint64]bool{txID: true}
+	stack := []uint64{txID}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for v := range m.wf[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+				if v > maxID && m.cycleLocked(v) {
+					maxID = v
+				}
+			}
+		}
+	}
+	return true, txID == maxID
+}
+
+// cycleLocked reports whether a waits-for path leads from txID back to
+// itself. Caller holds wfMu.
+func (m *Manager) cycleLocked(txID uint64) bool {
+	seen := map[uint64]bool{}
+	var dfs func(u uint64) bool
+	dfs = func(u uint64) bool {
+		for v := range m.wf[u] {
+			if v == txID {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(txID)
+}
+
+// clearEdges removes txID's outgoing waits-for edges.
+func (m *Manager) clearEdges(txID uint64) {
+	m.wfMu.Lock()
+	delete(m.wf, txID)
+	m.wfMu.Unlock()
+}
+
+// Stats returns a snapshot of lock-manager counters.
+func (m *Manager) Stats() Stats {
+	s := Stats{
+		Acquires:   m.acquires.Load(),
+		Waits:      m.waits.Load(),
+		Deadlocks:  m.deadlocks.Load(),
+		Timeouts:   m.timeouts.Load(),
+		PoolAllocs: m.pool.allocations(),
+	}
+	if m.opts.Table == TableGlobal {
+		s.Latch = m.global.Stats()
+	} else {
+		for i := range m.buckets {
+			st := m.buckets[i].latch.Stats()
+			s.Latch.Acquisitions += st.Acquisitions
+			s.Latch.Contended += st.Contended
+			s.Latch.SpinIters += st.SpinIters
+		}
+	}
+	return s
+}

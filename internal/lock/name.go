@@ -1,0 +1,87 @@
+package lock
+
+import (
+	"fmt"
+
+	"repro/internal/page"
+)
+
+// Scope is the level in the lock hierarchy.
+type Scope uint8
+
+// Lock scopes, coarse to fine.
+const (
+	ScopeDatabase Scope = iota
+	ScopeStore          // a table or index
+	ScopeRow            // a record (RID) or key
+)
+
+// String names the scope.
+func (s Scope) String() string {
+	switch s {
+	case ScopeDatabase:
+		return "db"
+	case ScopeStore:
+		return "store"
+	case ScopeRow:
+		return "row"
+	default:
+		return fmt.Sprintf("scope%d", uint8(s))
+	}
+}
+
+// Name identifies a lockable object. The hierarchy is
+// database → store → row.
+type Name struct {
+	Scope Scope
+	Store uint32  // store id for ScopeStore/ScopeRow
+	Page  page.ID // page for ScopeRow
+	Slot  uint16  // slot for ScopeRow
+}
+
+// DatabaseName returns the single database-level lock name.
+func DatabaseName() Name { return Name{Scope: ScopeDatabase} }
+
+// StoreName returns the lock name of a store (table or index).
+func StoreName(store uint32) Name { return Name{Scope: ScopeStore, Store: store} }
+
+// RowName returns the lock name of a record.
+func RowName(store uint32, rid page.RID) Name {
+	return Name{Scope: ScopeRow, Store: store, Page: rid.Page, Slot: rid.Slot}
+}
+
+// Parent returns the name one level up the hierarchy and whether one
+// exists (the database lock has no parent).
+func (n Name) Parent() (Name, bool) {
+	switch n.Scope {
+	case ScopeRow:
+		return StoreName(n.Store), true
+	case ScopeStore:
+		return DatabaseName(), true
+	default:
+		return Name{}, false
+	}
+}
+
+// String formats the name.
+func (n Name) String() string {
+	switch n.Scope {
+	case ScopeDatabase:
+		return "db"
+	case ScopeStore:
+		return fmt.Sprintf("store%d", n.Store)
+	default:
+		return fmt.Sprintf("store%d/%v:%d", n.Store, n.Page, n.Slot)
+	}
+}
+
+// hashKey folds the name into a 64-bit key for bucket selection. Full
+// names are compared on collision, so imperfect mixing only costs time.
+func (n Name) hashKey() uint64 {
+	h := uint64(n.Scope) + 0x9e3779b97f4a7c15
+	h = (h ^ uint64(n.Store)) * 0xbf58476d1ce4e5b9
+	h = (h ^ uint64(n.Page)) * 0x94d049bb133111eb
+	h = (h ^ uint64(n.Slot)) * 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,125 @@
+package lock
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sync2"
+)
+
+// request is a lock request: one transaction's (granted or waiting) claim
+// on one lock head. Requests are pooled; Shore-MT found the pool's mutex
+// to be a contention point and replaced it with a lock-free stack (§7.5).
+type request struct {
+	txID    uint64
+	mode    Mode // granted mode (or requested, while waiting)
+	want    Mode // target mode for waiting conversions
+	granted bool
+	wake    chan struct{} // closed when the request is granted
+	next    *request      // intrusive list inside a lock head
+	head    *lockHead     // owner, for release
+	node    sync2.StackNode
+}
+
+// requestPool abstracts the pre-allocated request pool.
+type requestPool interface {
+	get() *request
+	put(r *request)
+	// allocations reports how many requests were newly allocated (pool
+	// misses).
+	allocations() uint64
+}
+
+// PoolKind selects the request-pool implementation.
+type PoolKind int
+
+// Request pool kinds.
+const (
+	PoolMutex    PoolKind = iota // free list under one mutex (pre-§7.5)
+	PoolLockFree                 // Treiber stack, single-CAS push/pop (§7.5)
+)
+
+// String names the pool kind.
+func (k PoolKind) String() string {
+	if k == PoolLockFree {
+		return "lockfree"
+	}
+	return "mutex"
+}
+
+// mutexPool is the original design: a single free list guarded by a mutex
+// — simple, and a contention point with many threads.
+type mutexPool struct {
+	mu     sync.Mutex
+	free   *request
+	allocs atomic.Uint64
+}
+
+func (p *mutexPool) get() *request {
+	p.mu.Lock()
+	r := p.free
+	if r != nil {
+		p.free = r.next
+	}
+	p.mu.Unlock()
+	if r == nil {
+		p.allocs.Add(1)
+		r = &request{}
+	}
+	r.reset()
+	return r
+}
+
+func (p *mutexPool) put(r *request) {
+	p.mu.Lock()
+	r.next = p.free
+	p.free = r
+	p.mu.Unlock()
+}
+
+func (p *mutexPool) allocations() uint64 { return p.allocs.Load() }
+
+// lockFreePool is the §7.5 replacement: a Treiber stack where threads push
+// and pop requests with a single compare-and-swap.
+type lockFreePool struct {
+	stack  sync2.Stack
+	allocs atomic.Uint64
+}
+
+func (p *lockFreePool) get() *request {
+	if n := p.stack.Pop(); n != nil {
+		r := n.Value().(*request)
+		r.reset()
+		return r
+	}
+	p.allocs.Add(1)
+	r := &request{}
+	return r
+}
+
+func (p *lockFreePool) put(r *request) {
+	n := &r.node
+	if n.Value() == nil {
+		*n = *sync2.NewStackNode(r)
+	}
+	p.stack.Push(n)
+}
+
+func (p *lockFreePool) allocations() uint64 { return p.allocs.Load() }
+
+func (r *request) reset() {
+	r.txID = 0
+	r.mode = NL
+	r.want = NL
+	r.granted = false
+	r.wake = nil
+	r.next = nil
+	r.head = nil
+}
+
+func newPool(k PoolKind) requestPool {
+	if k == PoolLockFree {
+		return &lockFreePool{}
+	}
+	return &mutexPool{}
+}

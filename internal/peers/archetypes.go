@@ -1,0 +1,249 @@
+package peers
+
+import (
+	"repro/internal/sim"
+)
+
+// Peer-engine archetypes, each reduced to the bottleneck structure §4
+// reports from profiling:
+//
+//   - Shore: cooperative user-level threads on ONE OS thread — effectively
+//     a single giant lock around the whole engine. Throughput plateaus at
+//     its single-thread rate (Figure 1's flat "shore" line).
+//   - BerkeleyDB: "spends over 80% of its processing time in _db_tas_lock
+//     and _lock_try" — test-and-set spinning on page-level tree latches
+//     (_bam_search/_bam_get_root). Fast at 1–4 threads (low overhead),
+//     collapses under spinner storms (Figure 1/4's precipitous drop).
+//   - MySQL/InnoDB: the srv_conc_enter_innodb admission gate blocks ~39%
+//     of execution, and log_preflush_pool_modified_pages another ~20%;
+//     plus malloc-related mutexes.
+//   - PostgreSQL: XLogInsert serialization, malloc in transaction
+//     setup/teardown, and index-metadata locking — "only 10-15% of total
+//     thread time, but that is enough to limit scalability".
+//   - DBMS "X": a well-tuned engine that scales to 32 with a looming
+//     log-insert bottleneck (§5: "both face looming bottlenecks (both in
+//     log inserts, as it happens)").
+
+// ShoreSingle is the original, cooperatively-threaded Shore.
+func ShoreSingle() InsertModel {
+	return InsertModel{
+		Name: "shore",
+		Setup: func(s *sim.Sim, threads int, horizon float64, commits []int) func(i int) sim.Script {
+			engine := s.NewMutex("engine(single-threaded)", sim.KindBlocking)
+			return func(i int) sim.Script {
+				return func(ctx *sim.Ctx) {
+					n := 0
+					for ctx.Now() < horizon {
+						// The entire insert runs inside the engine lock:
+						// cooperative threading permits no parallelism.
+						ctx.Lock(engine)
+						ctx.Work(420000) // unoptimized Shore path (~2.4 tx/s)
+						n++
+						commits[i]++ // commits[] counts record inserts
+						if n >= InsertsPerTx {
+							n = 0
+							ctx.Sleep(120000)
+						}
+						ctx.Unlock(engine)
+					}
+				}
+			}
+		},
+	}
+}
+
+// BerkeleyDB models page-level TAS locking.
+func BerkeleyDB() InsertModel {
+	return InsertModel{
+		Name: "bdb",
+		Setup: func(s *sim.Sim, threads int, horizon float64, commits []int) func(i int) sim.Script {
+			// The root and upper-level tree pages: a handful of hot
+			// test-and-set latches every insert must take.
+			root := s.NewMutex("_bam_get_root", sim.KindTAS)
+			upper := s.NewMutex("_bam_search", sim.KindTAS)
+			logMu := s.NewMutex("log", sim.KindTATAS)
+			return func(i int) sim.Script {
+				return func(ctx *sim.Ctx) {
+					n := 0
+					for ctx.Now() < horizon {
+						// Very lean single-thread path: BDB is the fastest
+						// engine at low thread counts (§5 footnote 6).
+						ctx.Work(33000)
+						ctx.Lock(root)
+						ctx.Work(4000)
+						ctx.Unlock(root)
+						ctx.Work(15000)
+						// Page-level locking (the paper: BDB is "the only
+						// storage engine without row-level locking; its
+						// page-level locks can severely limit concurrency"):
+						// the lock is held across the whole leaf update.
+						ctx.Lock(upper)
+						ctx.Work(20000)
+						ctx.Unlock(upper)
+						ctx.Lock(logMu)
+						ctx.Work(4000)
+						ctx.Unlock(logMu)
+						ctx.Work(14000)
+						n++
+						commits[i]++ // commits[] counts record inserts
+						if n >= InsertsPerTx {
+							n = 0
+							ctx.Sleep(120000)
+						}
+					}
+				}
+			}
+		},
+	}
+}
+
+// MySQL models InnoDB's admission gate and log preflush stalls.
+func MySQL() InsertModel {
+	return InsertModel{
+		Name: "mysql",
+		Setup: func(s *sim.Sim, threads int, horizon float64, commits []int) func(i int) sim.Script {
+			// srv_conc_enter_innodb: a fixed-capacity admission gate
+			// (default innodb_thread_concurrency era: 8). Rejected threads
+			// SLEEP for innodb_thread_sleep_delay (10ms) and retry — slots
+			// idle while everyone sleeps, so oversubscription *drops*
+			// throughput instead of flattening it.
+			gate := s.NewSemaphore("srv_conc_enter_innodb", 8)
+			preflush := s.NewMutex("log_preflush_pool", sim.KindBlocking)
+			malloc := s.NewMutex("malloc", sim.KindBlocking)
+			// log_sys is a spin mutex: its hand-off storm grows with the
+			// number of spinners, which is what turns MySQL's curve from a
+			// plateau into the paper's "significant drop".
+			logMu := s.NewMutex("log_sys", sim.KindTAS)
+			return func(i int) sim.Script {
+				return func(ctx *sim.Ctx) {
+					n := 0
+					for ctx.Now() < horizon {
+						ctx.Acquire(gate)
+						ctx.Work(50000)
+						ctx.Lock(malloc)
+						ctx.Work(2000)
+						ctx.Unlock(malloc)
+						ctx.Work(48000)
+						ctx.Release(gate)
+						// The log write happens outside the admission gate
+						// (commit path), so ALL clients spin on it — the
+						// storm grows with the client count, not the gate
+						// capacity.
+						ctx.Lock(logMu)
+						ctx.Work(8000)
+						ctx.Unlock(logMu)
+						n++
+						if n%256 == 255 {
+							// log_preflush_pool_modified_pages: a global
+							// stall flushing dirty pages ahead of the log.
+							ctx.Lock(preflush)
+							ctx.Sleep(2500000)
+							ctx.Unlock(preflush)
+						}
+						// MySQL's benchmark commits every 10000 records
+						// (§3.2 modified it to allow meaningful comparison);
+						// count in 1000-insert units for comparability.
+						commits[i]++ // commits[] counts record inserts
+						if n >= 10*InsertsPerTx {
+							n = 0
+							ctx.Sleep(150000)
+						}
+					}
+				}
+			}
+		},
+	}
+}
+
+// Postgres models the XLogInsert / malloc / index-metadata trio.
+func Postgres() InsertModel {
+	return InsertModel{
+		Name: "postgres",
+		Setup: func(s *sim.Sim, threads int, horizon float64, commits []int) func(i int) sim.Script {
+			xlog := s.NewMutex("XLogInsert", sim.KindBlocking)
+			malloc := s.NewMutex("malloc", sim.KindBlocking)
+			meta := s.NewMutex("ExecOpenIndices", sim.KindBlocking)
+			return func(i int) sim.Script {
+				return func(ctx *sim.Ctx) {
+					n := 0
+					for ctx.Now() < horizon {
+						// CreateExecutorState: malloc under a process-shared
+						// arena lock.
+						ctx.Lock(malloc)
+						ctx.Work(3000)
+						ctx.Unlock(malloc)
+						// Index metadata lock, even though tables are
+						// private ("no two transactions ever access the
+						// same table").
+						ctx.Lock(meta)
+						ctx.Work(2500)
+						ctx.Unlock(meta)
+						ctx.Work(60000)
+						ctx.Lock(xlog)
+						ctx.Work(7000)
+						ctx.Unlock(xlog)
+						// ExecutorEnd: more malloc.
+						ctx.Lock(malloc)
+						ctx.Work(2000)
+						ctx.Unlock(malloc)
+						ctx.Work(60000)
+						n++
+						commits[i]++ // commits[] counts record inserts
+						if n >= InsertsPerTx {
+							n = 0
+							ctx.Sleep(150000)
+						}
+					}
+				}
+			}
+		},
+	}
+}
+
+// DBMSX models the commercial engine: well partitioned, scaling to 32
+// clients with a small but growing log-insert serialization.
+func DBMSX() InsertModel {
+	return InsertModel{
+		Name: "dbms-x",
+		Setup: func(s *sim.Sim, threads int, horizon float64, commits []int) func(i int) sim.Script {
+			logMu := s.NewMutex("log-insert", sim.KindMCS)
+			local := make([]*sim.Mutex, threads)
+			for i := range local {
+				local[i] = s.NewMutex("partitioned", sim.KindHybrid)
+			}
+			return func(i int) sim.Script {
+				return func(ctx *sim.Ctx) {
+					n := 0
+					for ctx.Now() < horizon {
+						ctx.Work(60000)
+						ctx.Lock(local[i])
+						ctx.Work(5000)
+						ctx.Unlock(local[i])
+						ctx.Lock(logMu)
+						ctx.Work(1800)
+						ctx.Unlock(logMu)
+						ctx.Work(60000)
+						n++
+						commits[i]++ // commits[] counts record inserts
+						if n >= InsertsPerTx {
+							n = 0
+							ctx.Sleep(120000)
+						}
+					}
+				}
+			}
+		},
+	}
+}
+
+// Figure4Models returns the engines of Figure 4 in its legend order.
+func Figure4Models() []InsertModel {
+	return []InsertModel{
+		ShoreSingle(), BerkeleyDB(), MySQL(), Postgres(), DBMSX(), ShoreMT(),
+	}
+}
+
+// Figure1Models returns the four open-source engines of Figure 1.
+func Figure1Models() []InsertModel {
+	return []InsertModel{Postgres(), MySQL(), ShoreSingle(), BerkeleyDB()}
+}

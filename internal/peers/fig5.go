@@ -1,0 +1,179 @@
+package peers
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Figure 5 — TPC-C New Order (left) and Payment (right), per-client
+// throughput for the three fastest engines: Shore-MT, DBMS "X" and
+// PostgreSQL.
+//
+// The defining shapes (§5): all three engines dip around 16 clients on New
+// Order because of application-level contention in the shared STOCK and
+// ITEM tables; Payment "imposes no application-level contention, allowing
+// Shore-MT to scale all the way to 32 threads" (warehouses scale with
+// clients, so each client's hot WAREHOUSE row is private here — contention
+// is engine-internal only).
+
+// TpccModel produces Payment and New Order scripts for one engine.
+type TpccModel struct {
+	Name string
+	// Setup registers resources; returned factories build per-client
+	// Payment and New Order scripts.
+	Setup func(s *sim.Sim, threads int, horizon float64, commits []int) (payment, newOrder func(i int) sim.Script)
+}
+
+// tpccEngineParams reduces an engine to its TPC-C-relevant structure.
+type tpccEngineParams struct {
+	name        string
+	logKind     sim.MutexKind
+	logHold     float64
+	perOpWork   float64 // per row-access engine work
+	lockMgrKind sim.MutexKind
+	lockGlobal  bool
+	lockHold    float64
+	commitSleep float64
+	gateCap     int // >0: admission gate (mysql-style); unused for fig5 engines
+}
+
+func shoreMTTpcc() tpccEngineParams {
+	return tpccEngineParams{
+		name: "shore-mt", logKind: sim.KindTicket, logHold: 900,
+		perOpWork: 9000, lockMgrKind: sim.KindHybrid, lockGlobal: false,
+		lockHold: 1500, commitSleep: 120000,
+	}
+}
+
+func dbmsxTpcc() tpccEngineParams {
+	return tpccEngineParams{
+		name: "dbms-x", logKind: sim.KindMCS, logHold: 1800,
+		perOpWork: 11000, lockMgrKind: sim.KindHybrid, lockGlobal: false,
+		lockHold: 1800, commitSleep: 120000,
+	}
+}
+
+func postgresTpcc() tpccEngineParams {
+	return tpccEngineParams{
+		name: "postgres", logKind: sim.KindBlocking, logHold: 7000,
+		perOpWork: 22000, lockMgrKind: sim.KindBlocking, lockGlobal: true,
+		lockHold: 2500, commitSleep: 150000,
+	}
+}
+
+// Figure5Models returns the three engines of Figure 5.
+func Figure5Models() []TpccModel {
+	params := []tpccEngineParams{postgresTpcc(), dbmsxTpcc(), shoreMTTpcc()}
+	out := make([]TpccModel, 0, len(params))
+	for _, p := range params {
+		p := p
+		out = append(out, TpccModel{Name: p.name, Setup: buildTpcc(p)})
+	}
+	return out
+}
+
+// Shared-table contention geometry: the paper's setup scales warehouses
+// with clients, but ITEM is one shared table and STOCK rows for popular
+// items collide across warehouses through NURand skew. A fixed pool of hot
+// item/stock page latches models this: collisions are rare below ~8
+// clients and bite hard past ~16.
+const (
+	hotItemLatches  = 12
+	hotStockLatches = 24
+	linesPerOrder   = 10
+)
+
+func buildTpcc(p tpccEngineParams) func(s *sim.Sim, threads int, horizon float64, commits []int) (func(i int) sim.Script, func(i int) sim.Script) {
+	return func(s *sim.Sim, threads int, horizon float64, commits []int) (func(i int) sim.Script, func(i int) sim.Script) {
+		logMu := s.NewMutex("log-insert", p.logKind)
+		lockMu := s.NewMutex("lockmgr", p.lockMgrKind)
+		lockLocal := make([]*sim.Mutex, threads)
+		for i := range lockLocal {
+			lockLocal[i] = s.NewMutex("lock-bucket", p.lockMgrKind)
+		}
+		itemLatch := make([]*sim.Latch, hotItemLatches)
+		for i := range itemLatch {
+			itemLatch[i] = s.NewLatch("item-page")
+		}
+		stockLatch := make([]*sim.Latch, hotStockLatches)
+		for i := range stockLatch {
+			stockLatch[i] = s.NewLatch("stock-page")
+		}
+
+		lockOp := func(ctx *sim.Ctx, i int) {
+			if p.lockGlobal {
+				ctx.Lock(lockMu)
+				ctx.Work(p.lockHold)
+				ctx.Unlock(lockMu)
+			} else {
+				ctx.Lock(lockLocal[i])
+				ctx.Work(p.lockHold)
+				ctx.Unlock(lockLocal[i])
+			}
+		}
+		logOp := func(ctx *sim.Ctx) {
+			ctx.Lock(logMu)
+			ctx.Work(p.logHold)
+			ctx.Unlock(logMu)
+		}
+
+		payment := func(i int) sim.Script {
+			return func(ctx *sim.Ctx) {
+				for ctx.Now() < horizon {
+					// Read 1-3 rows, update 4 (warehouse, district,
+					// customer, history insert) — all in this client's own
+					// warehouse: engine-internal contention only.
+					for op := 0; op < 3; op++ {
+						lockOp(ctx, i)
+						ctx.Work(p.perOpWork)
+					}
+					for op := 0; op < 4; op++ {
+						lockOp(ctx, i)
+						ctx.Work(p.perOpWork)
+						logOp(ctx)
+					}
+					ctx.Sleep(p.commitSleep)
+					commits[i]++
+				}
+			}
+		}
+		newOrder := func(i int) sim.Script {
+			return func(ctx *sim.Ctx) {
+				rng := rand.New(rand.NewSource(int64(1000 + i)))
+				for ctx.Now() < horizon {
+					// Customer/district/warehouse reads + order insert.
+					for op := 0; op < 3; op++ {
+						lockOp(ctx, i)
+						ctx.Work(p.perOpWork)
+					}
+					lockOp(ctx, i)
+					ctx.Work(p.perOpWork)
+					logOp(ctx)
+					// ~10 lines: item probe (SH on a hot shared page),
+					// stock update (EX on a semi-shared page), line insert.
+					for l := 0; l < linesPerOrder; l++ {
+						it := itemLatch[rng.Intn(hotItemLatches)]
+						ctx.Latch(it, sim.SH)
+						ctx.Work(2500)
+						ctx.Unlatch(it, sim.SH)
+
+						st := stockLatch[rng.Intn(hotStockLatches)]
+						lockOp(ctx, i)
+						ctx.Latch(st, sim.EX)
+						ctx.Work(4000)
+						ctx.Unlatch(st, sim.EX)
+						logOp(ctx)
+
+						lockOp(ctx, i)
+						ctx.Work(p.perOpWork / 2)
+						logOp(ctx)
+					}
+					ctx.Sleep(p.commitSleep)
+					commits[i]++
+				}
+			}
+		}
+		return payment, newOrder
+	}
+}

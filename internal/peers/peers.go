@@ -1,0 +1,261 @@
+// Package peers models the storage engines of the paper's evaluation as
+// critical-section scripts over the contention simulator: the four
+// open-source engines of §4 (Shore, BerkeleyDB, MySQL/InnoDB, PostgreSQL),
+// the commercial "DBMS X", and every Shore→Shore-MT optimization stage of
+// §7. Each model reduces an engine to the synchronization structure the
+// paper's profiles identified — which is exactly the level at which the
+// figures' shapes are determined.
+//
+// Service times are virtual nanoseconds. They are calibrated to two
+// anchors from the paper: Figure 7's baseline Shore runs ~2.4 tx/s
+// single-threaded (transactions of 1000 record inserts ⇒ ~420µs per
+// insert), and final Shore-MT is ~3× faster single-threaded; everything
+// else is relative structure. Absolute values are not claims — shapes are.
+package peers
+
+import (
+	"repro/internal/sim"
+)
+
+// Transaction commit boundary of the insert microbenchmark (§3.2:
+// "transactions commit every 1000 records").
+const InsertsPerTx = 1000
+
+// InsertModel is one engine's record-insert microbenchmark behaviour.
+type InsertModel struct {
+	Name string
+	// Setup registers the engine's shared resources on s and returns the
+	// per-thread script factory. commits[i] counts record inserts; the
+	// harness divides by InsertsPerTx for transactions.
+	Setup func(s *sim.Sim, threads int, horizon float64, commits []int) func(i int) sim.Script
+}
+
+// shoreStageParams captures a Figure 7 stage's critical-section structure.
+type shoreStageParams struct {
+	name string
+	// per-insert CPU outside any critical section
+	baseWork float64
+	// buffer pool: 3 page fixes per insert
+	bpoolGlobal bool
+	bpoolKind   sim.MutexKind
+	bpoolHold   float64
+	// clock hand + in-transit lists: serialized on page misses until §7.6
+	clockHold  float64
+	clockEvery int // one miss every N inserts (0 = never)
+	// free space manager: one allocation-check per insert
+	fsmKind       sim.MutexKind
+	fsmHold       float64
+	fsmLatchInCS  bool    // the Figure 6 pathology
+	fsmLatchHold  float64 // metadata page latch
+	fsmLatchEvery int     // latch taken every N inserts (caches make it rare)
+	// log manager
+	logKind    sim.MutexKind
+	logHold    float64
+	logCoupled bool // synchronous flush inside the insert mutex
+	// lock manager
+	lockGlobal bool
+	lockKind   sim.MutexKind
+	lockHold   float64
+	// commit-time group-commit latency (I/O wait, no CPU)
+	commitSleep float64
+}
+
+// stageParams maps each Figure 7 stage to its structure. The progression
+// mirrors §7: every stage changes exactly what the paper changed.
+func stageParams(stage string) shoreStageParams {
+	p := shoreStageParams{
+		name:     stage,
+		baseWork: 110000, // unoptimized single-thread code path
+		// §7.1 baseline: one global pthread mutex in every component; the
+		// buffer pool's is held across whole chain searches.
+		bpoolGlobal: true, bpoolKind: sim.KindBlocking, bpoolHold: 50000,
+		clockHold: 50000, clockEvery: 6,
+		fsmKind: sim.KindBlocking, fsmHold: 12000,
+		fsmLatchInCS: true, fsmLatchHold: 25000, fsmLatchEvery: 1,
+		logKind: sim.KindBlocking, logHold: 25000, logCoupled: true,
+		lockGlobal: true, lockKind: sim.KindBlocking, lockHold: 15000,
+		commitSleep: 120000,
+	}
+	switch stage {
+	case "baseline":
+		return p
+	case "bpool 1":
+		// §7.2: per-bucket bpool locks + atomic pin + spin-then-block
+		// fast paths; single-thread performance doubles as a side effect.
+		p.name = stage
+		p.bpoolGlobal = false
+		p.bpoolKind = sim.KindHybrid
+		p.bpoolHold = 6000
+		p.baseWork = 120000
+		return p
+	case "caching":
+		// §7.3: free-space refactor (MCS, latch outside the critical
+		// section), extent/oldest-tx caches make metadata latching rare.
+		q := stageParams("bpool 1")
+		q.name = stage
+		q.fsmKind = sim.KindMCS
+		q.fsmHold = 3000
+		q.fsmLatchInCS = false
+		q.fsmLatchHold = 12000
+		q.fsmLatchEvery = 16
+		return q
+	case "log":
+		// §7.4: decoupled log (separate insert mutex, background flush),
+		// cuckoo bpool table, thread-local malloc.
+		q := stageParams("caching")
+		q.name = stage
+		q.logKind = sim.KindMCS
+		q.logHold = 5000
+		q.logCoupled = false
+		q.bpoolHold = 3500
+		q.baseWork = 100000
+		q.fsmLatchEvery = 64 // extent-id cache (§7.4): hottest accesses skip metadata
+		return q
+	case "lock mgr":
+		// §7.5: per-bucket lock table + lock-free request pool.
+		q := stageParams("log")
+		q.name = stage
+		q.lockGlobal = false
+		q.lockKind = sim.KindHybrid
+		q.lockHold = 4000
+		return q
+	case "bpool 2":
+		// §7.6: clock-hand release + partitioned in-transit lists: misses
+		// stop serializing on the replacement machinery.
+		q := stageParams("lock mgr")
+		q.name = stage
+		q.clockHold = 0
+		q.clockEvery = 0
+		q.bpoolHold = 2500
+		return q
+	case "final":
+		// §7.7: consolidated log buffer (insert CS shrinks to a hand-off),
+		// no lock-table probe on B-tree search, cleaner-fed checkpoints.
+		q := stageParams("bpool 2")
+		q.name = stage
+		q.logKind = sim.KindTicket
+		q.logHold = 900
+		q.baseWork = 90000
+		return q
+	default:
+		return p
+	}
+}
+
+// StageNames lists the Figure 7 stages in order.
+func StageNames() []string {
+	return []string{"baseline", "bpool 1", "caching", "log", "lock mgr", "bpool 2", "final"}
+}
+
+// ShoreStage returns the insert model of one Figure 7 stage.
+func ShoreStage(stage string) InsertModel {
+	p := stageParams(stage)
+	return shoreModel(p)
+}
+
+// ShoreMT is the finished system (Figure 4's "shore-mt").
+func ShoreMT() InsertModel {
+	m := shoreModel(stageParams("final"))
+	m.Name = "shore-mt"
+	return m
+}
+
+// shoreModel builds the microbenchmark script from stage parameters.
+func shoreModel(p shoreStageParams) InsertModel {
+	return InsertModel{
+		Name: p.name,
+		Setup: func(s *sim.Sim, threads int, horizon float64, commits []int) func(i int) sim.Script {
+			bpoolMu := s.NewMutex("bpool", p.bpoolKind)
+			clockMu := s.NewMutex("clock+transit", sim.KindBlocking)
+			// Per-thread bucket mutexes model per-bucket locking with
+			// private tables (no cross-thread bucket collisions).
+			bpoolLocal := make([]*sim.Mutex, threads)
+			lockLocal := make([]*sim.Mutex, threads)
+			for i := range bpoolLocal {
+				bpoolLocal[i] = s.NewMutex("bpool-bucket", p.bpoolKind)
+				lockLocal[i] = s.NewMutex("lock-bucket", p.lockKind)
+			}
+			fsmMu := s.NewMutex("fsm", p.fsmKind)
+			fsmLatch := s.NewLatch("fsm-page")
+			logMu := s.NewMutex("log", p.logKind)
+			lockMu := s.NewMutex("lockmgr", p.lockKind)
+
+			return func(i int) sim.Script {
+				return func(ctx *sim.Ctx) {
+					n := 0
+					for ctx.Now() < horizon {
+						// Useful work of the insert (B-tree descent, record
+						// copy): spread so critical sections interleave.
+						ctx.Work(p.baseWork / 2)
+
+						// Buffer pool: three page fixes per insert (§6.2.1).
+						for k := 0; k < 3; k++ {
+							if p.bpoolGlobal {
+								ctx.Lock(bpoolMu)
+								ctx.Work(p.bpoolHold)
+								ctx.Unlock(bpoolMu)
+							} else {
+								ctx.Lock(bpoolLocal[i])
+								ctx.Work(p.bpoolHold)
+								ctx.Unlock(bpoolLocal[i])
+							}
+						}
+						// Page miss: clock hand + in-transit list, one
+						// global critical section until §7.6.
+						if p.clockEvery > 0 && n%p.clockEvery == p.clockEvery-1 {
+							ctx.Lock(clockMu)
+							ctx.Work(p.clockHold)
+							ctx.Unlock(clockMu)
+						}
+
+						// Free space manager: the Figure 6 critical section.
+						takeLatch := p.fsmLatchEvery > 0 && n%p.fsmLatchEvery == 0
+						ctx.Lock(fsmMu)
+						ctx.Work(p.fsmHold)
+						if p.fsmLatchInCS && takeLatch {
+							ctx.Latch(fsmLatch, sim.EX)
+							ctx.Work(p.fsmLatchHold)
+							ctx.Unlatch(fsmLatch, sim.EX)
+						}
+						ctx.Unlock(fsmMu)
+						if !p.fsmLatchInCS && takeLatch {
+							ctx.Latch(fsmLatch, sim.EX)
+							ctx.Work(p.fsmLatchHold)
+							ctx.Unlatch(fsmLatch, sim.EX)
+						}
+
+						// Lock manager.
+						if p.lockGlobal {
+							ctx.Lock(lockMu)
+							ctx.Work(p.lockHold)
+							ctx.Unlock(lockMu)
+						} else {
+							ctx.Lock(lockLocal[i])
+							ctx.Work(p.lockHold)
+							ctx.Unlock(lockLocal[i])
+						}
+
+						// Log insert.
+						ctx.Lock(logMu)
+						ctx.Work(p.logHold)
+						if p.logCoupled && n%128 == 127 {
+							// Non-circular buffer fills: synchronous flush
+							// while holding the log mutex (§6.2.2 problem 2).
+							ctx.Sleep(p.commitSleep)
+						}
+						ctx.Unlock(logMu)
+
+						ctx.Work(p.baseWork / 2)
+
+						n++
+						commits[i]++ // commits[] counts record inserts
+						if n >= InsertsPerTx {
+							n = 0
+							ctx.Sleep(p.commitSleep) // group-commit wait
+						}
+					}
+				}
+			}
+		},
+	}
+}

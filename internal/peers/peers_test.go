@@ -1,0 +1,141 @@
+package peers
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+const ms = 1e6
+
+// runModel executes an insert model and returns total inserts.
+func runModel(t *testing.T, m InsertModel, threads int, horizon float64) int {
+	t.Helper()
+	s := sim.New(sim.Niagara())
+	commits := make([]int, threads)
+	factory := m.Setup(s, threads, horizon, commits)
+	for i := 0; i < threads; i++ {
+		s.Spawn(factory(i))
+	}
+	s.Run(horizon)
+	total := 0
+	for _, c := range commits {
+		total += c
+	}
+	return total
+}
+
+func TestAllInsertModelsProduceWork(t *testing.T) {
+	models := append(Figure4Models(), Figure6Variants()...)
+	for _, name := range StageNames() {
+		models = append(models, ShoreStage(name))
+	}
+	for _, m := range models {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			if got := runModel(t, m, 4, 30*ms); got <= 0 {
+				t.Fatalf("%s produced %d inserts", m.Name, got)
+			}
+		})
+	}
+}
+
+func TestStageLadderSingleThreadImproves(t *testing.T) {
+	// Single-thread performance must not regress along the ladder (§7: it
+	// improved ~3x overall as a side effect).
+	prev := 0
+	for _, name := range StageNames() {
+		got := runModel(t, ShoreStage(name), 1, 50*ms)
+		if got < prev {
+			t.Errorf("stage %q single-thread regressed: %d after %d", name, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestStageNamesMatchFigure7(t *testing.T) {
+	want := []string{"baseline", "bpool 1", "caching", "log", "lock mgr", "bpool 2", "final"}
+	got := StageNames()
+	if len(got) != len(want) {
+		t.Fatalf("StageNames = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("StageNames[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, name := range got {
+		if ShoreStage(name).Name != name {
+			t.Errorf("ShoreStage(%q).Name = %q", name, ShoreStage(name).Name)
+		}
+	}
+	if ShoreMT().Name != "shore-mt" {
+		t.Error("ShoreMT name")
+	}
+	// Unknown stage falls back to baseline parameters but keeps the name.
+	if runModel(t, ShoreStage("nonsense"), 1, 20*ms) <= 0 {
+		t.Error("unknown stage should still run (baseline params)")
+	}
+}
+
+func TestFigureModelRosters(t *testing.T) {
+	f1 := Figure1Models()
+	if len(f1) != 4 {
+		t.Fatalf("figure 1 has %d engines, want 4", len(f1))
+	}
+	f4 := Figure4Models()
+	if len(f4) != 6 {
+		t.Fatalf("figure 4 has %d engines, want 6", len(f4))
+	}
+	if f4[len(f4)-1].Name != "shore-mt" {
+		t.Error("figure 4 must end with shore-mt")
+	}
+	f6 := Figure6Variants()
+	if len(f6) != 4 {
+		t.Fatalf("figure 6 has %d variants, want 4", len(f6))
+	}
+	if f6[0].Name != "bpool 1" || f6[3].Name != "Refactor" {
+		t.Errorf("figure 6 variant order wrong: %s..%s", f6[0].Name, f6[3].Name)
+	}
+	f5 := Figure5Models()
+	if len(f5) != 3 {
+		t.Fatalf("figure 5 has %d engines, want 3", len(f5))
+	}
+}
+
+func TestTpccModelsProduceWork(t *testing.T) {
+	for _, m := range Figure5Models() {
+		m := m
+		for _, kind := range []string{"payment", "neworder"} {
+			kind := kind
+			t.Run(m.Name+"/"+kind, func(t *testing.T) {
+				s := sim.New(sim.Niagara())
+				commits := make([]int, 4)
+				payment, newOrder := m.Setup(s, 4, 30*ms, commits)
+				for i := 0; i < 4; i++ {
+					if kind == "payment" {
+						s.Spawn(payment(i))
+					} else {
+						s.Spawn(newOrder(i))
+					}
+				}
+				s.Run(30 * ms)
+				total := 0
+				for _, c := range commits {
+					total += c
+				}
+				if total <= 0 {
+					t.Fatalf("%s/%s produced no transactions", m.Name, kind)
+				}
+			})
+		}
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	a := runModel(t, MySQL(), 12, 30*ms)
+	b := runModel(t, MySQL(), 12, 30*ms)
+	if a != b {
+		t.Fatalf("mysql model nondeterministic: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,419 @@
+package sim
+
+// Synchronization resources with per-primitive waiting and hand-off
+// models. All costs are virtual nanoseconds, chosen to match the relative
+// magnitudes the paper's era reports (and the qualitative behaviour its
+// Figure 6 demonstrates):
+//
+//   - uncontended atomic RMW ≈ 50ns on Niagara-class hardware;
+//   - TATAS hand-off suffers a coherence storm: every spinner's cache line
+//     invalidation costs ~60ns, so hand-off grows linearly with spinners —
+//     "fail[s] miserably on high contention" (§4);
+//   - T&T&S spins on a read-shared line, so only the winner pays the RMW
+//     storm (smaller per-spinner coefficient);
+//   - MCS hands off through a private cache line: constant ~200ns
+//     regardless of queue depth, but a higher uncontended overhead — "the
+//     most scalable synchronization primitives tend to also have the
+//     highest overhead" (§6.1);
+//   - pthread-style blocking mutexes deschedule waiters (freeing the
+//     hardware context) but pay a ~8µs context-switch on wake-up.
+type MutexKind int
+
+// Mutex kinds.
+const (
+	KindTAS MutexKind = iota
+	KindTATAS
+	KindMCS
+	KindTicket
+	KindBlocking
+	KindHybrid // spin briefly, then block (used for the tuned engine)
+)
+
+// String names the kind.
+func (k MutexKind) String() string {
+	switch k {
+	case KindTAS:
+		return "tas"
+	case KindTATAS:
+		return "tatas"
+	case KindMCS:
+		return "mcs"
+	case KindTicket:
+		return "ticket"
+	case KindBlocking:
+		return "blocking"
+	case KindHybrid:
+		return "hybrid"
+	default:
+		return "unknown"
+	}
+}
+
+// Cost model (virtual ns).
+const (
+	costAtomicRMW     = 50.0
+	costTASHandPer    = 300.0 // per-spinner hand-off penalty (storm)
+	costTATASHandPer  = 120.0 // reduced storm: spinners read a shared line
+	costMCSHandoff    = 200.0
+	costMCSOverhead   = 120.0 // uncontended MCS is pricier than TAS
+	costTicketHandPer = 25.0
+	costCtxSwitch     = 8000.0
+	costFutexWake     = 1500.0
+	hybridSpinBudget  = 2000.0 // ns of spinning before a hybrid blocks
+)
+
+// Mutex is a simulated mutual-exclusion resource.
+type Mutex struct {
+	kind    MutexKind
+	holder  *vthread
+	queue   []*vthread // waiters, FIFO arrival order
+	heldAt  float64
+	stats   WaitStats
+	blocked map[int]bool // waiter id → descheduled (vs spinning)
+}
+
+// NewMutex registers a named mutex of the given kind.
+func (s *Sim) NewMutex(name string, kind MutexKind) *Mutex {
+	m := &Mutex{kind: kind, blocked: make(map[int]bool)}
+	m.stats.Name = name
+	s.mutexes = append(s.mutexes, m)
+	return m
+}
+
+// spins reports whether a waiter of this kind burns CPU while waiting.
+func (m *Mutex) spins(t *vthread, s *Sim) bool {
+	switch m.kind {
+	case KindBlocking:
+		return false
+	case KindHybrid:
+		// Spin-then-block: model as spinning while the expected wait is
+		// short (few waiters), blocking otherwise.
+		return len(m.queue) == 0
+	default:
+		return true
+	}
+}
+
+// acquireCost returns the CPU cost charged to the new owner at hand-off,
+// given how many other threads were spin-waiting.
+func (m *Mutex) acquireCost(spinners int, wasContended bool) float64 {
+	switch m.kind {
+	case KindTAS:
+		if wasContended {
+			return costAtomicRMW + costTASHandPer*float64(spinners)
+		}
+		return costAtomicRMW
+	case KindTATAS:
+		if wasContended {
+			return costAtomicRMW + costTATASHandPer*float64(spinners)
+		}
+		return costAtomicRMW
+	case KindTicket:
+		if wasContended {
+			return costAtomicRMW + costTicketHandPer*float64(spinners)
+		}
+		return costAtomicRMW
+	case KindMCS:
+		if wasContended {
+			return costMCSOverhead + costMCSHandoff
+		}
+		return costMCSOverhead
+	case KindBlocking:
+		if wasContended {
+			return costCtxSwitch
+		}
+		return costAtomicRMW * 2 // futex fast path
+	case KindHybrid:
+		if wasContended {
+			return costAtomicRMW + costTATASHandPer*float64(spinners)
+		}
+		return costAtomicRMW
+	default:
+		return costAtomicRMW
+	}
+}
+
+// Lock acquires m, waiting per the primitive's discipline.
+func (c *Ctx) Lock(m *Mutex) {
+	c.t.req <- request{kind: opLock, res: m}
+	<-c.t.resume
+}
+
+// Unlock releases m.
+func (c *Ctx) Unlock(m *Mutex) {
+	c.t.req <- request{kind: opUnlock, res: m}
+	<-c.t.resume
+}
+
+// lockAcquire processes a lock request; returns false when the thread
+// must wait (its op completes later at hand-off).
+func (s *Sim) lockAcquire(t *vthread, m *Mutex) bool {
+	m.stats.Acquires++
+	if m.holder == nil && len(m.queue) == 0 {
+		m.holder = t
+		m.heldAt = s.now
+		s.grantWork(t, m.acquireCost(0, false))
+		return false // completes when the (tiny) acquire work finishes
+	}
+	m.stats.Contended++
+	t.waitMutex = m
+	t.waitStart = s.now
+	m.queue = append(m.queue, t)
+	if m.spins(t, s) {
+		t.state = stateSpinning
+		m.blocked[t.id] = false
+	} else {
+		t.state = stateBlocked
+		m.blocked[t.id] = true
+	}
+	return false
+}
+
+// lockRelease hands the mutex to the next waiter.
+func (s *Sim) lockRelease(t *vthread, m *Mutex) {
+	if m.holder != t {
+		panic("sim: unlock by non-holder")
+	}
+	m.stats.HoldNs += s.now - m.heldAt
+	m.holder = nil
+	if len(m.queue) == 0 {
+		return
+	}
+	// FIFO hand-off (even TAS is roughly fair over time; modelling random
+	// victory would break determinism for no shape benefit).
+	next := m.queue[0]
+	m.queue = m.queue[1:]
+	wasBlocked := m.blocked[next.id]
+	delete(m.blocked, next.id)
+	spinners := 0
+	for _, w := range m.queue {
+		if !m.blocked[w.id] {
+			spinners++
+		}
+	}
+	wait := s.now - next.waitStart
+	m.stats.WaitNs += wait
+	if !wasBlocked {
+		m.stats.SpinWasted += wait
+	}
+	next.waitMutex = nil
+	m.holder = next
+	m.heldAt = s.now
+	cost := m.acquireCost(spinners, true)
+	if wasBlocked {
+		cost = costCtxSwitch
+		// The releaser pays to wake the sleeper — and heavily-contended
+		// pthread-style mutexes additionally thrash the scheduler in
+		// proportion to the wait queue (futex herd / convoy behaviour):
+		// this is what makes the paper's baseline *lose* throughput as
+		// threads are added rather than merely plateau.
+		blockedWaiters := 0
+		for _, w := range m.queue {
+			if m.blocked[w.id] {
+				blockedWaiters++
+			}
+		}
+		t.remaining += costFutexWake * float64(1+blockedWaiters)
+	}
+	s.grantWork(next, cost)
+}
+
+// Latch -----------------------------------------------------------------
+
+// LatchMode mirrors the storage manager's SH/EX latch modes.
+type LatchMode int
+
+// Latch modes.
+const (
+	SH LatchMode = iota
+	EX
+)
+
+// Latch is a reader-writer latch (spinning waiters, writer-preferring).
+type Latch struct {
+	readers int
+	writer  *vthread
+	queue   []latchWaiter // FIFO
+	stats   WaitStats
+	heldAt  float64
+}
+
+type latchWaiter struct {
+	t    *vthread
+	mode LatchMode
+}
+
+// NewLatch registers a named reader-writer latch.
+func (s *Sim) NewLatch(name string) *Latch {
+	l := &Latch{}
+	l.stats.Name = name
+	s.latches = append(s.latches, l)
+	return l
+}
+
+// Latch acquires l in mode.
+func (c *Ctx) Latch(l *Latch, mode LatchMode) {
+	c.t.req <- request{kind: opLatch, latch: l, mode: mode}
+	<-c.t.resume
+}
+
+// Unlatch releases l from mode.
+func (c *Ctx) Unlatch(l *Latch, mode LatchMode) {
+	c.t.req <- request{kind: opUnlatch, latch: l, mode: mode}
+	<-c.t.resume
+}
+
+func (l *Latch) grantable(mode LatchMode) bool {
+	if mode == SH {
+		return l.writer == nil && len(l.queue) == 0
+	}
+	return l.writer == nil && l.readers == 0
+}
+
+func (s *Sim) latchAcquire(t *vthread, l *Latch, mode LatchMode) bool {
+	l.stats.Acquires++
+	if l.grantable(mode) {
+		if mode == SH {
+			l.readers++
+		} else {
+			l.writer = t
+		}
+		if l.readers+boolToInt(l.writer != nil) == 1 {
+			l.heldAt = s.now
+		}
+		s.grantWork(t, costAtomicRMW)
+		return false
+	}
+	l.stats.Contended++
+	t.waitLatch = l
+	t.waitMode = mode
+	t.waitStart = s.now
+	t.state = stateSpinning // latches spin
+	l.queue = append(l.queue, latchWaiter{t: t, mode: mode})
+	return false
+}
+
+func (s *Sim) latchRelease(t *vthread, l *Latch, mode LatchMode) {
+	if mode == SH {
+		l.readers--
+	} else {
+		if l.writer != t {
+			panic("sim: unlatch EX by non-writer")
+		}
+		l.writer = nil
+	}
+	if l.readers == 0 && l.writer == nil {
+		l.stats.HoldNs += s.now - l.heldAt
+	}
+	// Grant from the queue head: a writer alone, or a run of readers.
+	for len(l.queue) > 0 {
+		w := l.queue[0]
+		if w.mode == EX {
+			if l.readers != 0 || l.writer != nil {
+				break
+			}
+			l.queue = l.queue[1:]
+			l.writer = w.t
+			l.heldAt = s.now
+			l.stats.WaitNs += s.now - w.t.waitStart
+			l.stats.SpinWasted += s.now - w.t.waitStart
+			w.t.waitLatch = nil
+			s.grantWork(w.t, costAtomicRMW+costTATASHandPer)
+			break
+		}
+		if l.writer != nil {
+			break
+		}
+		l.queue = l.queue[1:]
+		l.readers++
+		if l.readers == 1 && l.writer == nil {
+			l.heldAt = s.now
+		}
+		l.stats.WaitNs += s.now - w.t.waitStart
+		l.stats.SpinWasted += s.now - w.t.waitStart
+		w.t.waitLatch = nil
+		s.grantWork(w.t, costAtomicRMW+costTATASHandPer)
+	}
+}
+
+// Semaphore ---------------------------------------------------------------
+
+// Semaphore is a counting admission gate with blocking waiters — the
+// model of InnoDB's srv_conc_enter_innodb throttle.
+type Semaphore struct {
+	capacity int
+	inUse    int
+	queue    []*vthread
+	stats    WaitStats
+}
+
+// NewSemaphore registers a named counting semaphore.
+func (s *Sim) NewSemaphore(name string, capacity int) *Semaphore {
+	sem := &Semaphore{capacity: capacity}
+	sem.stats.Name = name
+	s.sems = append(s.sems, sem)
+	return sem
+}
+
+// Acquire takes one slot, blocking (descheduled) when full.
+func (c *Ctx) Acquire(sem *Semaphore) {
+	c.t.req <- request{kind: opSemAcquire, sem: sem}
+	<-c.t.resume
+}
+
+// TryAcquire takes a slot only if one is free, reporting success. It
+// models sleep-and-retry admission gates (InnoDB's srv_conc_enter with
+// innodb_thread_sleep_delay), whose slots sit idle while rejected threads
+// sleep — the mechanism behind MySQL's throughput *drop* under
+// oversubscription rather than a mere plateau.
+func (c *Ctx) TryAcquire(sem *Semaphore) bool {
+	c.t.req <- request{kind: opSemTry, sem: sem}
+	ok := <-c.t.nowOut // 1 = acquired
+	<-c.t.resume
+	return ok != 0
+}
+
+// Release returns one slot.
+func (c *Ctx) Release(sem *Semaphore) {
+	c.t.req <- request{kind: opSemRelease, sem: sem}
+	<-c.t.resume
+}
+
+func (s *Sim) semAcquire(t *vthread, sem *Semaphore) bool {
+	sem.stats.Acquires++
+	if sem.inUse < sem.capacity && len(sem.queue) == 0 {
+		sem.inUse++
+		s.grantWork(t, costAtomicRMW*2)
+		return false
+	}
+	sem.stats.Contended++
+	t.waitSem = sem
+	t.waitStart = s.now
+	t.state = stateBlocked
+	sem.queue = append(sem.queue, t)
+	return false
+}
+
+func (s *Sim) semRelease(t *vthread, sem *Semaphore) {
+	sem.inUse--
+	if len(sem.queue) == 0 {
+		return
+	}
+	next := sem.queue[0]
+	sem.queue = sem.queue[1:]
+	sem.inUse++
+	sem.stats.WaitNs += s.now - next.waitStart
+	next.waitSem = nil
+	// Admission costs a context switch plus scheduler thrash proportional
+	// to the run queue it wades through — the oversubscription overhead
+	// that turns an admission-gated engine's curve from a plateau into a
+	// decline (MySQL in Figures 1 and 4).
+	s.grantWork(next, costCtxSwitch+1.5*costFutexWake*float64(len(sem.queue)))
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"testing"
+)
+
+const ms = 1e6 // virtual nanoseconds per millisecond
+
+// countTx runs n threads of script for horizon and returns committed
+// counts per thread (scripts increment their own slot).
+func runCounting(chip Chip, n int, horizon float64, body func(ctx *Ctx, commit func())) []int {
+	s := New(chip)
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		s.Spawn(func(ctx *Ctx) {
+			commit := func() { counts[i]++ }
+			body(ctx, commit)
+		})
+	}
+	s.Run(horizon)
+	return counts
+}
+
+func total(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// pureComputeScript: no shared resources at all.
+func pureCompute(ctx *Ctx, commit func()) {
+	for ctx.Now() < 10*ms {
+		ctx.Work(1000)
+		commit()
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() ([]int, float64) {
+		s := New(Niagara())
+		m := s.NewMutex("m", KindTATAS)
+		counts := make([]int, 8)
+		for i := 0; i < 8; i++ {
+			i := i
+			s.Spawn(func(ctx *Ctx) {
+				for ctx.Now() < 5*ms {
+					ctx.Work(500)
+					ctx.Lock(m)
+					ctx.Work(200)
+					ctx.Unlock(m)
+					counts[i]++
+				}
+			})
+		}
+		s.Run(5 * ms)
+		return counts, s.Profile()[0].WaitNs
+	}
+	a, aw := run()
+	b, bw := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic counts: %v vs %v", a, b)
+		}
+	}
+	if aw != bw {
+		t.Fatalf("nondeterministic wait stats: %v vs %v", aw, bw)
+	}
+}
+
+func TestPureComputeScalesLinearlyToCores(t *testing.T) {
+	t1 := total(runCounting(Niagara(), 1, 10*ms, pureCompute))
+	t8 := total(runCounting(Niagara(), 8, 10*ms, pureCompute))
+	if t1 == 0 {
+		t.Fatal("no work completed")
+	}
+	sp := float64(t8) / float64(t1)
+	if sp < 7.5 || sp > 8.5 {
+		t.Fatalf("8-thread speedup = %.2f, want ~8 (one thread per core)", sp)
+	}
+}
+
+func TestSMTSharingSlowsCoResidents(t *testing.T) {
+	// 32 threads on 8 cores with capacity 3.2: aggregate ≈ 8*3.2 = 25.6x.
+	t1 := total(runCounting(Niagara(), 1, 10*ms, pureCompute))
+	t32 := total(runCounting(Niagara(), 32, 10*ms, pureCompute))
+	sp := float64(t32) / float64(t1)
+	if sp < 23 || sp > 28 {
+		t.Fatalf("32-thread speedup = %.2f, want ~25.6 (SMT sharing)", sp)
+	}
+}
+
+func TestSerialSectionLimitsThroughput(t *testing.T) {
+	// 50% of each transaction inside one mutex: Amdahl caps speedup at ~2.
+	script := func(m *Mutex) func(ctx *Ctx, commit func()) {
+		return func(ctx *Ctx, commit func()) {
+			for ctx.Now() < 10*ms {
+				ctx.Work(1000)
+				ctx.Lock(m)
+				ctx.Work(1000)
+				ctx.Unlock(m)
+				commit()
+			}
+		}
+	}
+	run := func(n int) int {
+		s := New(Niagara())
+		m := s.NewMutex("serial", KindMCS)
+		counts := make([]int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			body := script(m)
+			s.Spawn(func(ctx *Ctx) { body(ctx, func() { counts[i]++ }) })
+		}
+		s.Run(10 * ms)
+		return total(counts)
+	}
+	t1 := run(1)
+	t16 := run(16)
+	sp := float64(t16) / float64(t1)
+	if sp > 2.5 {
+		t.Fatalf("speedup %.2f exceeds Amdahl bound ~2 for 50%% serial fraction", sp)
+	}
+	if sp < 1.2 {
+		t.Fatalf("speedup %.2f shows no benefit at all", sp)
+	}
+}
+
+func TestTATASCollapsesVsMCSScales(t *testing.T) {
+	// Short critical section, high contention: TATAS hand-off cost grows
+	// with spinner count; MCS stays constant. At 32 threads MCS must beat
+	// TATAS.
+	run := func(kind MutexKind, n int) int {
+		s := New(Niagara())
+		m := s.NewMutex("hot", kind)
+		counts := make([]int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			s.Spawn(func(ctx *Ctx) {
+				for ctx.Now() < 10*ms {
+					ctx.Work(2000)
+					ctx.Lock(m)
+					ctx.Work(300)
+					ctx.Unlock(m)
+					counts[i]++
+				}
+			})
+		}
+		s.Run(10 * ms)
+		return total(counts)
+	}
+	tatas32 := run(KindTATAS, 32)
+	mcs32 := run(KindMCS, 32)
+	if mcs32 <= tatas32 {
+		t.Fatalf("MCS (%d) should beat TATAS (%d) at 32 threads on a hot lock", mcs32, tatas32)
+	}
+	// And at 1 thread, the cheap lock should win (lower overhead).
+	tatas1 := run(KindTATAS, 1)
+	mcs1 := run(KindMCS, 1)
+	if tatas1 < mcs1 {
+		t.Fatalf("TATAS (%d) should beat MCS (%d) single-threaded", tatas1, mcs1)
+	}
+}
+
+func TestBlockingFreesCPUForOthers(t *testing.T) {
+	// Two groups on the same cores: group A fights over one mutex, group B
+	// computes independently. With a blocking mutex, A's waiters free the
+	// core for B; with spinning TAS they steal it. B must do more work
+	// under the blocking variant.
+	run := func(kind MutexKind) int {
+		s := New(Chip{Cores: 1, ThreadsPerCore: 4, IssueCapacity: 1})
+		m := s.NewMutex("gate", kind)
+		bCount := 0
+		for i := 0; i < 3; i++ {
+			s.Spawn(func(ctx *Ctx) {
+				for ctx.Now() < 10*ms {
+					ctx.Lock(m)
+					ctx.Work(20000)
+					ctx.Unlock(m)
+				}
+			})
+		}
+		s.Spawn(func(ctx *Ctx) {
+			for ctx.Now() < 10*ms {
+				ctx.Work(1000)
+				bCount++
+			}
+		})
+		s.Run(10 * ms)
+		return bCount
+	}
+	spin := run(KindTAS)
+	block := run(KindBlocking)
+	if block <= spin {
+		t.Fatalf("independent thread did %d work with blocking vs %d with spinning; blocking should free the core", block, spin)
+	}
+}
+
+func TestLatchSharedReadersParallel(t *testing.T) {
+	// SH holders proceed together; EX serializes.
+	run := func(mode LatchMode, n int) int {
+		s := New(Niagara())
+		l := s.NewLatch("page")
+		counts := make([]int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			s.Spawn(func(ctx *Ctx) {
+				for ctx.Now() < 10*ms {
+					ctx.Latch(l, mode)
+					ctx.Work(1000)
+					ctx.Unlatch(l, mode)
+					counts[i]++
+				}
+			})
+		}
+		s.Run(10 * ms)
+		return total(counts)
+	}
+	sh := run(SH, 8)
+	ex := run(EX, 8)
+	if sh < 3*ex {
+		t.Fatalf("8 SH readers (%d) should far outpace 8 EX writers (%d)", sh, ex)
+	}
+}
+
+func TestSemaphoreAdmissionGate(t *testing.T) {
+	// Capacity 2 gate: >2 threads gain nothing.
+	run := func(n int) int {
+		s := New(Niagara())
+		sem := s.NewSemaphore("admission", 2)
+		counts := make([]int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			s.Spawn(func(ctx *Ctx) {
+				for ctx.Now() < 10*ms {
+					ctx.Acquire(sem)
+					ctx.Work(5000)
+					ctx.Release(sem)
+					counts[i]++
+				}
+			})
+		}
+		s.Run(10 * ms)
+		return total(counts)
+	}
+	t2 := run(2)
+	t16 := run(16)
+	if float64(t16) > float64(t2)*1.25 {
+		t.Fatalf("gate capacity 2 but 16 threads did %d vs %d at 2 threads", t16, t2)
+	}
+}
+
+func TestSleepDoesNotConsumeCPU(t *testing.T) {
+	// A sleeping thread must not slow a computing core-mate.
+	s := New(Chip{Cores: 1, ThreadsPerCore: 2, IssueCapacity: 1})
+	count := 0
+	s.Spawn(func(ctx *Ctx) {
+		for ctx.Now() < 10*ms {
+			ctx.Sleep(1000)
+		}
+	})
+	s.Spawn(func(ctx *Ctx) {
+		for ctx.Now() < 10*ms {
+			ctx.Work(1000)
+			count++
+		}
+	})
+	s.Run(10 * ms)
+	// Full-rate compute: ~10000 iterations minus scheduling epsilon.
+	if count < 9000 {
+		t.Fatalf("computing thread did %d iterations; sleeper stole CPU", count)
+	}
+}
+
+func TestProfileReportsContention(t *testing.T) {
+	s := New(Niagara())
+	hot := s.NewMutex("hot", KindTATAS)
+	cold := s.NewMutex("cold", KindTATAS)
+	for i := 0; i < 8; i++ {
+		s.Spawn(func(ctx *Ctx) {
+			for ctx.Now() < 5*ms {
+				ctx.Lock(hot)
+				ctx.Work(500)
+				ctx.Unlock(hot)
+				ctx.Lock(cold)
+				ctx.Unlock(cold)
+				ctx.Work(100)
+			}
+		})
+	}
+	s.Run(5 * ms)
+	prof := s.Profile()
+	if len(prof) != 2 {
+		t.Fatalf("profile has %d entries", len(prof))
+	}
+	if prof[0].Name != "hot" {
+		t.Fatalf("hottest resource = %s, want hot", prof[0].Name)
+	}
+	if prof[0].WaitNs == 0 || prof[0].Contended == 0 {
+		t.Fatalf("hot mutex shows no contention: %+v", prof[0])
+	}
+	if prof[0].HoldNs == 0 {
+		t.Fatal("hold time not recorded")
+	}
+}

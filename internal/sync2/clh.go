@@ -1,0 +1,85 @@
+package sync2
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CLHLock is the Craig / Landin-Hagersten queue lock (the paper's
+// reference [9]): like MCS, waiters form a queue and each spins locally,
+// but on the *predecessor's* node rather than their own, which removes the
+// hand-off store MCS needs. On cache-coherent machines the two perform
+// similarly; CLH is included to complete the queue-lock family the paper's
+// related work surveys.
+type CLHLock struct {
+	statCounters
+	tail  atomic.Pointer[clhNode]
+	owner *clhNode // current holder's node; guarded by the lock itself
+	pred  *clhNode // holder's predecessor node (recycled on unlock)
+}
+
+type clhNode struct {
+	locked atomic.Bool
+	_      [56]byte // cache-line padding
+}
+
+var clhNodePool = sync.Pool{New: func() any { return new(clhNode) }}
+
+// Lock acquires the lock, enqueueing behind current waiters.
+func (l *CLHLock) Lock() {
+	n := clhNodePool.Get().(*clhNode)
+	n.locked.Store(true)
+	pred := l.tail.Swap(n)
+	if pred == nil {
+		l.owner = n
+		l.pred = nil
+		l.recordAcquire(false, 0)
+		return
+	}
+	var b Backoff
+	contended := pred.locked.Load()
+	for pred.locked.Load() {
+		b.Spin()
+	}
+	l.owner = n
+	l.pred = pred // recycle the predecessor's node after our critical section
+	l.recordAcquire(contended, uint64(b.Iterations()))
+}
+
+// TryLock acquires the lock only if the queue is empty.
+func (l *CLHLock) TryLock() bool {
+	n := clhNodePool.Get().(*clhNode)
+	n.locked.Store(true)
+	if l.tail.CompareAndSwap(nil, n) {
+		l.owner = n
+		l.pred = nil
+		l.recordAcquire(false, 0)
+		return true
+	}
+	clhNodePool.Put(n)
+	return false
+}
+
+// Unlock releases the lock, letting the successor (spinning on our node)
+// proceed.
+func (l *CLHLock) Unlock() {
+	n := l.owner
+	pred := l.pred
+	l.owner = nil
+	l.pred = nil
+	// If no successor has enqueued, try to reset the tail so the node can
+	// be recycled immediately.
+	if l.tail.CompareAndSwap(n, nil) {
+		n.locked.Store(false)
+		clhNodePool.Put(n)
+	} else {
+		// A successor spins on n: release it. n is recycled by the
+		// successor (it becomes their pred), not by us.
+		n.locked.Store(false)
+	}
+	if pred != nil {
+		clhNodePool.Put(pred)
+	}
+}
+
+var _ Locker = (*CLHLock)(nil)

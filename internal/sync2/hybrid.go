@@ -1,0 +1,185 @@
+package sync2
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// HybridLock is a spin-then-block mutex: a test-and-set fast path that
+// falls back to a blocking mutex + condition variable only under contention.
+// This mirrors the Shore-MT change in §7.2 ("we replaced several key
+// pthread mutex instances with test-and-set spinlocks that acquire a
+// pthread mutex and cond var only under contention"), which makes the
+// common uncontended case nearly free while still descheduling long waits.
+type HybridLock struct {
+	statCounters
+	state   atomic.Int32 // 0 free, 1 held, 2 held with waiters
+	mu      sync.Mutex
+	cond    *sync.Cond
+	condSet atomic.Bool
+}
+
+func (l *HybridLock) lazyCond() *sync.Cond {
+	if !l.condSet.Load() {
+		l.mu.Lock()
+		if l.cond == nil {
+			l.cond = sync.NewCond(&l.mu)
+			l.condSet.Store(true)
+		}
+		l.mu.Unlock()
+	}
+	return l.cond
+}
+
+// Lock acquires the lock, spinning briefly before blocking.
+func (l *HybridLock) Lock() {
+	if l.state.CompareAndSwap(0, 1) {
+		l.recordAcquire(false, 0)
+		return
+	}
+	var b Backoff
+	// Brief optimistic spin.
+	for i := 0; i < spinBudget; i++ {
+		if l.state.Load() == 0 && l.state.CompareAndSwap(0, 1) {
+			l.recordAcquire(true, uint64(b.Iterations()))
+			return
+		}
+		b.Spin()
+	}
+	// Slow path: mark "held with waiters" and block on the cond var.
+	cond := l.lazyCond()
+	l.mu.Lock()
+	for {
+		old := l.state.Load()
+		switch old {
+		case 0:
+			if l.state.CompareAndSwap(0, 2) {
+				l.mu.Unlock()
+				l.recordAcquire(true, uint64(b.Iterations()))
+				return
+			}
+		case 1:
+			if !l.state.CompareAndSwap(1, 2) {
+				continue
+			}
+			cond.Wait()
+		case 2:
+			cond.Wait()
+		}
+	}
+}
+
+// TryLock attempts to acquire the lock without waiting.
+func (l *HybridLock) TryLock() bool {
+	if l.state.CompareAndSwap(0, 1) {
+		l.recordAcquire(false, 0)
+		return true
+	}
+	return false
+}
+
+// Unlock releases the lock, waking one blocked waiter if any.
+func (l *HybridLock) Unlock() {
+	old := l.state.Swap(0)
+	if old == 2 {
+		cond := l.lazyCond()
+		l.mu.Lock()
+		cond.Signal()
+		l.mu.Unlock()
+	}
+}
+
+// BlockingLock wraps sync.Mutex with the package's Locker interface and
+// contention stats. It plays the role of the "pthread mutex" in the paper's
+// experiments: correct and fair-ish, but with wake-up latency on every
+// contended handoff.
+type BlockingLock struct {
+	statCounters
+	mu sync.Mutex
+}
+
+// Lock acquires the lock, blocking if necessary.
+func (l *BlockingLock) Lock() {
+	if l.mu.TryLock() {
+		l.recordAcquire(false, 0)
+		return
+	}
+	l.mu.Lock()
+	l.recordAcquire(true, 0)
+}
+
+// TryLock attempts to acquire the lock without blocking.
+func (l *BlockingLock) TryLock() bool {
+	if l.mu.TryLock() {
+		l.recordAcquire(false, 0)
+		return true
+	}
+	return false
+}
+
+// Unlock releases the lock.
+func (l *BlockingLock) Unlock() { l.mu.Unlock() }
+
+var (
+	_ Locker = (*HybridLock)(nil)
+	_ Locker = (*BlockingLock)(nil)
+)
+
+// Kind names a lock implementation; used by config layers to choose
+// primitives per component ("use the right synchronization primitive").
+type Kind int
+
+// Lock kinds, from least to most scalable under contention.
+const (
+	KindTAS Kind = iota
+	KindTATAS
+	KindTicket
+	KindMCS
+	KindCLH
+	KindHybrid
+	KindBlocking
+)
+
+// String returns the primitive's conventional name.
+func (k Kind) String() string {
+	switch k {
+	case KindTAS:
+		return "tas"
+	case KindTATAS:
+		return "tatas"
+	case KindTicket:
+		return "ticket"
+	case KindMCS:
+		return "mcs"
+	case KindCLH:
+		return "clh"
+	case KindHybrid:
+		return "hybrid"
+	case KindBlocking:
+		return "blocking"
+	default:
+		return "unknown"
+	}
+}
+
+// New constructs a Locker of the given kind.
+func New(k Kind) Locker {
+	switch k {
+	case KindTAS:
+		return new(TASLock)
+	case KindTATAS:
+		return new(TATASLock)
+	case KindTicket:
+		return new(TicketLock)
+	case KindMCS:
+		return new(MCSLock)
+	case KindCLH:
+		return new(CLHLock)
+	case KindHybrid:
+		return new(HybridLock)
+	case KindBlocking:
+		return new(BlockingLock)
+	default:
+		return new(BlockingLock)
+	}
+}

@@ -1,0 +1,177 @@
+package sync2
+
+import "sync/atomic"
+
+// LatchMode is the mode in which a latch is requested.
+type LatchMode int
+
+// Latch modes.
+const (
+	LatchNone LatchMode = iota
+	LatchSH             // shared: concurrent readers
+	LatchEX             // exclusive: single writer
+)
+
+// String returns "SH", "EX" or "none".
+func (m LatchMode) String() string {
+	switch m {
+	case LatchSH:
+		return "SH"
+	case LatchEX:
+		return "EX"
+	default:
+		return "none"
+	}
+}
+
+// RWLatch is a reader-writer latch of the kind protecting every buffer-pool
+// page (§2.2.2). It is writer-preferring to bound writer starvation: once a
+// writer announces intent, new readers wait.
+//
+// State word layout: bit 31 = writer-held, bits 30..16 = writers waiting,
+// bits 15..0 = reader count.
+type RWLatch struct {
+	statCounters
+	state atomic.Uint32
+}
+
+const (
+	latchWriterBit   = 1 << 31
+	latchWaiterUnit  = 1 << 16
+	latchWaiterMask  = 0x7fff0000
+	latchReaderMask  = 0x0000ffff
+	latchReaderLimit = latchReaderMask - 1
+)
+
+// LatchSH acquires the latch in shared mode.
+func (l *RWLatch) LatchSH() {
+	if s := l.state.Load(); s&(latchWriterBit|latchWaiterMask) == 0 &&
+		s&latchReaderMask < latchReaderLimit &&
+		l.state.CompareAndSwap(s, s+1) {
+		l.recordAcquire(false, 0)
+		return
+	}
+	var b Backoff
+	for {
+		s := l.state.Load()
+		if s&(latchWriterBit|latchWaiterMask) == 0 && s&latchReaderMask < latchReaderLimit {
+			if l.state.CompareAndSwap(s, s+1) {
+				l.recordAcquire(true, uint64(b.Iterations()))
+				return
+			}
+		}
+		b.Spin()
+	}
+}
+
+// TryLatchSH attempts a shared acquisition without waiting.
+func (l *RWLatch) TryLatchSH() bool {
+	s := l.state.Load()
+	if s&(latchWriterBit|latchWaiterMask) != 0 || s&latchReaderMask >= latchReaderLimit {
+		return false
+	}
+	if l.state.CompareAndSwap(s, s+1) {
+		l.recordAcquire(false, 0)
+		return true
+	}
+	return false
+}
+
+// UnlatchSH releases a shared hold.
+func (l *RWLatch) UnlatchSH() {
+	l.state.Add(^uint32(0)) // -1
+}
+
+// LatchEX acquires the latch in exclusive mode.
+func (l *RWLatch) LatchEX() {
+	// Fast path: completely free.
+	if l.state.CompareAndSwap(0, latchWriterBit) {
+		l.recordAcquire(false, 0)
+		return
+	}
+	// Announce intent so new readers back off.
+	l.state.Add(latchWaiterUnit)
+	var b Backoff
+	for {
+		s := l.state.Load()
+		if s&latchWriterBit == 0 && s&latchReaderMask == 0 {
+			if l.state.CompareAndSwap(s, (s-latchWaiterUnit)|latchWriterBit) {
+				l.recordAcquire(true, uint64(b.Iterations()))
+				return
+			}
+		}
+		b.Spin()
+	}
+}
+
+// TryLatchEX attempts an exclusive acquisition without waiting.
+func (l *RWLatch) TryLatchEX() bool {
+	if l.state.CompareAndSwap(0, latchWriterBit) {
+		l.recordAcquire(false, 0)
+		return true
+	}
+	return false
+}
+
+// UnlatchEX releases an exclusive hold.
+func (l *RWLatch) UnlatchEX() {
+	s := l.state.Load()
+	for !l.state.CompareAndSwap(s, s&^uint32(latchWriterBit)) {
+		s = l.state.Load()
+	}
+}
+
+// Latch acquires the latch in the given mode.
+func (l *RWLatch) Latch(m LatchMode) {
+	switch m {
+	case LatchSH:
+		l.LatchSH()
+	case LatchEX:
+		l.LatchEX()
+	}
+}
+
+// TryLatch attempts acquisition in the given mode without waiting.
+func (l *RWLatch) TryLatch(m LatchMode) bool {
+	switch m {
+	case LatchSH:
+		return l.TryLatchSH()
+	case LatchEX:
+		return l.TryLatchEX()
+	default:
+		return true
+	}
+}
+
+// Unlatch releases a hold taken in the given mode.
+func (l *RWLatch) Unlatch(m LatchMode) {
+	switch m {
+	case LatchSH:
+		l.UnlatchSH()
+	case LatchEX:
+		l.UnlatchEX()
+	}
+}
+
+// TryUpgrade attempts to convert a shared hold into an exclusive hold. It
+// succeeds only when the caller is the sole reader and no writer holds or
+// has claimed the latch; on failure the caller still holds SH.
+func (l *RWLatch) TryUpgrade() bool {
+	return l.state.CompareAndSwap(1, latchWriterBit)
+}
+
+// Downgrade converts an exclusive hold into a shared hold without releasing.
+func (l *RWLatch) Downgrade() {
+	for {
+		s := l.state.Load()
+		if l.state.CompareAndSwap(s, (s&^uint32(latchWriterBit))+1) {
+			return
+		}
+	}
+}
+
+// HeldEX reports whether the latch is currently writer-held (advisory).
+func (l *RWLatch) HeldEX() bool { return l.state.Load()&latchWriterBit != 0 }
+
+// Readers reports the current shared-holder count (advisory).
+func (l *RWLatch) Readers() int { return int(l.state.Load() & latchReaderMask) }

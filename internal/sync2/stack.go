@@ -1,0 +1,100 @@
+package sync2
+
+import "sync/atomic"
+
+// StackNode is embedded (or pointed to) by values stored in a Stack.
+// Callers own allocation of nodes; the stack only links them.
+type StackNode struct {
+	next *StackNode
+	val  any
+}
+
+// NewStackNode returns a node carrying val.
+func NewStackNode(val any) *StackNode { return &StackNode{val: val} }
+
+// Value returns the payload the node carries.
+func (n *StackNode) Value() any { return n.val }
+
+// Stack is a lock-free Treiber stack: push and pop are single
+// compare-and-swap operations. Shore-MT uses exactly this structure for the
+// lock manager's request pool (§7.5: "we reimplemented it as a lock-free
+// stack where threads can push or pop requests using a single
+// compare-and-swap operation").
+//
+// ABA safety: in Go, nodes are garbage-collected and a node address is never
+// reused while any goroutine still holds a reference to it, so the classic
+// ABA hazard of Treiber stacks cannot corrupt the list. Callers must not
+// push the same node twice concurrently.
+type Stack struct {
+	head atomic.Pointer[StackNode]
+	size atomic.Int64
+}
+
+// Push adds n to the top of the stack.
+func (s *Stack) Push(n *StackNode) {
+	for {
+		old := s.head.Load()
+		n.next = old
+		if s.head.CompareAndSwap(old, n) {
+			s.size.Add(1)
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top node, or nil if the stack is empty.
+func (s *Stack) Pop() *StackNode {
+	for {
+		old := s.head.Load()
+		if old == nil {
+			return nil
+		}
+		if s.head.CompareAndSwap(old, old.next) {
+			s.size.Add(-1)
+			old.next = nil
+			return old
+		}
+	}
+}
+
+// Len returns the approximate number of nodes on the stack.
+func (s *Stack) Len() int { return int(s.size.Load()) }
+
+// PinCount implements the atomic "pin-if-pinned" operation from §6.2.1: a
+// page's pin count can be incremented without holding the bucket lock
+// provided it is already non-zero, because a pinned page cannot be evicted.
+type PinCount struct {
+	n atomic.Int32
+}
+
+// PinIfPinned atomically increments the count only if it is currently
+// non-zero and reports whether it did. This is the lock-free fast path of a
+// buffer-pool hit on a hot page.
+func (p *PinCount) PinIfPinned() bool {
+	for {
+		old := p.n.Load()
+		if old <= 0 {
+			return false
+		}
+		if p.n.CompareAndSwap(old, old+1) {
+			return true
+		}
+	}
+}
+
+// Pin unconditionally increments the count. Callers must hold whatever lock
+// protects the page's residency (the bucket latch) when pinning from zero.
+func (p *PinCount) Pin() { p.n.Add(1) }
+
+// Unpin decrements the count and returns the new value.
+func (p *PinCount) Unpin() int32 { return p.n.Add(-1) }
+
+// Get returns the current count.
+func (p *PinCount) Get() int32 { return p.n.Load() }
+
+// TryFreeze transitions the count from 0 to -1, claiming the page for
+// eviction; it fails if the page is pinned or already frozen.
+func (p *PinCount) TryFreeze() bool { return p.n.CompareAndSwap(0, -1) }
+
+// Unfreeze returns a frozen count to 0.
+func (p *PinCount) Unfreeze() { p.n.CompareAndSwap(-1, 0) }

@@ -1,0 +1,99 @@
+package sync2
+
+import "sync/atomic"
+
+// TASLock is a plain test-and-set spinlock: every acquisition attempt
+// performs an atomic exchange, generating coherence traffic even while the
+// lock is held. It is the least scalable primitive in the paper's taxonomy
+// and exists mainly as a baseline and as the BerkeleyDB archetype's
+// `_db_tas_lock`.
+type TASLock struct {
+	statCounters
+	state atomic.Uint32
+}
+
+// Lock acquires the lock, spinning with test-and-set until it succeeds.
+func (l *TASLock) Lock() {
+	if l.state.Swap(1) == 0 {
+		l.recordAcquire(false, 0)
+		return
+	}
+	var b Backoff
+	for l.state.Swap(1) != 0 {
+		b.Spin()
+	}
+	l.recordAcquire(true, uint64(b.Iterations()))
+}
+
+// TryLock attempts a single test-and-set and reports whether it acquired
+// the lock.
+func (l *TASLock) TryLock() bool {
+	if l.state.Swap(1) == 0 {
+		l.recordAcquire(false, 0)
+		return true
+	}
+	return false
+}
+
+// Unlock releases the lock. It must only be called by the current holder.
+func (l *TASLock) Unlock() {
+	l.state.Store(0)
+}
+
+// Locked reports whether the lock is currently held (advisory only).
+func (l *TASLock) Locked() bool { return l.state.Load() != 0 }
+
+// TATASLock is a test-and-test-and-set spinlock: waiters spin on a read of
+// the lock word and attempt the atomic exchange only when they observe it
+// free. Cheap under low contention — which is exactly why the paper warns
+// that it "fails miserably on high contention" (§4, BerkeleyDB; §6.1, the
+// free-space manager experiment where it doubled single-thread speed but
+// halved scalability).
+type TATASLock struct {
+	statCounters
+	state atomic.Uint32
+}
+
+// Lock acquires the lock.
+func (l *TATASLock) Lock() {
+	// Fast path: uncontended CAS.
+	if l.state.CompareAndSwap(0, 1) {
+		l.recordAcquire(false, 0)
+		return
+	}
+	var b Backoff
+	for {
+		// Test: spin on a plain load until the lock looks free.
+		for l.state.Load() != 0 {
+			b.Spin()
+		}
+		// Test-and-set: race to grab it.
+		if l.state.CompareAndSwap(0, 1) {
+			l.recordAcquire(true, uint64(b.Iterations()))
+			return
+		}
+		b.Spin()
+	}
+}
+
+// TryLock attempts to acquire the lock without spinning.
+func (l *TATASLock) TryLock() bool {
+	if l.state.Load() == 0 && l.state.CompareAndSwap(0, 1) {
+		l.recordAcquire(false, 0)
+		return true
+	}
+	return false
+}
+
+// Unlock releases the lock. It must only be called by the current holder.
+func (l *TATASLock) Unlock() {
+	l.state.Store(0)
+}
+
+// Locked reports whether the lock is currently held (advisory only).
+func (l *TATASLock) Locked() bool { return l.state.Load() != 0 }
+
+var (
+	_ Locker = (*TASLock)(nil)
+	_ Locker = (*TATASLock)(nil)
+)

@@ -1,0 +1,96 @@
+// Package tpcc implements the TPC-C subset the paper benchmarks with
+// (§3.2): the full nine-table schema, the standard NURand key generator,
+// a scale-configurable loader, and the Payment and New Order transactions
+// — together 88% of the TPC-C mix and the workloads of Figure 5.
+//
+// Rows live in B-tree primary indexes keyed by their composite primary
+// keys (big-endian encodings so ranges scan in order); HISTORY, which has
+// no primary key, lives in a heap table.
+package tpcc
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrShortRow reports a truncated row during decoding.
+var ErrShortRow = errors.New("tpcc: truncated row")
+
+// enc is a tiny append-only row encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *enc) str(s string) {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	e.b = append(e.b, byte(len(s)>>8), byte(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// dec is the matching decoder.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) need(n int) bool {
+	if d.err != nil || d.off+n > len(d.b) {
+		d.err = ErrShortRow
+		return false
+	}
+	return true
+}
+
+func (d *dec) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) i64() int64 { return int64(d.u64()) }
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) str() string {
+	if !d.need(2) {
+		return ""
+	}
+	n := int(d.b[d.off])<<8 | int(d.b[d.off+1])
+	d.off += 2
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}

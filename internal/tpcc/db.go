@@ -1,0 +1,261 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tx"
+)
+
+// Scale configures database size. The TPC-C defaults (10 districts per
+// warehouse, 3000 customers per district, 100k items) are far larger than
+// unit tests need, so every axis is adjustable.
+type Scale struct {
+	Warehouses    int
+	Districts     int // per warehouse
+	Customers     int // per district
+	Items         int
+	StockPerItem  bool // load stock for every (warehouse, item) pair
+	InitialOrders int  // pre-loaded orders per district
+}
+
+// DefaultScale returns a small-but-realistic scale for benchmarks.
+func DefaultScale(warehouses int) Scale {
+	return Scale{
+		Warehouses:   warehouses,
+		Districts:    10,
+		Customers:    120,
+		Items:        1000,
+		StockPerItem: true,
+	}
+}
+
+// TinyScale returns a minimal scale for unit tests.
+func TinyScale() Scale {
+	return Scale{Warehouses: 2, Districts: 2, Customers: 10, Items: 50, StockPerItem: true}
+}
+
+// DB holds the engine plus the store handles of the nine TPC-C tables.
+type DB struct {
+	Engine *core.Engine
+	Scale  Scale
+
+	Warehouse   *core.Index
+	District    *core.Index
+	Customer    *core.Index
+	Orders      *core.Index
+	NewOrderTab *core.Index
+	OrderLine   *core.Index
+	Item        *core.Index
+	Stock       *core.Index
+	History     uint32 // heap store (no primary key)
+}
+
+// readWarehouse fetches and decodes a warehouse row.
+func (db *DB) readWarehouse(t *tx.Tx, w uint32) (Warehouse, error) {
+	b, ok, err := db.Engine.IndexLookup(t, db.Warehouse, wKey(w))
+	if err != nil {
+		return Warehouse{}, err
+	}
+	if !ok {
+		return Warehouse{}, fmt.Errorf("tpcc: warehouse %d missing", w)
+	}
+	return decodeWarehouse(b)
+}
+
+func (db *DB) readDistrict(t *tx.Tx, w uint32, d uint8) (District, error) {
+	b, ok, err := db.Engine.IndexLookup(t, db.District, dKey(w, d))
+	if err != nil {
+		return District{}, err
+	}
+	if !ok {
+		return District{}, fmt.Errorf("tpcc: district %d/%d missing", w, d)
+	}
+	return decodeDistrict(b)
+}
+
+func (db *DB) readCustomer(t *tx.Tx, w uint32, d uint8, c uint32) (Customer, error) {
+	b, ok, err := db.Engine.IndexLookup(t, db.Customer, cKey(w, d, c))
+	if err != nil {
+		return Customer{}, err
+	}
+	if !ok {
+		return Customer{}, fmt.Errorf("tpcc: customer %d/%d/%d missing", w, d, c)
+	}
+	return decodeCustomer(b)
+}
+
+func (db *DB) readItem(t *tx.Tx, i uint32) (Item, bool, error) {
+	b, ok, err := db.Engine.IndexLookup(t, db.Item, iKey(i))
+	if err != nil || !ok {
+		return Item{}, ok, err
+	}
+	it, err := decodeItem(b)
+	return it, true, err
+}
+
+func (db *DB) readStock(t *tx.Tx, w, i uint32) (Stock, error) {
+	b, ok, err := db.Engine.IndexLookup(t, db.Stock, sKey(w, i))
+	if err != nil {
+		return Stock{}, err
+	}
+	if !ok {
+		return Stock{}, fmt.Errorf("tpcc: stock %d/%d missing", w, i)
+	}
+	return decodeStock(b)
+}
+
+// Load builds and populates a TPC-C database on engine at the given scale.
+func Load(engine *core.Engine, scale Scale, seed int64) (*DB, error) {
+	db := &DB{Engine: engine, Scale: scale}
+	r := NewRand(seed)
+
+	t, err := engine.Begin()
+	if err != nil {
+		return nil, err
+	}
+	mk := func() (*core.Index, error) { return engine.CreateIndex(t) }
+	if db.Warehouse, err = mk(); err != nil {
+		return nil, err
+	}
+	if db.District, err = mk(); err != nil {
+		return nil, err
+	}
+	if db.Customer, err = mk(); err != nil {
+		return nil, err
+	}
+	if db.Orders, err = mk(); err != nil {
+		return nil, err
+	}
+	if db.NewOrderTab, err = mk(); err != nil {
+		return nil, err
+	}
+	if db.OrderLine, err = mk(); err != nil {
+		return nil, err
+	}
+	if db.Item, err = mk(); err != nil {
+		return nil, err
+	}
+	if db.Stock, err = mk(); err != nil {
+		return nil, err
+	}
+	if db.History, err = engine.CreateTable(); err != nil {
+		return nil, err
+	}
+	if err := engine.Commit(t); err != nil {
+		return nil, err
+	}
+
+	// Items (shared across warehouses).
+	if err := db.loadBatch(func(t *tx.Tx) error {
+		for i := 1; i <= scale.Items; i++ {
+			item := Item{
+				ID:    uint32(i),
+				ImID:  uint32(r.Int(1, 10000)),
+				Name:  r.AString(14, 24),
+				Price: r.Float(1, 100),
+				Data:  r.AString(26, 50),
+			}
+			if err := engine.IndexInsert(t, db.Item, iKey(item.ID), item.encode()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	for w := 1; w <= scale.Warehouses; w++ {
+		w := uint32(w)
+		if err := db.loadWarehouse(r, w); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// loadBatch runs fn inside one committed transaction.
+func (db *DB) loadBatch(fn func(t *tx.Tx) error) error {
+	t, err := db.Engine.Begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(t); err != nil {
+		_ = db.Engine.Abort(t)
+		return err
+	}
+	return db.Engine.Commit(t)
+}
+
+func (db *DB) loadWarehouse(r *Rand, w uint32) error {
+	e := db.Engine
+	scale := db.Scale
+	// Warehouse row + stock.
+	if err := db.loadBatch(func(t *tx.Tx) error {
+		wh := Warehouse{
+			ID: w, Name: r.AString(6, 10), Street: r.AString(10, 20),
+			City: r.AString(10, 20), State: r.AString(2, 2), Zip: r.NString(9, 9),
+			Tax: r.Float(0, 0.2),
+		}
+		if err := e.IndexInsert(t, db.Warehouse, wKey(w), wh.encode()); err != nil {
+			return err
+		}
+		if scale.StockPerItem {
+			for i := 1; i <= scale.Items; i++ {
+				s := Stock{
+					WID: w, ItemID: uint32(i),
+					Quantity: int32(r.Int(10, 100)),
+					DistInfo: r.AString(24, 24),
+					Data:     r.AString(26, 50),
+				}
+				if err := e.IndexInsert(t, db.Stock, sKey(w, uint32(i)), s.encode()); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Districts and customers.
+	for d := 1; d <= scale.Districts; d++ {
+		d := uint8(d)
+		if err := db.loadBatch(func(t *tx.Tx) error {
+			dist := District{
+				WID: w, ID: d, Name: r.AString(6, 10), Street: r.AString(10, 20),
+				City: r.AString(10, 20), Tax: r.Float(0, 0.2), NextOID: uint32(scale.InitialOrders + 1),
+			}
+			if err := e.IndexInsert(t, db.District, dKey(w, d), dist.encode()); err != nil {
+				return err
+			}
+			for c := 1; c <= scale.Customers; c++ {
+				credit := "GC"
+				if r.Int(1, 10) == 1 {
+					credit = "BC"
+				}
+				cust := Customer{
+					WID: w, DID: d, ID: uint32(c),
+					First: r.AString(8, 16), Middle: "OE", Last: LastName(c - 1),
+					Credit: credit, CreditLim: 50000, Discount: r.Float(0, 0.5),
+					Balance: -10, YTDPayment: 10, Data: r.AString(100, 200),
+				}
+				if err := e.IndexInsert(t, db.Customer, cKey(w, d, uint32(c)), cust.encode()); err != nil {
+					return err
+				}
+			}
+			for o := 1; o <= scale.InitialOrders; o++ {
+				ord := Order{
+					WID: w, DID: d, ID: uint32(o),
+					CID: uint32(r.Int(1, scale.Customers)), OLCount: 5, AllLocal: true,
+				}
+				if err := e.IndexInsert(t, db.Orders, oKey(w, d, uint32(o)), ord.encode()); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

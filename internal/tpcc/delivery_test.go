@@ -1,0 +1,205 @@
+package tpcc
+
+import (
+	"errors"
+	"testing"
+)
+
+// placeOrder is a test helper that runs a successful New Order.
+func placeOrder(t *testing.T, db *DB, w uint32, d uint8, c uint32, items ...uint32) {
+	t.Helper()
+	var lines []NewOrderLine
+	for _, i := range items {
+		lines = append(lines, NewOrderLine{ItemID: i, SupplyWID: w, Quantity: 5})
+	}
+	if err := db.NewOrder(NewOrderInput{WID: w, DID: d, CID: c, Lines: lines}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeliveryProcessesOldestOrder(t *testing.T) {
+	db := newDB(t, TinyScale())
+	// Two orders in district 1, one in district 2.
+	placeOrder(t, db, 1, 1, 2, 1, 2)
+	placeOrder(t, db, 1, 1, 3, 3)
+	placeOrder(t, db, 1, 2, 4, 4)
+
+	delivered, err := db.Delivery(DeliveryInput{WID: 1, CarrierID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d orders, want 2 (one per district with orders)", delivered)
+	}
+	// District 1's OLDEST order (oid 1, customer 2) was delivered.
+	tx1, _ := db.Engine.Begin()
+	defer db.Engine.Commit(tx1)
+	if _, ok, _ := db.Engine.IndexLookup(tx1, db.NewOrderTab, oKey(1, 1, 1)); ok {
+		t.Fatal("delivered NEW_ORDER row still present")
+	}
+	if _, ok, _ := db.Engine.IndexLookup(tx1, db.NewOrderTab, oKey(1, 1, 2)); !ok {
+		t.Fatal("newer order's NEW_ORDER row missing")
+	}
+	ob, ok, err := db.Engine.IndexLookup(tx1, db.Orders, oKey(1, 1, 1))
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	ord, _ := decodeOrder(ob)
+	if ord.CarrierID != 7 {
+		t.Fatalf("carrier = %d, want 7", ord.CarrierID)
+	}
+	// Customer 2's balance was credited with the order total.
+	cust, err := db.readCustomer(tx1, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cust.Balance <= -10 || cust.DeliveryCt != 1 {
+		t.Fatalf("customer not credited: %+v", cust)
+	}
+}
+
+func TestDeliveryNothingToDeliver(t *testing.T) {
+	db := newDB(t, TinyScale())
+	if _, err := db.Delivery(DeliveryInput{WID: 1, CarrierID: 1}); !errors.Is(err, ErrNothingToDeliver) {
+		t.Fatalf("empty delivery = %v", err)
+	}
+}
+
+func TestOrderStatus(t *testing.T) {
+	db := newDB(t, TinyScale())
+	placeOrder(t, db, 1, 1, 5, 1, 2, 3)
+	placeOrder(t, db, 1, 1, 5, 4) // more recent order for the same customer
+	placeOrder(t, db, 1, 1, 6, 5) // different customer
+
+	res, err := db.OrderStatus(OrderStatusInput{WID: 1, DID: 1, CID: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasOrder {
+		t.Fatal("no order found for customer 5")
+	}
+	if res.Order.ID != 2 || res.Order.CID != 5 {
+		t.Fatalf("most recent order = %+v, want oid 2", res.Order)
+	}
+	if len(res.Lines) != 1 || res.Lines[0].ItemID != 4 {
+		t.Fatalf("lines = %+v", res.Lines)
+	}
+	if res.Customer.ID != 5 {
+		t.Fatalf("customer = %+v", res.Customer)
+	}
+	// Customer with no orders.
+	res2, err := db.OrderStatus(OrderStatusInput{WID: 1, DID: 2, CID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.HasOrder {
+		t.Fatal("phantom order for orderless customer")
+	}
+}
+
+func TestStockLevel(t *testing.T) {
+	db := newDB(t, TinyScale())
+	placeOrder(t, db, 1, 1, 1, 1, 2, 3)
+	// Threshold above every stock level: all three items count.
+	low, err := db.StockLevel(StockLevelInput{WID: 1, DID: 1, Threshold: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low != 3 {
+		t.Fatalf("low-stock items = %d, want 3", low)
+	}
+	// Threshold below every stock level: none count.
+	low, err = db.StockLevel(StockLevelInput{WID: 1, DID: 1, Threshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low != 0 {
+		t.Fatalf("low-stock items = %d, want 0", low)
+	}
+	// Distinctness: ordering the same item twice counts once.
+	placeOrder(t, db, 1, 2, 1, 7)
+	placeOrder(t, db, 1, 2, 2, 7)
+	low, err = db.StockLevel(StockLevelInput{WID: 1, DID: 2, Threshold: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low != 1 {
+		t.Fatalf("distinct low-stock items = %d, want 1", low)
+	}
+}
+
+func TestGenExtendedInputs(t *testing.T) {
+	r := NewRand(5)
+	scale := TinyScale()
+	for i := 0; i < 200; i++ {
+		d := GenDelivery(r, scale, 2)
+		if d.WID != 2 || d.CarrierID < 1 || d.CarrierID > 10 {
+			t.Fatalf("delivery input %+v", d)
+		}
+		os := GenOrderStatus(r, scale, 1)
+		if os.DID < 1 || os.DID > uint8(scale.Districts) || os.CID < 1 || os.CID > uint32(scale.Customers) {
+			t.Fatalf("order-status input %+v", os)
+		}
+		sl := GenStockLevel(r, scale, 1)
+		if sl.Threshold < 10 || sl.Threshold > 20 {
+			t.Fatalf("stock-level input %+v", sl)
+		}
+	}
+}
+
+func TestFullMixConsistency(t *testing.T) {
+	// Run the complete five-transaction mix and audit invariants.
+	db := newDB(t, Scale{Warehouses: 1, Districts: 2, Customers: 10, Items: 50, StockPerItem: true})
+	r := NewRand(11)
+	newOrders := 0
+	for i := 0; i < 60; i++ {
+		switch i % 5 {
+		case 0, 1:
+			if err := db.PaymentWithRetry(GenPayment(r, db.Scale, 1), 5); err != nil {
+				t.Fatal(err)
+			}
+		case 2, 3:
+			err := db.NewOrderWithRetry(GenNewOrder(r, db.Scale, 1), 5)
+			if err == nil {
+				newOrders++
+			} else if !errors.Is(err, ErrUserAbort) {
+				t.Fatal(err)
+			}
+		case 4:
+			if _, err := db.Delivery(GenDelivery(r, db.Scale, 1)); err != nil && !errors.Is(err, ErrNothingToDeliver) {
+				t.Fatal(err)
+			}
+			if _, err := db.OrderStatus(GenOrderStatus(r, db.Scale, 1)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.StockLevel(GenStockLevel(r, db.Scale, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Invariant: ORDERS row count == committed New Orders; district
+	// NextOID counters are consistent with it.
+	tx1, _ := db.Engine.Begin()
+	defer db.Engine.Commit(tx1)
+	orders := 0
+	if err := db.Engine.IndexScan(tx1, db.Orders, nil, nil, func(k, v []byte) bool {
+		orders++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if orders != newOrders {
+		t.Fatalf("ORDERS rows %d != committed new orders %d", orders, newOrders)
+	}
+	sumNext := 0
+	for d := 1; d <= db.Scale.Districts; d++ {
+		dist, err := db.readDistrict(tx1, 1, uint8(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumNext += int(dist.NextOID) - 1
+	}
+	if sumNext != newOrders {
+		t.Fatalf("sum of district order counters %d != %d", sumNext, newOrders)
+	}
+}

@@ -1,0 +1,168 @@
+package tpcc
+
+import (
+	"time"
+)
+
+// NewOrderInput parameterizes one New Order transaction.
+type NewOrderInput struct {
+	WID   uint32
+	DID   uint8
+	CID   uint32
+	Lines []NewOrderLine
+	// Rollback triggers the spec's 1% intentional abort (unused item id).
+	Rollback bool
+}
+
+// NewOrderLine is one requested order line.
+type NewOrderLine struct {
+	ItemID    uint32
+	SupplyWID uint32
+	Quantity  uint8
+}
+
+// GenNewOrder draws New Order parameters per the spec: 5–15 lines, NURand
+// item ids, 1% remote supply warehouses, 1% rollbacks.
+func GenNewOrder(r *Rand, scale Scale, homeW uint32) NewOrderInput {
+	in := NewOrderInput{
+		WID:      homeW,
+		DID:      uint8(r.Int(1, scale.Districts)),
+		CID:      uint32(r.CustomerID(scale.Customers)),
+		Rollback: r.Rollback1Percent(),
+	}
+	n := r.Int(5, 15)
+	for i := 0; i < n; i++ {
+		l := NewOrderLine{
+			ItemID:    uint32(r.ItemID(scale.Items)),
+			SupplyWID: homeW,
+			Quantity:  uint8(r.Int(1, 10)),
+		}
+		if scale.Warehouses > 1 && r.Int(1, 100) == 1 {
+			for {
+				w := uint32(r.Int(1, scale.Warehouses))
+				if w != homeW {
+					l.SupplyWID = w
+					break
+				}
+			}
+		}
+		in.Lines = append(in.Lines, l)
+	}
+	return in
+}
+
+// NewOrder executes one TPC-C New Order transaction (§3.2: "enters an
+// order and its line items into the system, as well as updating customer
+// and stock information ... stresses B-Tree indexes (probes and
+// insertions) and the lock manager"). It commits on success; the 1%
+// intentional rollback returns ErrUserAbort after aborting.
+func (db *DB) NewOrder(in NewOrderInput) error {
+	e := db.Engine
+	t, err := e.Begin()
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		_ = e.Abort(t)
+		return err
+	}
+
+	// Warehouse tax (read-only).
+	if _, err := db.readWarehouse(t, in.WID); err != nil {
+		return fail(err)
+	}
+	// Customer discount/credit (read-only).
+	if _, err := db.readCustomer(t, in.WID, in.DID, in.CID); err != nil {
+		return fail(err)
+	}
+	// District: allocate the order id (hot per-district counter).
+	dist, err := db.readDistrict(t, in.WID, in.DID)
+	if err != nil {
+		return fail(err)
+	}
+	oid := dist.NextOID
+	dist.NextOID++
+	if err := e.IndexUpdate(t, db.District, dKey(in.WID, in.DID), dist.encode()); err != nil {
+		return fail(err)
+	}
+
+	// ORDERS and NEW_ORDER rows.
+	allLocal := true
+	for _, l := range in.Lines {
+		if l.SupplyWID != in.WID {
+			allLocal = false
+		}
+	}
+	ord := Order{
+		WID: in.WID, DID: in.DID, ID: oid, CID: in.CID,
+		EntryDate: time.Now().UnixNano(),
+		OLCount:   uint8(len(in.Lines)), AllLocal: allLocal,
+	}
+	if err := e.IndexInsert(t, db.Orders, oKey(in.WID, in.DID, oid), ord.encode()); err != nil {
+		return fail(err)
+	}
+	no := NewOrderRow{WID: in.WID, DID: in.DID, OID: oid}
+	if err := e.IndexInsert(t, db.NewOrderTab, oKey(in.WID, in.DID, oid), no.encode()); err != nil {
+		return fail(err)
+	}
+
+	// Lines: item probe (ITEM contention), stock update (STOCK
+	// contention), order-line insert.
+	for i, l := range in.Lines {
+		if in.Rollback && i == len(in.Lines)-1 {
+			// Unused item id: the spec's intentional rollback.
+			_ = e.Abort(t)
+			return ErrUserAbort
+		}
+		item, ok, err := db.readItem(t, l.ItemID)
+		if err != nil {
+			return fail(err)
+		}
+		if !ok {
+			_ = e.Abort(t)
+			return ErrUserAbort
+		}
+		st, err := db.readStock(t, l.SupplyWID, l.ItemID)
+		if err != nil {
+			return fail(err)
+		}
+		if st.Quantity >= int32(l.Quantity)+10 {
+			st.Quantity -= int32(l.Quantity)
+		} else {
+			st.Quantity += 91 - int32(l.Quantity)
+		}
+		st.YTD += float64(l.Quantity)
+		st.OrderCnt++
+		if l.SupplyWID != in.WID {
+			st.RemoteCnt++
+		}
+		if err := e.IndexUpdate(t, db.Stock, sKey(l.SupplyWID, l.ItemID), st.encode()); err != nil {
+			return fail(err)
+		}
+		ol := OrderLine{
+			WID: in.WID, DID: in.DID, OID: oid, Number: uint8(i + 1),
+			ItemID: l.ItemID, SupplyWID: l.SupplyWID, Quantity: l.Quantity,
+			Amount:   float64(l.Quantity) * item.Price,
+			DistInfo: st.DistInfo,
+		}
+		if err := e.IndexInsert(t, db.OrderLine, olKey(in.WID, in.DID, oid, uint8(i+1)), ol.encode()); err != nil {
+			return fail(err)
+		}
+	}
+	return e.Commit(t)
+}
+
+// NewOrderWithRetry runs NewOrder, retrying deadlock/timeout victims.
+// ErrUserAbort is a success from the harness's point of view and is
+// returned as-is.
+func (db *DB) NewOrderWithRetry(in NewOrderInput, maxRetries int) error {
+	var err error
+	for i := 0; i <= maxRetries; i++ {
+		err = db.NewOrder(in)
+		if err == nil || !retryable(err) {
+			return err
+		}
+		retryBackoff(i)
+	}
+	return err
+}

@@ -1,0 +1,141 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/lock"
+)
+
+// ErrUserAbort marks New Order's intentional 1% rollback.
+var ErrUserAbort = errors.New("tpcc: user-initiated rollback")
+
+// retryable reports whether err should be retried after an abort
+// (deadlock victim or lock timeout).
+func retryable(err error) bool {
+	return errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrTimeout)
+}
+
+// retryBackoff sleeps a randomized, linearly growing interval between
+// deadlock retries so repeated victims do not re-collide in lockstep.
+func retryBackoff(attempt int) {
+	time.Sleep(time.Duration(rand.Intn(1000)+500) * time.Microsecond * time.Duration(attempt+1))
+}
+
+// PaymentInput parameterizes one Payment transaction.
+type PaymentInput struct {
+	WID    uint32
+	DID    uint8
+	CWID   uint32 // customer's warehouse (== WID for local payments)
+	CDID   uint8
+	CID    uint32
+	Amount float64
+}
+
+// GenPayment draws Payment parameters per the spec: 85% local customers,
+// amount in [1, 5000].
+func GenPayment(r *Rand, scale Scale, homeW uint32) PaymentInput {
+	in := PaymentInput{
+		WID:    homeW,
+		DID:    uint8(r.Int(1, scale.Districts)),
+		Amount: r.Float(1, 5000),
+	}
+	if scale.Warehouses > 1 && r.Int(1, 100) > 85 {
+		// Remote customer.
+		for {
+			w := uint32(r.Int(1, scale.Warehouses))
+			if w != homeW {
+				in.CWID = w
+				break
+			}
+		}
+	} else {
+		in.CWID = homeW
+	}
+	in.CDID = uint8(r.Int(1, scale.Districts))
+	in.CID = uint32(r.CustomerID(scale.Customers))
+	return in
+}
+
+// Payment executes one TPC-C Payment transaction (§3.2: "updates the
+// customer's balance and corresponding district and warehouse sales
+// statistics ... One of the updates made by Payment is to a contended
+// table, WAREHOUSE"). It commits on success and aborts on error.
+func (db *DB) Payment(in PaymentInput) error {
+	e := db.Engine
+	t, err := e.Begin()
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		_ = e.Abort(t)
+		return err
+	}
+
+	// Warehouse: read + update YTD — the hot row.
+	wh, err := db.readWarehouse(t, in.WID)
+	if err != nil {
+		return fail(err)
+	}
+	wh.YTD += in.Amount
+	if err := e.IndexUpdate(t, db.Warehouse, wKey(in.WID), wh.encode()); err != nil {
+		return fail(err)
+	}
+
+	// District: read + update YTD.
+	dist, err := db.readDistrict(t, in.WID, in.DID)
+	if err != nil {
+		return fail(err)
+	}
+	dist.YTD += in.Amount
+	if err := e.IndexUpdate(t, db.District, dKey(in.WID, in.DID), dist.encode()); err != nil {
+		return fail(err)
+	}
+
+	// Customer: read + update balance/payment stats.
+	cust, err := db.readCustomer(t, in.CWID, in.CDID, in.CID)
+	if err != nil {
+		return fail(err)
+	}
+	cust.Balance -= in.Amount
+	cust.YTDPayment += in.Amount
+	cust.PaymentCnt++
+	if cust.Credit == "BC" {
+		info := fmt.Sprintf("%d %d %d %d %d %.2f|", in.CID, in.CDID, in.CWID, in.DID, in.WID, in.Amount)
+		cust.Data = info + cust.Data
+		if len(cust.Data) > 500 {
+			cust.Data = cust.Data[:500]
+		}
+	}
+	if err := e.IndexUpdate(t, db.Customer, cKey(in.CWID, in.CDID, in.CID), cust.encode()); err != nil {
+		return fail(err)
+	}
+
+	// History: append.
+	h := History{
+		CID: in.CID, CDID: in.CDID, CWID: in.CWID,
+		DID: in.DID, WID: in.WID,
+		Date: time.Now().UnixNano(), Amount: in.Amount,
+		Data: wh.Name + "    " + dist.Name,
+	}
+	if _, err := e.HeapInsert(t, db.History, h.encode()); err != nil {
+		return fail(err)
+	}
+	return e.Commit(t)
+}
+
+// PaymentWithRetry runs Payment, retrying deadlock/timeout victims with
+// randomized backoff.
+func (db *DB) PaymentWithRetry(in PaymentInput, maxRetries int) error {
+	var err error
+	for i := 0; i <= maxRetries; i++ {
+		err = db.Payment(in)
+		if err == nil || !retryable(err) {
+			return err
+		}
+		retryBackoff(i)
+	}
+	return err
+}

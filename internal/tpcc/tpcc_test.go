@@ -1,0 +1,407 @@
+package tpcc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+func newDB(t testing.TB, scale Scale) *DB {
+	t.Helper()
+	vol := disk.NewMem(0)
+	logStore := wal.NewMemStore()
+	cfg := core.StageConfig(core.StageFinal)
+	cfg.Frames = 2048
+	e, err := core.Open(vol, logStore, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	db, err := Load(e, scale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	w := Warehouse{ID: 3, Name: "W3", Street: "s", City: "c", State: "ST", Zip: "123456789", Tax: 0.1, YTD: 5.5}
+	got, err := decodeWarehouse(w.encode())
+	if err != nil || got != w {
+		t.Fatalf("warehouse: %+v, %v", got, err)
+	}
+	d := District{WID: 1, ID: 2, Name: "D", Tax: 0.05, YTD: 1, NextOID: 42}
+	gd, err := decodeDistrict(d.encode())
+	if err != nil || gd != d {
+		t.Fatalf("district: %+v, %v", gd, err)
+	}
+	c := Customer{WID: 1, DID: 2, ID: 3, First: "a", Middle: "OE", Last: "BARBARBAR", Credit: "GC", Balance: -10}
+	gc, err := decodeCustomer(c.encode())
+	if err != nil || gc != c {
+		t.Fatalf("customer: %+v, %v", gc, err)
+	}
+	h := History{CID: 1, CDID: 2, CWID: 3, DID: 4, WID: 5, Date: 99, Amount: 7.5, Data: "x"}
+	gh, err := decodeHistory(h.encode())
+	if err != nil || gh != h {
+		t.Fatalf("history: %+v, %v", gh, err)
+	}
+	o := Order{WID: 1, DID: 2, ID: 3, CID: 4, EntryDate: 5, OLCount: 6, AllLocal: true}
+	gon, err := decodeOrder(o.encode())
+	if err != nil || gon != o {
+		t.Fatalf("order: %+v, %v", gon, err)
+	}
+	n := NewOrderRow{WID: 1, DID: 2, OID: 3}
+	gn, err := decodeNewOrderRow(n.encode())
+	if err != nil || gn != n {
+		t.Fatalf("neworder: %+v, %v", gn, err)
+	}
+	ol := OrderLine{WID: 1, DID: 2, OID: 3, Number: 4, ItemID: 5, SupplyWID: 6, Quantity: 7, Amount: 8.5, DistInfo: "d"}
+	gol, err := decodeOrderLine(ol.encode())
+	if err != nil || gol != ol {
+		t.Fatalf("orderline: %+v, %v", gol, err)
+	}
+	it := Item{ID: 1, ImID: 2, Name: "n", Price: 3.5, Data: "d"}
+	git, err := decodeItem(it.encode())
+	if err != nil || git != it {
+		t.Fatalf("item: %+v, %v", git, err)
+	}
+	s := Stock{WID: 1, ItemID: 2, Quantity: -3, YTD: 4.5, OrderCnt: 5, RemoteCnt: 6, DistInfo: "di", Data: "da"}
+	gs, err := decodeStock(s.encode())
+	if err != nil || gs != s {
+		t.Fatalf("stock: %+v, %v", gs, err)
+	}
+	// Truncated rows error.
+	if _, err := decodeCustomer(c.encode()[:5]); err == nil {
+		t.Error("truncated customer decoded")
+	}
+}
+
+func TestKeyOrdering(t *testing.T) {
+	// Order keys must sort by (w, d, o).
+	a := oKey(1, 2, 3)
+	b := oKey(1, 2, 4)
+	c := oKey(1, 3, 1)
+	d := oKey(2, 1, 1)
+	if !(string(a) < string(b) && string(b) < string(c) && string(c) < string(d)) {
+		t.Fatal("order keys do not sort correctly")
+	}
+	if len(olKey(1, 2, 3, 4)) != len(oKey(1, 2, 3))+1 {
+		t.Fatal("order-line key length")
+	}
+}
+
+func TestRandPrimitives(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Int(5, 10); v < 5 || v > 10 {
+			t.Fatalf("Int out of range: %d", v)
+		}
+		if v := r.NURand(255, 1, 100, 7); v < 1 || v > 100 {
+			t.Fatalf("NURand out of range: %d", v)
+		}
+		if v := r.CustomerID(3000); v < 1 || v > 3000 {
+			t.Fatalf("CustomerID out of range: %d", v)
+		}
+		if v := r.ItemID(100000); v < 1 || v > 100000 {
+			t.Fatalf("ItemID out of range: %d", v)
+		}
+		if v := r.CustomerID(10); v < 1 || v > 10 {
+			t.Fatalf("small CustomerID out of range: %d", v)
+		}
+	}
+	if LastName(0) != "BARBARBAR" {
+		t.Errorf("LastName(0) = %q", LastName(0))
+	}
+	if LastName(371) != "PRICALLYOUGHT" { // 3-7-1 → PRI CALLY OUGHT
+		t.Errorf("LastName(371) = %q", LastName(371))
+	}
+	if s := r.AString(5, 5); len(s) != 5 {
+		t.Errorf("AString length %d", len(s))
+	}
+	if s := r.NString(9, 9); len(s) != 9 {
+		t.Errorf("NString length %d", len(s))
+	}
+	// NURand skew: customer ids should be non-uniform.
+	counts := make(map[int]int)
+	for i := 0; i < 30000; i++ {
+		counts[r.CustomerID(3000)]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3 {
+		t.Error("NURand produced a suspiciously uniform distribution")
+	}
+}
+
+func TestLoadPopulatesAllTables(t *testing.T) {
+	db := newDB(t, TinyScale())
+	tx1, err := db.Engine.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := uint32(1); w <= 2; w++ {
+		wh, err := db.readWarehouse(tx1, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wh.ID != w {
+			t.Fatalf("warehouse %d decoded id %d", w, wh.ID)
+		}
+		for d := uint8(1); d <= 2; d++ {
+			dist, err := db.readDistrict(tx1, w, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dist.NextOID != 1 {
+				t.Fatalf("district NextOID = %d", dist.NextOID)
+			}
+			for c := uint32(1); c <= 10; c++ {
+				if _, err := db.readCustomer(tx1, w, d, c); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for i := uint32(1); i <= 50; i++ {
+			if _, err := db.readStock(tx1, w, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := uint32(1); i <= 50; i++ {
+		if _, ok, err := db.readItem(tx1, i); err != nil || !ok {
+			t.Fatalf("item %d: %v %v", i, ok, err)
+		}
+	}
+	if err := db.Engine.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaymentUpdatesBalances(t *testing.T) {
+	db := newDB(t, TinyScale())
+	in := PaymentInput{WID: 1, DID: 1, CWID: 1, CDID: 1, CID: 3, Amount: 100}
+	if err := db.Payment(in); err != nil {
+		t.Fatal(err)
+	}
+	tx1, _ := db.Engine.Begin()
+	wh, err := db.readWarehouse(tx1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wh.YTD != 100 {
+		t.Errorf("warehouse YTD = %v, want 100", wh.YTD)
+	}
+	dist, _ := db.readDistrict(tx1, 1, 1)
+	if dist.YTD != 100 {
+		t.Errorf("district YTD = %v", dist.YTD)
+	}
+	cust, _ := db.readCustomer(tx1, 1, 1, 3)
+	if cust.Balance != -110 {
+		t.Errorf("customer balance = %v, want -110", cust.Balance)
+	}
+	if cust.PaymentCnt != 1 || cust.YTDPayment != 110 {
+		t.Errorf("customer stats: %+v", cust)
+	}
+	// Exactly one history row exists and decodes to the payment.
+	count := 0
+	if err := db.Engine.HeapScan(tx1, db.History, func(_ page.RID, rec []byte) bool {
+		h, err := decodeHistory(rec)
+		if err != nil {
+			t.Errorf("history decode: %v", err)
+			return false
+		}
+		if h.Amount != 100 || h.CID != 3 {
+			t.Errorf("history row: %+v", h)
+		}
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("history rows = %d, want 1", count)
+	}
+	if err := db.Engine.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewOrderCreatesRows(t *testing.T) {
+	db := newDB(t, TinyScale())
+	in := NewOrderInput{
+		WID: 1, DID: 1, CID: 2,
+		Lines: []NewOrderLine{
+			{ItemID: 1, SupplyWID: 1, Quantity: 5},
+			{ItemID: 2, SupplyWID: 1, Quantity: 3},
+		},
+	}
+	if err := db.NewOrder(in); err != nil {
+		t.Fatal(err)
+	}
+	tx1, _ := db.Engine.Begin()
+	dist, err := db.readDistrict(tx1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.NextOID != 2 {
+		t.Fatalf("NextOID = %d, want 2", dist.NextOID)
+	}
+	// The order and its lines are queryable.
+	b, ok, err := db.Engine.IndexLookup(tx1, db.Orders, oKey(1, 1, 1))
+	if err != nil || !ok {
+		t.Fatalf("order row: %v %v", ok, err)
+	}
+	ord, err := decodeOrder(b)
+	if err != nil || ord.OLCount != 2 || ord.CID != 2 {
+		t.Fatalf("order: %+v, %v", ord, err)
+	}
+	for n := uint8(1); n <= 2; n++ {
+		b, ok, err := db.Engine.IndexLookup(tx1, db.OrderLine, olKey(1, 1, 1, n))
+		if err != nil || !ok {
+			t.Fatalf("order line %d: %v %v", n, ok, err)
+		}
+		ol, err := decodeOrderLine(b)
+		if err != nil || ol.OID != 1 || ol.Number != n {
+			t.Fatalf("order line: %+v, %v", ol, err)
+		}
+	}
+	// Stock was decremented.
+	st, err := db.readStock(tx1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OrderCnt != 1 || st.YTD != 5 {
+		t.Fatalf("stock after order: %+v", st)
+	}
+	if err := db.Engine.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewOrderRollbackLeavesNoTrace(t *testing.T) {
+	db := newDB(t, TinyScale())
+	in := NewOrderInput{
+		WID: 1, DID: 1, CID: 1,
+		Lines:    []NewOrderLine{{ItemID: 1, SupplyWID: 1, Quantity: 1}, {ItemID: 2, SupplyWID: 1, Quantity: 1}},
+		Rollback: true,
+	}
+	err := db.NewOrder(in)
+	if !errors.Is(err, ErrUserAbort) {
+		t.Fatalf("rollback order err = %v", err)
+	}
+	tx1, _ := db.Engine.Begin()
+	dist, err := db.readDistrict(tx1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.NextOID != 1 {
+		t.Fatalf("NextOID = %d after rollback, want 1", dist.NextOID)
+	}
+	if _, ok, _ := db.Engine.IndexLookup(tx1, db.Orders, oKey(1, 1, 1)); ok {
+		t.Fatal("rolled-back order row visible")
+	}
+	st, err := db.readStock(tx1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OrderCnt != 0 {
+		t.Fatalf("stock touched by rolled-back order: %+v", st)
+	}
+	if err := db.Engine.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorsRespectScale(t *testing.T) {
+	r := NewRand(3)
+	scale := TinyScale()
+	for i := 0; i < 500; i++ {
+		p := GenPayment(r, scale, 1)
+		if p.WID != 1 || p.DID < 1 || p.DID > uint8(scale.Districts) {
+			t.Fatalf("payment input out of range: %+v", p)
+		}
+		if p.CID < 1 || p.CID > uint32(scale.Customers) {
+			t.Fatalf("payment customer out of range: %+v", p)
+		}
+		if p.CWID < 1 || p.CWID > uint32(scale.Warehouses) {
+			t.Fatalf("payment cwid out of range: %+v", p)
+		}
+		no := GenNewOrder(r, scale, 2)
+		if len(no.Lines) < 5 || len(no.Lines) > 15 {
+			t.Fatalf("new order lines: %d", len(no.Lines))
+		}
+		for _, l := range no.Lines {
+			if l.ItemID < 1 || l.ItemID > uint32(scale.Items) {
+				t.Fatalf("item id out of range: %+v", l)
+			}
+		}
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	db := newDB(t, Scale{Warehouses: 2, Districts: 2, Customers: 20, Items: 100, StockPerItem: true})
+	const workers = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*40)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := NewRand(int64(100 + w))
+			home := uint32(w%2 + 1)
+			for i := 0; i < 20; i++ {
+				if i%2 == 0 {
+					if err := db.PaymentWithRetry(GenPayment(r, db.Scale, home), 25); err != nil {
+						errCh <- err
+						return
+					}
+				} else {
+					err := db.NewOrderWithRetry(GenNewOrder(r, db.Scale, home), 25)
+					if err != nil && !errors.Is(err, ErrUserAbort) {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// Money conservation: warehouse YTD sums must equal district YTD sums.
+	tx1, _ := db.Engine.Begin()
+	var wYTD, dYTD float64
+	for w := uint32(1); w <= 2; w++ {
+		wh, err := db.readWarehouse(tx1, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wYTD += wh.YTD
+		for d := uint8(1); d <= 2; d++ {
+			dist, err := db.readDistrict(tx1, w, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dYTD += dist.YTD
+		}
+	}
+	// Warehouse and district totals accumulate the same payments in
+	// different orders; allow float rounding slack.
+	if diff := wYTD - dYTD; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("money not conserved: warehouse YTD %v != district YTD %v", wYTD, dYTD)
+	}
+	if err := db.Engine.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+}

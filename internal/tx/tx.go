@@ -1,0 +1,302 @@
+// Package tx implements transaction management (§2.2.5): the active
+// transaction table, ID assignment, per-transaction log chains, 2PL lock
+// bookkeeping with escalation counters, and the two oldest-transaction
+// disciplines the paper contrasts in §7.3 — scanning the transaction list
+// under its mutex versus reading a cached atomic ID maintained by
+// committing transactions.
+package tx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lock"
+	"repro/internal/space"
+	"repro/internal/sync2"
+	"repro/internal/wal"
+)
+
+// State is a transaction's lifecycle state.
+type State int
+
+// Transaction states.
+const (
+	StateActive State = iota
+	StateCommitted
+	StateAborted
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateCommitted:
+		return "committed"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state%d", int(s))
+	}
+}
+
+// ErrNotActive is returned when finishing a transaction twice.
+var ErrNotActive = errors.New("tx: transaction not active")
+
+// Tx is one transaction's bookkeeping. A Tx is owned by a single worker
+// goroutine; only the transaction-table links are shared.
+type Tx struct {
+	id    uint64
+	state State
+
+	// Log chain.
+	firstLSN wal.LSN
+	lastLSN  wal.LSN
+	undoNext wal.LSN
+
+	// 2PL bookkeeping: every lock acquired, released only at commit/abort.
+	locks []lock.Name
+	// rowLocks counts row locks per store for escalation.
+	rowLocks map[uint32]int
+	// escalated marks stores where the transaction holds a full-store lock.
+	escalated map[uint32]lock.Mode
+
+	// ExtentCache is the per-transaction (conceptually thread-local)
+	// extent-membership cache of §6.2.2.
+	ExtentCache space.ExtentCache
+}
+
+// ID returns the transaction id.
+func (t *Tx) ID() uint64 { return t.id }
+
+// State returns the lifecycle state.
+func (t *Tx) State() State { return t.state }
+
+// LastLSN returns the most recent log record of this transaction.
+func (t *Tx) LastLSN() wal.LSN { return t.lastLSN }
+
+// UndoNext returns the next record to undo during rollback.
+func (t *Tx) UndoNext() wal.LSN { return t.undoNext }
+
+// RecordLog links a freshly inserted log record into the chain.
+func (t *Tx) RecordLog(lsn wal.LSN) {
+	if t.firstLSN == wal.NullLSN {
+		t.firstLSN = lsn
+	}
+	t.lastLSN = lsn
+	t.undoNext = lsn
+}
+
+// SetUndoNext moves the undo cursor (used when CLRs skip records).
+func (t *Tx) SetUndoNext(lsn wal.LSN) { t.undoNext = lsn }
+
+// AddLock records a held lock for release at end-of-transaction.
+func (t *Tx) AddLock(n lock.Name) { t.locks = append(t.locks, n) }
+
+// Locks returns the held-lock list (most recent last).
+func (t *Tx) Locks() []lock.Name { return t.locks }
+
+// CountRowLock bumps the per-store row-lock counter and returns the new
+// count (for escalation decisions).
+func (t *Tx) CountRowLock(store uint32) int {
+	if t.rowLocks == nil {
+		t.rowLocks = make(map[uint32]int)
+	}
+	t.rowLocks[store]++
+	return t.rowLocks[store]
+}
+
+// MarkEscalated records that the transaction escalated to a store-level
+// lock in mode.
+func (t *Tx) MarkEscalated(store uint32, m lock.Mode) {
+	if t.escalated == nil {
+		t.escalated = make(map[uint32]lock.Mode)
+	}
+	t.escalated[store] = m
+}
+
+// Escalated returns the store-level mode the transaction escalated to, if
+// any.
+func (t *Tx) Escalated(store uint32) (lock.Mode, bool) {
+	m, ok := t.escalated[store]
+	return m, ok
+}
+
+// Options configures the transaction manager.
+type Options struct {
+	// CachedOldest enables the §7.3 optimization: committing transactions
+	// maintain an atomically readable oldest-active ID, so readers avoid
+	// the transaction-list mutex entirely.
+	CachedOldest bool
+}
+
+// Stats reports transaction-manager activity.
+type Stats struct {
+	Begins      uint64
+	Commits     uint64
+	Aborts      uint64
+	OldestScans uint64 // list scans taken to answer Oldest()
+	Lock        sync2.Stats
+}
+
+// Manager is the transaction manager.
+type Manager struct {
+	opts   Options
+	mu     sync2.BlockingLock
+	active map[uint64]*Tx
+	nextID atomic.Uint64
+	oldest atomic.Uint64 // cached oldest active id (CachedOldest)
+
+	begins      atomic.Uint64
+	commits     atomic.Uint64
+	aborts      atomic.Uint64
+	oldestScans atomic.Uint64
+}
+
+// NewManager builds a transaction manager.
+func NewManager(opts Options) *Manager {
+	m := &Manager{opts: opts, active: make(map[uint64]*Tx)}
+	m.nextID.Store(1)
+	return m
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Tx {
+	id := m.nextID.Add(1) - 1
+	t := &Tx{id: id, state: StateActive}
+	m.mu.Lock()
+	m.active[id] = t
+	if m.opts.CachedOldest && len(m.active) == 1 {
+		m.oldest.Store(id)
+	}
+	m.mu.Unlock()
+	m.begins.Add(1)
+	return t
+}
+
+// finish removes t from the table and maintains the cached oldest ID.
+func (m *Manager) finish(t *Tx, s State) error {
+	m.mu.Lock()
+	if _, ok := m.active[t.id]; !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNotActive, t.id)
+	}
+	delete(m.active, t.id)
+	if m.opts.CachedOldest && m.oldest.Load() == t.id {
+		// "Committing transactions would update the ID when they removed
+		// themselves from the list" (§7.3).
+		m.oldest.Store(m.scanOldestLocked())
+	}
+	m.mu.Unlock()
+	t.state = s
+	if s == StateCommitted {
+		m.commits.Add(1)
+	} else {
+		m.aborts.Add(1)
+	}
+	return nil
+}
+
+// Commit marks t committed and removes it from the table. Log flushing and
+// lock release are the storage manager's responsibility.
+func (m *Manager) Commit(t *Tx) error { return m.finish(t, StateCommitted) }
+
+// Abort marks t aborted and removes it from the table.
+func (m *Manager) Abort(t *Tx) error { return m.finish(t, StateAborted) }
+
+// scanOldestLocked returns the smallest active id (0 when none). Caller
+// holds mu.
+func (m *Manager) scanOldestLocked() uint64 {
+	var oldest uint64
+	for id := range m.active {
+		if oldest == 0 || id < oldest {
+			oldest = id
+		}
+	}
+	return oldest
+}
+
+// Oldest returns the oldest active transaction id, or 0 if none. With
+// CachedOldest it is a single atomic load ("callers could read it
+// atomically because IDs are 64-bit integers"); otherwise it scans the
+// list under the table mutex — the §7.3 bottleneck.
+func (m *Manager) Oldest() uint64 {
+	if m.opts.CachedOldest {
+		return m.oldest.Load()
+	}
+	m.oldestScans.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scanOldestLocked()
+}
+
+// Lookup returns the active transaction with id, or nil. The returned Tx
+// must only be used by its owning goroutine.
+func (m *Manager) Lookup(id uint64) *Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active[id]
+}
+
+// Restore re-registers a loser transaction during restart recovery with
+// its chain state reconstructed by the analysis pass.
+func (m *Manager) Restore(id uint64, lastLSN, undoNext wal.LSN) *Tx {
+	t := &Tx{id: id, state: StateActive, lastLSN: lastLSN, undoNext: undoNext}
+	m.mu.Lock()
+	m.active[id] = t
+	if m.opts.CachedOldest {
+		old := m.oldest.Load()
+		if old == 0 || id < old {
+			m.oldest.Store(id)
+		}
+	}
+	m.mu.Unlock()
+	return t
+}
+
+// ActiveCount returns the number of active transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// Snapshot returns checkpoint records for every active transaction.
+func (m *Manager) Snapshot() []wal.TxInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]wal.TxInfo, 0, len(m.active))
+	for _, t := range m.active {
+		out = append(out, wal.TxInfo{TxID: t.id, LastLSN: t.lastLSN, UndoNext: t.undoNext})
+	}
+	return out
+}
+
+// NextIDFloor raises the ID generator above floor (used after recovery so
+// new transactions do not reuse logged ids).
+func (m *Manager) NextIDFloor(floor uint64) {
+	for {
+		cur := m.nextID.Load()
+		if cur > floor {
+			return
+		}
+		if m.nextID.CompareAndSwap(cur, floor+1) {
+			return
+		}
+	}
+}
+
+// Stats returns a counter snapshot.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Begins:      m.begins.Load(),
+		Commits:     m.commits.Load(),
+		Aborts:      m.aborts.Load(),
+		OldestScans: m.oldestScans.Load(),
+		Lock:        m.mu.Stats(),
+	}
+}
+
+var _ sync.Locker = (*sync2.BlockingLock)(nil)

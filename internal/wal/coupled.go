@@ -1,0 +1,157 @@
+package wal
+
+import (
+	"sync/atomic"
+
+	"repro/internal/sync2"
+)
+
+// coupledLog reproduces the original Shore log manager: a single blocking
+// mutex protects every operation, the buffer is non-circular (inserts fill
+// it until a flush drains it), and flushes are synchronous — an insert that
+// finds the buffer full performs the flush itself while every other thread
+// queues behind the mutex. This is the design whose contention Figure 7's
+// "baseline" suffers from.
+type coupledLog struct {
+	mu     sync2.BlockingLock
+	store  Store
+	buf    []byte // non-circular staging buffer
+	used   int    // bytes staged
+	bufLSN LSN    // LSN of buf[0]
+	next   LSN    // next LSN to assign
+	gc     *groupCommit
+	closed atomic.Bool
+
+	inserts       atomic.Uint64
+	insertedBytes atomic.Uint64
+	flushes       atomic.Uint64
+	flushedBytes  atomic.Uint64
+	insertWaits   atomic.Uint64
+}
+
+func newCoupled(store Store, bufSize int) *coupledLog {
+	start := LSN(store.Size())
+	if start < logHeaderSize {
+		start = logHeaderSize
+	}
+	l := &coupledLog{
+		store:  store,
+		buf:    make([]byte, bufSize),
+		bufLSN: start,
+		next:   start,
+		gc:     newGroupCommit(),
+	}
+	l.gc.advance(LSN(store.DurableSize()))
+	return l
+}
+
+// flushLocked drains the staging buffer to the store. Caller holds mu.
+func (l *coupledLog) flushLocked() error {
+	if l.used == 0 {
+		if want := l.next; l.gc.get() < want {
+			// Nothing staged but the store may lag on durability.
+			if err := l.store.Flush(int64(want)); err != nil {
+				return err
+			}
+			l.gc.advance(want)
+		}
+		return nil
+	}
+	if err := l.store.WriteAt(l.buf[:l.used], int64(l.bufLSN)); err != nil {
+		return err
+	}
+	if err := l.store.Flush(int64(l.bufLSN) + int64(l.used)); err != nil {
+		return err
+	}
+	l.flushes.Add(1)
+	l.flushedBytes.Add(uint64(l.used))
+	l.gc.advance(l.bufLSN + LSN(l.used))
+	l.bufLSN += LSN(l.used)
+	l.used = 0
+	return nil
+}
+
+func (l *coupledLog) insert(rec *Record) (LSN, error) {
+	if l.closed.Load() {
+		return NullLSN, ErrLogClosed
+	}
+	size := rec.EncodedSize()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if size > len(l.buf) {
+		return NullLSN, ErrRecordTooLarge
+	}
+	if l.used+size > len(l.buf) {
+		// Synchronous flush on the insert path — the defining flaw.
+		l.insertWaits.Add(1)
+		if err := l.flushLocked(); err != nil {
+			return NullLSN, err
+		}
+	}
+	rec.LSN = l.next
+	n, err := rec.Encode(l.buf[l.used:])
+	if err != nil {
+		return NullLSN, err
+	}
+	l.used += n
+	l.next += LSN(n)
+	l.inserts.Add(1)
+	l.insertedBytes.Add(uint64(n))
+	return rec.LSN, nil
+}
+
+// Insert implements Manager.
+func (l *coupledLog) Insert(rec *Record) (LSN, error) { return l.insert(rec) }
+
+// InsertCLR implements Manager; the coupled design has no separate
+// compensation path — everything shares the global mutex.
+func (l *coupledLog) InsertCLR(rec *Record) (LSN, error) { return l.insert(rec) }
+
+// Flush implements Manager.
+func (l *coupledLog) Flush(upTo LSN) error {
+	if l.closed.Load() {
+		return ErrLogClosed
+	}
+	if l.gc.get() >= upTo {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+// CurLSN implements Manager.
+func (l *coupledLog) CurLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// DurableLSN implements Manager.
+func (l *coupledLog) DurableLSN() LSN { return l.gc.get() }
+
+// Stats implements Manager.
+func (l *coupledLog) Stats() ManagerStats {
+	return ManagerStats{
+		Inserts:       l.inserts.Load(),
+		InsertedBytes: l.insertedBytes.Load(),
+		Flushes:       l.flushes.Load(),
+		FlushedBytes:  l.flushedBytes.Load(),
+		InsertWaits:   l.insertWaits.Load(),
+		Lock:          l.mu.Stats(),
+	}
+}
+
+// Close implements Manager.
+func (l *coupledLog) Close() error {
+	if l.closed.Swap(true) {
+		return nil
+	}
+	l.mu.Lock()
+	err := l.flushLocked()
+	l.mu.Unlock()
+	l.gc.wakeAll()
+	return err
+}
+
+var _ Manager = (*coupledLog)(nil)

@@ -1,0 +1,146 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sync2"
+)
+
+// Design selects a log-manager implementation.
+type Design int
+
+// Log manager designs, in the order Shore-MT's development produced them.
+const (
+	DesignCoupled      Design = iota // original Shore: global mutex, sync flush
+	DesignDecoupled                  // §6.2.2: circular buffer, split mutexes
+	DesignConsolidated               // §6.2.4: queuing-lock buffer, parallel copy
+)
+
+// String names the design.
+func (d Design) String() string {
+	switch d {
+	case DesignCoupled:
+		return "coupled"
+	case DesignDecoupled:
+		return "decoupled"
+	case DesignConsolidated:
+		return "consolidated"
+	default:
+		return "unknown"
+	}
+}
+
+// Manager is the log manager interface shared by all three designs.
+type Manager interface {
+	// Insert appends rec to the log, assigning and returning its LSN.
+	// Durability is NOT guaranteed until Flush covers the LSN.
+	Insert(rec *Record) (LSN, error)
+	// InsertCLR appends a compensation record; same contract as Insert but,
+	// in the decoupled design, uses the dedicated compensation mutex.
+	InsertCLR(rec *Record) (LSN, error)
+	// Flush blocks until every record with LSN < upTo is durable
+	// (group commit: concurrent callers share flushes).
+	Flush(upTo LSN) error
+	// CurLSN returns the LSN that the next inserted record would receive.
+	CurLSN() LSN
+	// DurableLSN returns the boundary below which all records are durable.
+	DurableLSN() LSN
+	// Stats returns contention and traffic counters.
+	Stats() ManagerStats
+	// Close stops background daemons and flushes everything.
+	Close() error
+}
+
+// ManagerStats aggregates log-manager activity.
+type ManagerStats struct {
+	Inserts       uint64
+	InsertedBytes uint64
+	Flushes       uint64
+	FlushedBytes  uint64
+	InsertWaits   uint64 // times an insert waited on buffer space
+	Lock          sync2.Stats
+}
+
+// ErrLogClosed is returned by operations on a closed manager.
+var ErrLogClosed = errors.New("wal: log manager closed")
+
+// Options configures log-manager construction.
+type Options struct {
+	Design     Design
+	BufferSize int // log buffer bytes; 0 selects a default
+}
+
+// DefaultBufferSize is used when Options.BufferSize is zero.
+const DefaultBufferSize = 1 << 20
+
+// New constructs a Manager of the requested design over store.
+func New(store Store, opts Options) Manager {
+	size := opts.BufferSize
+	if size <= 0 {
+		size = DefaultBufferSize
+	}
+	switch opts.Design {
+	case DesignDecoupled:
+		return newDecoupled(store, size)
+	case DesignConsolidated:
+		return newConsolidated(store, size)
+	default:
+		return newCoupled(store, size)
+	}
+}
+
+// groupCommit implements shared flush waiting: callers block until the
+// durable LSN passes their target, and a single flusher satisfies many
+// waiters at once.
+type groupCommit struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	durable atomic.Uint64
+}
+
+func newGroupCommit() *groupCommit {
+	g := &groupCommit{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// advance publishes a new durable boundary and wakes waiters.
+func (g *groupCommit) advance(to LSN) {
+	for {
+		old := g.durable.Load()
+		if uint64(to) <= old {
+			return
+		}
+		if g.durable.CompareAndSwap(old, uint64(to)) {
+			break
+		}
+	}
+	g.mu.Lock()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// get returns the durable boundary.
+func (g *groupCommit) get() LSN { return LSN(g.durable.Load()) }
+
+// wait blocks until the durable boundary reaches at least upTo or closed
+// returns true.
+func (g *groupCommit) wait(upTo LSN, closed func() bool) {
+	if g.get() >= upTo {
+		return
+	}
+	g.mu.Lock()
+	for g.get() < upTo && !closed() {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// wakeAll wakes every waiter (used at close).
+func (g *groupCommit) wakeAll() {
+	g.mu.Lock()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}

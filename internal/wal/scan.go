@@ -1,0 +1,167 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/page"
+)
+
+// Scanner iterates log records in LSN order directly from a Store. It is
+// the read path of recovery: it stops cleanly (io.EOF) at the end of the
+// valid log — whether that end comes from the durable boundary, a zeroed
+// region, or a torn record whose checksum fails.
+type Scanner struct {
+	store Store
+	off   int64
+	limit int64
+}
+
+// NewScanner scans from LSN `from` (NullLSN means the start of the log) up
+// to the durable boundary of store.
+func NewScanner(store Store, from LSN) *Scanner {
+	off := int64(from)
+	if off < logHeaderSize {
+		off = logHeaderSize
+	}
+	return &Scanner{store: store, off: off, limit: store.DurableSize()}
+}
+
+// Next returns the next record and its LSN. It returns io.EOF at the end
+// of the valid log.
+func (s *Scanner) Next() (*Record, error) {
+	if s.off+recHeaderSize+recTrailerSize > s.limit {
+		return nil, io.EOF
+	}
+	var lenBuf [4]byte
+	if _, err := s.store.ReadAt(lenBuf[:], s.off); err != nil {
+		return nil, io.EOF
+	}
+	total := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if total < recHeaderSize+recTrailerSize || total > recHeaderSize+MaxPayload+recTrailerSize {
+		return nil, io.EOF // zeroed or garbage region: end of log
+	}
+	if s.off+int64(total) > s.limit {
+		return nil, io.EOF // torn tail
+	}
+	buf := make([]byte, total)
+	if _, err := s.store.ReadAt(buf, s.off); err != nil {
+		return nil, io.EOF
+	}
+	rec, n, err := DecodeRecord(buf)
+	if err != nil {
+		if errors.Is(err, ErrBadRecord) {
+			return nil, io.EOF // corrupt tail: end of log
+		}
+		return nil, err
+	}
+	rec.LSN = LSN(s.off)
+	s.off += int64(n)
+	return rec, nil
+}
+
+// ReadRecordAt reads the single record at lsn. Unlike Scanner, corruption
+// here is a hard error: undo follows PrevLSN chains and a broken link is
+// unrecoverable.
+func ReadRecordAt(store Store, lsn LSN) (*Record, error) {
+	if lsn < logHeaderSize {
+		return nil, fmt.Errorf("wal: ReadRecordAt(%v): before log start", lsn)
+	}
+	var lenBuf [4]byte
+	if _, err := store.ReadAt(lenBuf[:], int64(lsn)); err != nil {
+		return nil, fmt.Errorf("wal: ReadRecordAt(%v): %w", lsn, err)
+	}
+	total := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if total < recHeaderSize+recTrailerSize || total > recHeaderSize+MaxPayload+recTrailerSize {
+		return nil, fmt.Errorf("wal: ReadRecordAt(%v): %w", lsn, ErrBadRecord)
+	}
+	buf := make([]byte, total)
+	if _, err := store.ReadAt(buf, int64(lsn)); err != nil {
+		return nil, fmt.Errorf("wal: ReadRecordAt(%v): %w", lsn, err)
+	}
+	rec, _, err := DecodeRecord(buf)
+	if err != nil {
+		return nil, fmt.Errorf("wal: ReadRecordAt(%v): %w", lsn, err)
+	}
+	rec.LSN = lsn
+	return rec, nil
+}
+
+// TxInfo describes an active transaction inside a checkpoint.
+type TxInfo struct {
+	TxID     uint64
+	LastLSN  LSN
+	UndoNext LSN
+}
+
+// DirtyInfo describes a dirty page inside a checkpoint: RecLSN is the LSN
+// of the earliest record that may not yet be reflected on disk.
+type DirtyInfo struct {
+	Page   page.ID
+	RecLSN LSN
+}
+
+// CheckpointData is the payload of a RecCkptEnd record: the active
+// transaction table and the dirty page table at checkpoint time.
+type CheckpointData struct {
+	BeginLSN LSN // LSN of the matching RecCkptBegin
+	Txs      []TxInfo
+	Dirty    []DirtyInfo
+}
+
+// Encode serializes the checkpoint payload.
+func (c *CheckpointData) Encode() []byte {
+	b := make([]byte, 0, 24+len(c.Txs)*24+len(c.Dirty)*16)
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		b = append(b, tmp[:]...)
+	}
+	put(uint64(c.BeginLSN))
+	put(uint64(len(c.Txs)))
+	put(uint64(len(c.Dirty)))
+	for _, t := range c.Txs {
+		put(t.TxID)
+		put(uint64(t.LastLSN))
+		put(uint64(t.UndoNext))
+	}
+	for _, d := range c.Dirty {
+		put(uint64(d.Page))
+		put(uint64(d.RecLSN))
+	}
+	return b
+}
+
+// DecodeCheckpoint parses a checkpoint payload.
+func DecodeCheckpoint(b []byte) (*CheckpointData, error) {
+	if len(b) < 24 {
+		return nil, fmt.Errorf("%w: checkpoint payload too short", ErrBadRecord)
+	}
+	get := func(off int) uint64 { return binary.LittleEndian.Uint64(b[off:]) }
+	c := &CheckpointData{BeginLSN: LSN(get(0))}
+	nTx := int(get(8))
+	nDirty := int(get(16))
+	want := 24 + nTx*24 + nDirty*16
+	if len(b) < want {
+		return nil, fmt.Errorf("%w: checkpoint payload truncated", ErrBadRecord)
+	}
+	off := 24
+	for i := 0; i < nTx; i++ {
+		c.Txs = append(c.Txs, TxInfo{
+			TxID:     get(off),
+			LastLSN:  LSN(get(off + 8)),
+			UndoNext: LSN(get(off + 16)),
+		})
+		off += 24
+	}
+	for i := 0; i < nDirty; i++ {
+		c.Dirty = append(c.Dirty, DirtyInfo{
+			Page:   page.ID(get(off)),
+			RecLSN: LSN(get(off + 8)),
+		})
+		off += 16
+	}
+	return c, nil
+}

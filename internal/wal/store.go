@@ -1,0 +1,272 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+)
+
+// Store is the durable backing of the log: an append-mostly byte store
+// with an explicit durability boundary, so tests can crash the system and
+// observe exactly the flushed prefix surviving.
+type Store interface {
+	// WriteAt stores b at off in the volatile layer.
+	WriteAt(b []byte, off int64) error
+	// Flush makes everything below upTo durable.
+	Flush(upTo int64) error
+	// ReadAt reads from the store (volatile layer included, as a live
+	// system reading its own tail would). Returns io.EOF semantics like
+	// io.ReaderAt.
+	ReadAt(b []byte, off int64) (int, error)
+	// DurableSize returns the durability boundary.
+	DurableSize() int64
+	// Size returns the volatile high-water mark.
+	Size() int64
+	// SetMaster durably records the master LSN (last completed checkpoint).
+	SetMaster(l LSN) error
+	// Master returns the master LSN.
+	Master() (LSN, error)
+	// Crash drops all volatile state, simulating power loss.
+	Crash()
+	// Close releases resources.
+	Close() error
+}
+
+// MemStore is a memory-backed log store with an explicit durable boundary.
+type MemStore struct {
+	mu      sync.RWMutex
+	buf     []byte
+	durable int64
+	master  LSN
+}
+
+// NewMemStore returns an empty memory log store with the log preamble in
+// place.
+func NewMemStore() *MemStore {
+	s := &MemStore{}
+	s.buf = append(s.buf, logMagic[:]...)
+	s.durable = logHeaderSize
+	return s
+}
+
+// WriteAt implements Store.
+func (s *MemStore) WriteAt(b []byte, off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	end := off + int64(len(b))
+	for int64(len(s.buf)) < end {
+		s.buf = append(s.buf, 0)
+	}
+	copy(s.buf[off:end], b)
+	return nil
+}
+
+// Flush implements Store.
+func (s *MemStore) Flush(upTo int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if upTo > int64(len(s.buf)) {
+		upTo = int64(len(s.buf))
+	}
+	if upTo > s.durable {
+		s.durable = upTo
+	}
+	return nil
+}
+
+// ReadAt implements Store.
+func (s *MemStore) ReadAt(b []byte, off int64) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if off >= int64(len(s.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(b, s.buf[off:])
+	if n < len(b) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// DurableSize implements Store.
+func (s *MemStore) DurableSize() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.durable
+}
+
+// Size implements Store.
+func (s *MemStore) Size() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(len(s.buf))
+}
+
+// SetMaster implements Store.
+func (s *MemStore) SetMaster(l LSN) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.master = l
+	return nil
+}
+
+// Master implements Store.
+func (s *MemStore) Master() (LSN, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.master, nil
+}
+
+// Crash implements Store: everything beyond the durable boundary vanishes.
+func (s *MemStore) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = s.buf[:s.durable]
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore is a file-backed log store. The durable boundary advances on
+// fsync; Crash truncates to it (approximating what a real crash preserves).
+type FileStore struct {
+	mu      sync.Mutex
+	f       *os.File
+	master  *os.File
+	durable int64
+	size    int64
+}
+
+// OpenFileStore opens (or creates) a file-backed log at path; the master
+// LSN lives in path+".master".
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	m, err := os.OpenFile(path+".master", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		m.Close()
+		return nil, err
+	}
+	s := &FileStore{f: f, master: m, durable: st.Size(), size: st.Size()}
+	if st.Size() == 0 {
+		if _, err := f.WriteAt(logMagic[:], 0); err != nil {
+			f.Close()
+			m.Close()
+			return nil, err
+		}
+		s.size = logHeaderSize
+		s.durable = logHeaderSize
+	}
+	return s, nil
+}
+
+// WriteAt implements Store.
+func (s *FileStore) WriteAt(b []byte, off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.WriteAt(b, off); err != nil {
+		return err
+	}
+	if end := off + int64(len(b)); end > s.size {
+		s.size = end
+	}
+	return nil
+}
+
+// Flush implements Store.
+func (s *FileStore) Flush(upTo int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	if upTo > s.size {
+		upTo = s.size
+	}
+	if upTo > s.durable {
+		s.durable = upTo
+	}
+	return nil
+}
+
+// ReadAt implements Store.
+func (s *FileStore) ReadAt(b []byte, off int64) (int, error) {
+	return s.f.ReadAt(b, off)
+}
+
+// DurableSize implements Store.
+func (s *FileStore) DurableSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durable
+}
+
+// Size implements Store.
+func (s *FileStore) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// SetMaster implements Store.
+func (s *FileStore) SetMaster(l LSN) error {
+	var b [8]byte
+	putLSN(b[:], l)
+	if _, err := s.master.WriteAt(b[:], 0); err != nil {
+		return err
+	}
+	return s.master.Sync()
+}
+
+// Master implements Store.
+func (s *FileStore) Master() (LSN, error) {
+	var b [8]byte
+	n, err := s.master.ReadAt(b[:], 0)
+	if err != nil && n == 0 {
+		return NullLSN, nil // fresh master file
+	}
+	return getLSN(b[:]), nil
+}
+
+// Crash implements Store: truncate the file to the durable boundary.
+func (s *FileStore) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.f.Truncate(s.durable)
+	s.size = s.durable
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	err1 := s.f.Close()
+	err2 := s.master.Close()
+	return errors.Join(err1, err2)
+}
+
+func putLSN(b []byte, l LSN) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(l >> (8 * i))
+	}
+}
+
+func getLSN(b []byte) LSN {
+	var l LSN
+	for i := 0; i < 8; i++ {
+		l |= LSN(b[i]) << (8 * i)
+	}
+	return l
+}
+
+var (
+	_ Store = (*MemStore)(nil)
+	_ Store = (*FileStore)(nil)
+)

@@ -1,0 +1,489 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func allDesigns() []Design {
+	return []Design{DesignCoupled, DesignDecoupled, DesignConsolidated}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	r := &Record{
+		Type:     RecUpdate,
+		TxID:     77,
+		PrevLSN:  123,
+		Page:     9,
+		UndoNext: 456,
+		Redo:     []byte("redo-bytes"),
+		Undo:     []byte("undo"),
+	}
+	buf := make([]byte, r.EncodedSize())
+	n, err := r.Encode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != r.EncodedSize() {
+		t.Fatalf("encoded %d bytes, want %d", n, r.EncodedSize())
+	}
+	got, m, err := DecodeRecord(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Fatalf("decoded length %d, want %d", m, n)
+	}
+	if got.Type != r.Type || got.TxID != r.TxID || got.PrevLSN != r.PrevLSN ||
+		got.Page != r.Page || got.UndoNext != r.UndoNext ||
+		!bytes.Equal(got.Redo, r.Redo) || !bytes.Equal(got.Undo, r.Undo) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, r)
+	}
+}
+
+func TestRecordDecodeErrors(t *testing.T) {
+	r := &Record{Type: RecTxCommit, TxID: 1}
+	buf := make([]byte, r.EncodedSize())
+	if _, err := r.Encode(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated.
+	if _, _, err := DecodeRecord(buf[:10]); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("truncated decode = %v", err)
+	}
+	// Corrupted byte.
+	bad := append([]byte(nil), buf...)
+	bad[recHeaderSize-1] ^= 0xff
+	if _, _, err := DecodeRecord(bad); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("corrupt decode = %v", err)
+	}
+	// Oversized payload rejected at encode.
+	huge := &Record{Type: RecUpdate, Redo: make([]byte, MaxPayload+1)}
+	if _, err := huge.Encode(make([]byte, MaxPayload+1024)); err != ErrRecordTooLarge {
+		t.Errorf("oversized encode = %v", err)
+	}
+	// Short buffer at encode.
+	if _, err := r.Encode(make([]byte, 4)); err == nil {
+		t.Error("short-buffer encode succeeded")
+	}
+}
+
+func TestRecordQuickRoundTrip(t *testing.T) {
+	f := func(txid uint64, prev, undoNext uint64, pid uint64, redo, undo []byte, typ uint8) bool {
+		if len(redo)+len(undo) > MaxPayload {
+			return true
+		}
+		r := &Record{
+			Type: RecType(typ%9 + 1), TxID: txid, PrevLSN: LSN(prev),
+			Page: 0, UndoNext: LSN(undoNext), Redo: redo, Undo: undo,
+		}
+		_ = pid
+		buf := make([]byte, r.EncodedSize())
+		if _, err := r.Encode(buf); err != nil {
+			return false
+		}
+		got, _, err := DecodeRecord(buf)
+		if err != nil {
+			return false
+		}
+		return got.TxID == r.TxID && bytes.Equal(got.Redo, r.Redo) && bytes.Equal(got.Undo, r.Undo)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testManagerBasics(t *testing.T, d Design) {
+	store := NewMemStore()
+	m := New(store, Options{Design: d, BufferSize: 1 << 16})
+	defer m.Close()
+
+	var lsns []LSN
+	for i := 0; i < 100; i++ {
+		rec := &Record{Type: RecUpdate, TxID: uint64(i), Redo: []byte("payload")}
+		lsn, err := m.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn == NullLSN {
+			t.Fatal("got null LSN")
+		}
+		if len(lsns) > 0 && lsn <= lsns[len(lsns)-1] {
+			t.Fatalf("LSNs not increasing: %v then %v", lsns[len(lsns)-1], lsn)
+		}
+		lsns = append(lsns, lsn)
+	}
+	// Nothing necessarily durable yet; flush all.
+	if err := m.Flush(m.CurLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if m.DurableLSN() < lsns[len(lsns)-1] {
+		t.Fatalf("durable %v < last insert %v", m.DurableLSN(), lsns[len(lsns)-1])
+	}
+	// Scan back.
+	sc := NewScanner(store, NullLSN)
+	i := 0
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.LSN != lsns[i] {
+			t.Fatalf("record %d LSN = %v, want %v", i, rec.LSN, lsns[i])
+		}
+		if rec.TxID != uint64(i) || string(rec.Redo) != "payload" {
+			t.Fatalf("record %d content mismatch: %+v", i, rec)
+		}
+		i++
+	}
+	if i != 100 {
+		t.Fatalf("scanned %d records, want 100", i)
+	}
+	// Stats sane.
+	st := m.Stats()
+	if st.Inserts != 100 || st.InsertedBytes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestManagerBasics(t *testing.T) {
+	for _, d := range allDesigns() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) { testManagerBasics(t, d) })
+	}
+}
+
+func testManagerConcurrent(t *testing.T, d Design) {
+	store := NewMemStore()
+	m := New(store, Options{Design: d, BufferSize: 1 << 14}) // small: forces wrap + waits
+	defer m.Close()
+
+	const g, n = 8, 300
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	all := make(map[LSN]uint64)
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				id := uint64(w*n + i)
+				rec := &Record{Type: RecUpdate, TxID: id, Redo: bytes.Repeat([]byte{byte(w)}, 16+i%64)}
+				lsn, err := m.Insert(rec)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if _, dup := all[lsn]; dup {
+					t.Errorf("duplicate LSN %v", lsn)
+				}
+				all[lsn] = id
+				mu.Unlock()
+				if i%50 == 0 {
+					if err := m.Flush(lsn + 1); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := m.Flush(m.CurLSN()); err != nil {
+		t.Fatal(err)
+	}
+	// Scan: every record must be intact and match what we inserted.
+	sc := NewScanner(store, NullLSN)
+	count := 0
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := all[rec.LSN]
+		if !ok {
+			t.Fatalf("scanned unknown LSN %v", rec.LSN)
+		}
+		if rec.TxID != want {
+			t.Fatalf("LSN %v txid = %d, want %d", rec.LSN, rec.TxID, want)
+		}
+		count++
+	}
+	if count != g*n {
+		t.Fatalf("scanned %d records, want %d", count, g*n)
+	}
+}
+
+func TestManagerConcurrent(t *testing.T) {
+	for _, d := range allDesigns() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) { testManagerConcurrent(t, d) })
+	}
+}
+
+func TestCrashLosesUnflushedTail(t *testing.T) {
+	for _, d := range allDesigns() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			store := NewMemStore()
+			m := New(store, Options{Design: d, BufferSize: 1 << 16})
+			var durableLSN LSN
+			for i := 0; i < 50; i++ {
+				rec := &Record{Type: RecUpdate, TxID: uint64(i), Redo: []byte("x")}
+				lsn, err := m.Insert(rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 29 {
+					if err := m.Flush(lsn + LSN(rec.EncodedSize())); err != nil {
+						t.Fatal(err)
+					}
+					durableLSN = m.DurableLSN()
+				}
+			}
+			// Crash without closing: drop the volatile tail.
+			store.Crash()
+			sc := NewScanner(store, NullLSN)
+			var got []uint64
+			for {
+				rec, err := sc.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, rec.TxID)
+			}
+			if len(got) < 30 {
+				t.Fatalf("only %d records survived; at least 30 were durable (durable=%v)", len(got), durableLSN)
+			}
+			for i, id := range got {
+				if id != uint64(i) {
+					t.Fatalf("record %d has txid %d", i, id)
+				}
+			}
+			m.Close()
+		})
+	}
+}
+
+func TestReadRecordAt(t *testing.T) {
+	store := NewMemStore()
+	m := New(store, Options{Design: DesignConsolidated})
+	defer m.Close()
+	rec := &Record{Type: RecUpdate, TxID: 5, Redo: []byte("abc")}
+	lsn, err := m.Insert(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(m.CurLSN()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecordAt(store, lsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TxID != 5 || string(got.Redo) != "abc" || got.LSN != lsn {
+		t.Fatalf("ReadRecordAt = %+v", got)
+	}
+	if _, err := ReadRecordAt(store, 3); err == nil {
+		t.Error("ReadRecordAt before log start succeeded")
+	}
+}
+
+func TestInsertAfterClose(t *testing.T) {
+	for _, d := range allDesigns() {
+		m := New(NewMemStore(), Options{Design: d})
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Insert(&Record{Type: RecUpdate}); err != ErrLogClosed {
+			t.Errorf("%v: insert after close = %v", d, err)
+		}
+		// Double close is fine.
+		if err := m.Close(); err != nil {
+			t.Errorf("%v: double close = %v", d, err)
+		}
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	for _, d := range allDesigns() {
+		m := New(NewMemStore(), Options{Design: d, BufferSize: 4096})
+		rec := &Record{Type: RecUpdate, Redo: make([]byte, 8192)}
+		if _, err := m.Insert(rec); err != ErrRecordTooLarge {
+			t.Errorf("%v: oversized insert = %v", d, err)
+		}
+		m.Close()
+	}
+}
+
+func TestCheckpointDataRoundTrip(t *testing.T) {
+	c := &CheckpointData{
+		BeginLSN: 99,
+		Txs: []TxInfo{
+			{TxID: 1, LastLSN: 10, UndoNext: 5},
+			{TxID: 2, LastLSN: 20, UndoNext: 20},
+		},
+		Dirty: []DirtyInfo{{Page: 7, RecLSN: 3}, {Page: 8, RecLSN: 4}},
+	}
+	got, err := DecodeCheckpoint(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BeginLSN != 99 || len(got.Txs) != 2 || len(got.Dirty) != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.Txs[1].TxID != 2 || got.Txs[1].LastLSN != 20 {
+		t.Fatalf("tx mismatch: %+v", got.Txs)
+	}
+	if got.Dirty[0].Page != 7 || got.Dirty[0].RecLSN != 3 {
+		t.Fatalf("dirty mismatch: %+v", got.Dirty)
+	}
+	// Truncated payloads.
+	if _, err := DecodeCheckpoint(nil); err == nil {
+		t.Error("nil payload decoded")
+	}
+	if _, err := DecodeCheckpoint(c.Encode()[:30]); err == nil {
+		t.Error("truncated payload decoded")
+	}
+	// Empty checkpoint.
+	empty := &CheckpointData{}
+	got2, err := DecodeCheckpoint(empty.Encode())
+	if err != nil || len(got2.Txs) != 0 || len(got2.Dirty) != 0 {
+		t.Errorf("empty checkpoint round trip: %+v, %v", got2, err)
+	}
+}
+
+func TestFileStorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	store, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(store, Options{Design: DesignDecoupled})
+	var lastLSN LSN
+	for i := 0; i < 10; i++ {
+		lsn, err := m.Insert(&Record{Type: RecUpdate, TxID: uint64(i), Redo: []byte("p")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastLSN = lsn
+	}
+	if err := m.Flush(m.CurLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetMaster(lastLSN); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	store.Close()
+
+	store2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	master, err := store2.Master()
+	if err != nil || master != lastLSN {
+		t.Fatalf("master = %v, %v; want %v", master, err, lastLSN)
+	}
+	sc := NewScanner(store2, NullLSN)
+	count := 0
+	for {
+		_, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != 10 {
+		t.Fatalf("reopened log has %d records, want 10", count)
+	}
+	// A new manager must continue appending after the existing tail.
+	m2 := New(store2, Options{Design: DesignCoupled})
+	lsn, err := m2.Insert(&Record{Type: RecTxCommit, TxID: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn <= lastLSN {
+		t.Fatalf("appended LSN %v not beyond old tail %v", lsn, lastLSN)
+	}
+	m2.Close()
+}
+
+func TestMemStoreMaster(t *testing.T) {
+	s := NewMemStore()
+	if master, _ := s.Master(); master != NullLSN {
+		t.Fatalf("fresh master = %v", master)
+	}
+	if err := s.SetMaster(88); err != nil {
+		t.Fatal(err)
+	}
+	if master, _ := s.Master(); master != 88 {
+		t.Fatalf("master = %v, want 88", master)
+	}
+}
+
+func TestGroupCommitSharedFlush(t *testing.T) {
+	store := NewMemStore()
+	m := New(store, Options{Design: DesignConsolidated})
+	defer m.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lsn, err := m.Insert(&Record{Type: RecTxCommit, TxID: uint64(w)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := m.Flush(lsn + 1); err != nil {
+				t.Error(err)
+				return
+			}
+			if m.DurableLSN() <= lsn {
+				t.Errorf("flush returned but durable %v <= %v", m.DurableLSN(), lsn)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Group commit should have needed far fewer store flushes than commits,
+	// but at minimum it must have flushed at least once.
+	if m.Stats().Flushes == 0 {
+		t.Error("no flushes recorded")
+	}
+}
+
+func TestDesignString(t *testing.T) {
+	if DesignCoupled.String() != "coupled" || DesignDecoupled.String() != "decoupled" ||
+		DesignConsolidated.String() != "consolidated" || Design(9).String() != "unknown" {
+		t.Error("Design.String mismatch")
+	}
+	for _, rt := range []RecType{RecUpdate, RecCLR, RecTxBegin, RecTxCommit, RecTxAbort, RecTxEnd, RecCkptBegin, RecCkptEnd, RecFormat} {
+		if rt.String() == "" {
+			t.Error("empty RecType string")
+		}
+	}
+	if LSN(5).String() != "lsn:5" {
+		t.Error("LSN.String mismatch")
+	}
+}

@@ -1,0 +1,372 @@
+// Package shoremt is a Go reproduction of Shore-MT, the scalable
+// multithreaded storage manager of Johnson, Pandis, Hardavellas, Ailamaki
+// and Falsafi (EDBT 2009). It provides a complete transactional storage
+// engine — buffer pool, ARIES write-ahead logging and recovery,
+// hierarchical two-phase locking, B-link-tree indexes, heap tables, and
+// free-space management — in which every component exists in both its
+// original (bottlenecked) and optimized (scalable) form, selectable per
+// the paper's optimization stages.
+//
+// Quick start:
+//
+//	db, err := shoremt.Open(shoremt.Options{})
+//	tx, _ := db.Begin()
+//	table, _ := db.CreateTable(tx)
+//	rid, _ := table.Insert(tx, []byte("hello"))
+//	_ = tx.Commit()
+package shoremt
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/lock"
+	"repro/internal/page"
+	"repro/internal/tx"
+	"repro/internal/wal"
+)
+
+// Stage selects the optimization level of the engine, mirroring Figure 7.
+// The zero value means "the finished Shore-MT" so that Options{} gives the
+// scalable engine by default.
+type Stage int
+
+// Optimization stages (see Figure 7 and §7 of the paper).
+const (
+	StageDefault  Stage = iota // same as StageFinal
+	StageBaseline              // §7.1: the original Shore
+	StageBpool1                // §7.2
+	StageCaching               // §7.3
+	StageLog                   // §7.4
+	StageLockMgr               // §7.5
+	StageBpool2                // §7.6
+	StageFinal                 // §7.7: Shore-MT
+)
+
+// coreStage maps the public enum onto the engine's.
+func (s Stage) coreStage() core.Stage {
+	switch s {
+	case StageBaseline:
+		return core.StageBaseline
+	case StageBpool1:
+		return core.StageBpool1
+	case StageCaching:
+		return core.StageCaching
+	case StageLog:
+		return core.StageLog
+	case StageLockMgr:
+		return core.StageLockMgr
+	case StageBpool2:
+		return core.StageBpool2
+	default:
+		return core.StageFinal
+	}
+}
+
+// String names the stage as Figure 7 does.
+func (s Stage) String() string { return s.coreStage().String() }
+
+// Stages lists the optimization ladder in order.
+func Stages() []Stage {
+	return []Stage{StageBaseline, StageBpool1, StageCaching, StageLog, StageLockMgr, StageBpool2, StageFinal}
+}
+
+// RID identifies a heap record.
+type RID = page.RID
+
+// Options configures Open.
+type Options struct {
+	// Stage selects component implementations; the default is StageFinal
+	// (the finished Shore-MT).
+	Stage Stage
+	// BufferFrames sizes the buffer pool in 8 KiB pages (default 4096).
+	BufferFrames int
+	// Dir, when non-empty, stores data and log in files under this
+	// directory; otherwise everything is in memory.
+	Dir string
+	// LockTimeout bounds lock waits (default 500ms); waits that exceed it
+	// abort with ErrTimeout.
+	LockTimeout time.Duration
+	// CleanerInterval runs the background page cleaner (default 50ms;
+	// negative disables).
+	CleanerInterval time.Duration
+	// Advanced overrides the full component configuration; when non-nil it
+	// takes precedence over Stage.
+	Advanced *core.Config
+}
+
+// Sentinel errors surfaced by the public API.
+var (
+	ErrDeadlock  = lock.ErrDeadlock
+	ErrTimeout   = lock.ErrTimeout
+	ErrNoRecord  = core.ErrNoRecord
+	ErrTxDone    = errors.New("shoremt: transaction already finished")
+	ErrDuplicate = errors.New("shoremt: duplicate key")
+	ErrNotFound  = errors.New("shoremt: key not found")
+)
+
+// DB is an open database.
+type DB struct {
+	engine   *core.Engine
+	vol      disk.Volume
+	logStore wal.Store
+}
+
+// Open creates or reopens a database. If the log is non-empty, ARIES
+// restart recovery runs before Open returns.
+func Open(opts Options) (*DB, error) {
+	cfg := core.StageConfig(opts.Stage.coreStage())
+	if opts.Advanced != nil {
+		cfg = *opts.Advanced
+	}
+	if opts.BufferFrames > 0 {
+		cfg.Frames = opts.BufferFrames
+	}
+	if opts.LockTimeout > 0 {
+		cfg.LockTimeout = opts.LockTimeout
+	}
+	switch {
+	case opts.CleanerInterval > 0:
+		cfg.CleanerInterval = opts.CleanerInterval
+	case opts.CleanerInterval == 0:
+		cfg.CleanerInterval = 50 * time.Millisecond
+	default:
+		cfg.CleanerInterval = 0
+	}
+
+	var vol disk.Volume
+	var logStore wal.Store
+	if opts.Dir != "" {
+		fv, err := disk.OpenFile(filepath.Join(opts.Dir, "data.vol"))
+		if err != nil {
+			return nil, fmt.Errorf("shoremt: open volume: %w", err)
+		}
+		ls, err := wal.OpenFileStore(filepath.Join(opts.Dir, "wal.log"))
+		if err != nil {
+			fv.Close()
+			return nil, fmt.Errorf("shoremt: open log: %w", err)
+		}
+		vol, logStore = fv, ls
+	} else {
+		vol = disk.NewMem(0)
+		logStore = wal.NewMemStore()
+	}
+	engine, err := core.Open(vol, logStore, cfg)
+	if err != nil {
+		vol.Close()
+		logStore.Close()
+		return nil, err
+	}
+	return &DB{engine: engine, vol: vol, logStore: logStore}, nil
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	if err := db.engine.Close(); err != nil {
+		return err
+	}
+	if err := db.vol.Close(); err != nil {
+		return err
+	}
+	return db.logStore.Close()
+}
+
+// Checkpoint takes a fuzzy checkpoint, bounding future recovery work.
+func (db *DB) Checkpoint() error { return db.engine.Checkpoint() }
+
+// Stats returns a snapshot of every component's counters.
+func (db *DB) Stats() core.EngineStats { return db.engine.Stats() }
+
+// Engine exposes the underlying storage manager for advanced use
+// (benchmarks, stage experiments).
+func (db *DB) Engine() *core.Engine { return db.engine }
+
+// Tx is an open transaction. A Tx must be used by one goroutine.
+type Tx struct {
+	db    *DB
+	inner *tx.Tx
+	done  bool
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() (*Tx, error) {
+	inner, err := db.engine.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{db: db, inner: inner}, nil
+}
+
+// Commit makes the transaction durable (group commit).
+func (t *Tx) Commit() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+	return t.db.engine.Commit(t.inner)
+}
+
+// Abort rolls the transaction back.
+func (t *Tx) Abort() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+	return t.db.engine.Abort(t.inner)
+}
+
+// Table is a heap table handle.
+type Table struct {
+	db    *DB
+	store uint32
+}
+
+// CreateTable creates a heap table. Creation is durable once any row
+// insert in it commits (table metadata is derived from page headers).
+func (db *DB) CreateTable(t *Tx) (*Table, error) {
+	if t.done {
+		return nil, ErrTxDone
+	}
+	store, err := db.engine.CreateTable()
+	if err != nil {
+		return nil, err
+	}
+	return &Table{db: db, store: store}, nil
+}
+
+// OpenTable attaches to a table by store id.
+func (db *DB) OpenTable(store uint32) *Table { return &Table{db: db, store: store} }
+
+// ID returns the table's store id (stable across restarts).
+func (tb *Table) ID() uint32 { return tb.store }
+
+// Insert appends a record, returning its RID.
+func (tb *Table) Insert(t *Tx, data []byte) (RID, error) {
+	if t.done {
+		return RID{}, ErrTxDone
+	}
+	return tb.db.engine.HeapInsert(t.inner, tb.store, data)
+}
+
+// Get reads the record at rid (S-locked until commit).
+func (tb *Table) Get(t *Tx, rid RID) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxDone
+	}
+	return tb.db.engine.HeapRead(t.inner, tb.store, rid)
+}
+
+// Update replaces the record at rid.
+func (tb *Table) Update(t *Tx, rid RID, data []byte) error {
+	if t.done {
+		return ErrTxDone
+	}
+	return tb.db.engine.HeapUpdate(t.inner, tb.store, rid, data)
+}
+
+// Delete removes the record at rid.
+func (tb *Table) Delete(t *Tx, rid RID) error {
+	if t.done {
+		return ErrTxDone
+	}
+	return tb.db.engine.HeapDelete(t.inner, tb.store, rid)
+}
+
+// Scan iterates all records in RID order under a table S lock; fn
+// receives a copy of each record and stops the scan by returning false.
+func (tb *Table) Scan(t *Tx, fn func(rid RID, rec []byte) bool) error {
+	if t.done {
+		return ErrTxDone
+	}
+	return tb.db.engine.HeapScan(t.inner, tb.store, fn)
+}
+
+// Index is a B-tree index handle.
+type Index struct {
+	db    *DB
+	inner *core.Index
+}
+
+// CreateIndex creates a B-tree index inside transaction t.
+func (db *DB) CreateIndex(t *Tx) (*Index, error) {
+	if t.done {
+		return nil, ErrTxDone
+	}
+	ix, err := db.engine.CreateIndex(t.inner)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{db: db, inner: ix}, nil
+}
+
+// OpenIndex attaches to an index by store id.
+func (db *DB) OpenIndex(store uint32) (*Index, error) {
+	ix, err := db.engine.OpenIndex(store)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{db: db, inner: ix}, nil
+}
+
+// ID returns the index's store id (stable across restarts).
+func (ix *Index) ID() uint32 { return ix.inner.Store() }
+
+// Insert adds key→value; ErrDuplicate if the key exists.
+func (ix *Index) Insert(t *Tx, key, value []byte) error {
+	if t.done {
+		return ErrTxDone
+	}
+	err := ix.db.engine.IndexInsert(t.inner, ix.inner, key, value)
+	return mapBtreeErr(err)
+}
+
+// Get returns the value for key.
+func (ix *Index) Get(t *Tx, key []byte) ([]byte, bool, error) {
+	if t.done {
+		return nil, false, ErrTxDone
+	}
+	return ix.db.engine.IndexLookup(t.inner, ix.inner, key)
+}
+
+// Update replaces the value for key; ErrNotFound if absent.
+func (ix *Index) Update(t *Tx, key, value []byte) error {
+	if t.done {
+		return ErrTxDone
+	}
+	return mapBtreeErr(ix.db.engine.IndexUpdate(t.inner, ix.inner, key, value))
+}
+
+// Delete removes key, returning the old value; ErrNotFound if absent.
+func (ix *Index) Delete(t *Tx, key []byte) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxDone
+	}
+	old, err := ix.db.engine.IndexDelete(t.inner, ix.inner, key)
+	return old, mapBtreeErr(err)
+}
+
+// Scan iterates keys in [from, to) ascending (nil = unbounded) under a
+// store S lock; fn stops the scan by returning false.
+func (ix *Index) Scan(t *Tx, from, to []byte, fn func(key, value []byte) bool) error {
+	if t.done {
+		return ErrTxDone
+	}
+	return ix.db.engine.IndexScan(t.inner, ix.inner, from, to, fn)
+}
+
+func mapBtreeErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case isBtreeDup(err):
+		return fmt.Errorf("%w: %v", ErrDuplicate, err)
+	case isBtreeNotFound(err):
+		return fmt.Errorf("%w: %v", ErrNotFound, err)
+	default:
+		return err
+	}
+}

@@ -1,0 +1,274 @@
+package shoremt
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, opts Options) *DB {
+	t.Helper()
+	if opts.CleanerInterval == 0 {
+		opts.CleanerInterval = -1 // keep tests deterministic
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestPublicTableRoundTrip(t *testing.T) {
+	db := openTest(t, Options{})
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := tb.Insert(tx, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := tb.Get(tx, rid); err != nil || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := tb.Update(tx, rid, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen handle by id.
+	tb2 := db.OpenTable(tb.ID())
+	tx2, _ := db.Begin()
+	if got, err := tb2.Get(tx2, rid); err != nil || string(got) != "world" {
+		t.Fatalf("after commit: %q, %v", got, err)
+	}
+	count := 0
+	if err := tb2.Scan(tx2, func(_ RID, rec []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("scan count = %d", count)
+	}
+	if err := tb2.Delete(tx2, rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb2.Get(tx2, rid); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("get after delete = %v", err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicIndexErrors(t *testing.T) {
+	db := openTest(t, Options{})
+	tx, _ := db.Begin()
+	ix, err := db.CreateIndex(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(tx, []byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(tx, []byte("k"), []byte("v2")); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate = %v", err)
+	}
+	if err := ix.Update(tx, []byte("missing"), []byte("v")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update missing = %v", err)
+	}
+	if _, err := ix.Delete(tx, []byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete missing = %v", err)
+	}
+	old, err := ix.Delete(tx, []byte("k"))
+	if err != nil || string(old) != "v1" {
+		t.Fatalf("delete = %q, %v", old, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxDoneGuards(t *testing.T) {
+	db := openTest(t, Options{})
+	tx, _ := db.Begin()
+	tb, err := db.CreateTable(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("double commit = %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("abort after commit = %v", err)
+	}
+	if _, err := tb.Insert(tx, []byte("x")); !errors.Is(err, ErrTxDone) {
+		t.Errorf("insert on done tx = %v", err)
+	}
+	if _, err := tb.Get(tx, RID{}); !errors.Is(err, ErrTxDone) {
+		t.Errorf("get on done tx = %v", err)
+	}
+}
+
+func TestPublicAbortRollsBack(t *testing.T) {
+	db := openTest(t, Options{})
+	tx, _ := db.Begin()
+	ix, err := db.CreateIndex(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(tx, []byte("keep"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := db.Begin()
+	if err := ix.Insert(tx2, []byte("drop"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	tx3, _ := db.Begin()
+	if _, ok, _ := ix.Get(tx3, []byte("drop")); ok {
+		t.Fatal("aborted key visible")
+	}
+	if _, ok, _ := ix.Get(tx3, []byte("keep")); !ok {
+		t.Fatal("committed key lost")
+	}
+	if err := tx3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileBackedPersistence(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir, CleanerInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Begin()
+	ix, err := db.CreateIndex(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixID := ix.ID()
+	for i := 0; i < 200; i++ {
+		if err := ix.Insert(tx, []byte(fmt.Sprintf("k%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Files exist.
+	if _, err := filepath.Glob(filepath.Join(dir, "*")); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: recovery replays/loads the durable state.
+	db2 := openTest(t, Options{Dir: dir})
+	ix2, err := db2.OpenIndex(ixID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := db2.Begin()
+	count := 0
+	if err := ix2.Scan(tx2, nil, nil, func(k, v []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 200 {
+		t.Fatalf("reopened index has %d keys, want 200", count)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStagesAllFunctional(t *testing.T) {
+	for _, stage := range []Stage{StageBaseline, StageBpool1, StageCaching, StageLog, StageLockMgr, StageBpool2, StageFinal} {
+		stage := stage
+		t.Run(stage.String(), func(t *testing.T) {
+			db := openTest(t, Options{Stage: stage, BufferFrames: 128})
+			tx, _ := db.Begin()
+			tb, err := db.CreateTable(tx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 50; i++ {
+				if _, err := tb.Insert(tx, []byte("row")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			st := db.Stats()
+			if st.Tx.Commits != 1 {
+				t.Errorf("commits = %d", st.Tx.Commits)
+			}
+		})
+	}
+}
+
+func TestDefaultStageIsFinal(t *testing.T) {
+	// The zero Options must open the finished Shore-MT, not the baseline.
+	db := openTest(t, Options{})
+	cfg := db.Engine().Config()
+	if cfg.Stage.String() != "final" {
+		t.Fatalf("default stage = %q, want final", cfg.Stage)
+	}
+	if StageDefault.String() != "final" || StageBaseline.String() != "baseline" {
+		t.Errorf("stage names: default=%q baseline=%q", StageDefault, StageBaseline)
+	}
+	if len(Stages()) != 7 {
+		t.Errorf("Stages() has %d entries", len(Stages()))
+	}
+}
+
+func TestLockTimeoutSurfaces(t *testing.T) {
+	db := openTest(t, Options{LockTimeout: 50 * time.Millisecond})
+	tx1, _ := db.Begin()
+	tb, err := db.CreateTable(tx1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := tb.Insert(tx1, []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := db.Begin()
+	if err := tb.Update(tx2, rid, []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	// Without the deadlock detector firing (no cycle), a conflicting read
+	// must time out.
+	tx3, _ := db.Begin()
+	_, err = tb.Get(tx3, rid)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("conflicting read = %v, want timeout", err)
+	}
+	_ = tx3.Abort()
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
