@@ -14,13 +14,17 @@
 package shoremt
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/lock"
+	"repro/internal/page"
 	"repro/internal/peers"
 	"repro/internal/space"
 	"repro/internal/sync2"
@@ -31,9 +35,15 @@ import (
 // newBenchEngine builds a real engine at the given stage.
 func newBenchEngine(b *testing.B, stage core.Stage) *core.Engine {
 	b.Helper()
+	return newBenchEngineStore(b, stage, wal.NewMemStore())
+}
+
+// newBenchEngineStore builds a real engine over a caller-chosen log store.
+func newBenchEngineStore(b *testing.B, stage core.Stage, store wal.Store) *core.Engine {
+	b.Helper()
 	cfg := core.StageConfig(stage)
 	cfg.Frames = 4096
-	e, err := core.Open(disk.NewMem(0), wal.NewMemStore(), cfg)
+	e, err := core.Open(disk.NewMem(0), store, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -213,6 +223,110 @@ func BenchmarkFigure6_FreeSpaceMutex(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// slowStore wraps a log store with a fixed per-flush latency, modeling a
+// real device's sync cost (a few tens of microseconds ≈ enterprise SSD).
+// Without it an in-memory flush is nearly free and the commit path's
+// flush-while-holding-locks serialization would be invisible.
+type slowStore struct {
+	wal.Store
+	latency time.Duration
+}
+
+func (s *slowStore) Flush(upTo int64) error {
+	time.Sleep(s.latency)
+	return s.Store.Flush(upTo)
+}
+
+// benchCommit drives the commit path under logical contention: all
+// workers update rows of one shared table and commit every `batch`
+// updates. Each iteration is one committed transaction. StageFinal holds
+// every lock across its commit flush; StagePipeline releases locks at
+// pre-commit and lets the flush daemon batch the hardening — run with
+// -cpu=8 (or more) to see the difference. Rows are locked in increasing
+// order so no deadlocks occur.
+func benchCommit(b *testing.B, stage core.Stage, batch int) {
+	store := &slowStore{Store: wal.NewMemStore(), latency: 50 * time.Microsecond}
+	e := newBenchEngineStore(b, stage, store)
+	table, err := e.CreateTable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rows = 256
+	rids := make([]page.RID, rows)
+	t0, err := e.Begin()
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	for i := range rids {
+		if rids[i], err = e.HeapInsert(t0, table, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Commit(t0); err != nil {
+		b.Fatal(err)
+	}
+
+	var seed, aborts atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := seed.Add(0x9e3779b97f4a7c15) // per-worker LCG state
+		for pb.Next() {
+			// Retry until this iteration commits, so every iteration is
+			// exactly one committed transaction regardless of how many
+			// lock timeouts scheduler noise induces per stage.
+			for {
+				t, err := e.Begin()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				rng = rng*6364136223846793005 + 1442695040888963407
+				start := int(rng>>33) % (rows - batch + 1)
+				retry := false
+				for j := 0; j < batch; j++ {
+					if err := e.HeapUpdate(t, table, rids[start+j], payload); err != nil {
+						if errors.Is(err, lock.ErrTimeout) || errors.Is(err, lock.ErrDeadlock) {
+							_ = e.Abort(t)
+							aborts.Add(1)
+							retry = true
+							break
+						}
+						b.Error(err)
+						return
+					}
+				}
+				if retry {
+					continue
+				}
+				if err := e.Commit(t); err != nil {
+					b.Error(err)
+					return
+				}
+				break
+			}
+		}
+	})
+	b.StopTimer()
+	st := e.Stats()
+	b.ReportMetric(float64(st.Log.Flushes), "flushes")
+	b.ReportMetric(float64(aborts.Load()), "aborts")
+}
+
+func BenchmarkCommitSync(b *testing.B) {
+	for _, batch := range []int{1, 4, 16} {
+		batch := batch
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) { benchCommit(b, core.StageFinal, batch) })
+	}
+}
+
+func BenchmarkCommitPipeline(b *testing.B) {
+	for _, batch := range []int{1, 4, 16} {
+		batch := batch
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) { benchCommit(b, core.StagePipeline, batch) })
 	}
 }
 

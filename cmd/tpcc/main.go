@@ -37,7 +37,7 @@ func main() {
 	warehouses := flag.Int("warehouses", 2, "TPC-C warehouses")
 	clients := flag.Int("clients", 4, "concurrent client goroutines")
 	duration := flag.Duration("duration", 5*time.Second, "run duration")
-	stageName := flag.String("stage", "final", "engine optimization stage (baseline|bpool1|caching|log|lock mgr|bpool2|final)")
+	stageName := flag.String("stage", "final", "engine optimization stage (baseline|bpool1|caching|log|lock mgr|bpool2|final|pipeline)")
 	frames := flag.Int("frames", 8192, "buffer pool frames")
 	payPct := flag.Int("payment", 50, "percent of transactions that are Payment (rest New Order)")
 	flag.Parse()

@@ -27,6 +27,7 @@ const (
 	StageLockMgr               // §7.5: per-bucket lock table, lock-free pool
 	StageBpool2                // §7.6: clock-hand release, partitioned transit
 	StageFinal                 // §7.7: consolidated log, cleaner checkpoints
+	StagePipeline              // beyond the paper: staged commit pipeline (ELR + async group commit)
 )
 
 // String names the stage as Figure 7 labels it.
@@ -46,6 +47,8 @@ func (s Stage) String() string {
 		return "bpool2"
 	case StageFinal:
 		return "final"
+	case StagePipeline:
+		return "pipeline"
 	default:
 		return "unknown"
 	}
@@ -53,7 +56,7 @@ func (s Stage) String() string {
 
 // Stages lists all stages in order.
 func Stages() []Stage {
-	return []Stage{StageBaseline, StageBpool1, StageCaching, StageLog, StageLockMgr, StageBpool2, StageFinal}
+	return []Stage{StageBaseline, StageBpool1, StageCaching, StageLog, StageLockMgr, StageBpool2, StageFinal, StagePipeline}
 }
 
 // Config selects component implementations. Use StageConfig for the
@@ -79,7 +82,16 @@ type Config struct {
 	CleanerCheckpoint bool
 	// CleanerInterval runs the background dirty-page cleaner (0 disables).
 	CleanerInterval time.Duration
-	Seed            int64
+	// CommitPipeline enables the staged commit pipeline (StagePipeline):
+	// committing transactions release their locks as soon as the commit
+	// record is in the log (Early Lock Release) and a dedicated flush
+	// daemon batches outstanding commit LSNs; Commit still blocks until
+	// its record is durable, CommitAsync does not.
+	CommitPipeline bool
+	// PipelineInterval is the flush daemon's optional batching window
+	// (0 flushes as soon as the daemon is free).
+	PipelineInterval time.Duration
+	Seed             int64
 }
 
 // StageConfig returns the paper's preset for stage.
@@ -131,6 +143,9 @@ func StageConfig(stage Stage) Config {
 		c.LogDesign = wal.DesignConsolidated
 		c.ProbeLockTable = false
 		c.CleanerCheckpoint = true
+	}
+	if stage >= StagePipeline {
+		c.CommitPipeline = true
 	}
 	return c
 }

@@ -21,6 +21,11 @@ import (
 var (
 	ErrClosed  = errors.New("core: engine closed")
 	ErrAborted = errors.New("core: transaction aborted")
+	// ErrCommitting is returned when aborting (or re-committing) a
+	// transaction that already entered the commit pipeline: its commit
+	// record is in the log and its locks are gone, so the only legal
+	// outcomes are hardening or crash-time rollback.
+	ErrCommitting = errors.New("core: transaction is pre-committed")
 )
 
 // Engine is the storage manager: the paper's contribution, assembled from
@@ -34,8 +39,16 @@ type Engine struct {
 	locks    *lock.Manager
 	txns     *tx.Manager
 	sm       *space.Manager
+	flushd   *wal.FlushDaemon // harden stage of the commit pipeline (nil unless CommitPipeline)
 
-	ckptMu sync.Mutex
+	// ckptMu orders commit-point publication against checkpoint snapshots:
+	// committers hold it shared for the instant between inserting the
+	// commit record and entering StateCommitting, Checkpoint holds it
+	// exclusive for its whole body. Without it a checkpoint could snapshot
+	// a transaction as active after its commit record landed below the
+	// checkpoint's master LSN — and recovery would roll back a durably
+	// committed transaction.
+	ckptMu sync.RWMutex
 	closed atomic.Bool
 }
 
@@ -61,6 +74,9 @@ func Open(vol disk.Volume, logStore wal.Store, cfg Config) (*Engine, error) {
 	if cfg.CleanerInterval > 0 {
 		e.pool.StartCleaner(cfg.CleanerInterval)
 	}
+	if cfg.CommitPipeline {
+		e.flushd = wal.NewFlushDaemon(e.log, wal.DaemonOptions{Interval: cfg.PipelineInterval})
+	}
 	return e, nil
 }
 
@@ -79,10 +95,14 @@ func (e *Engine) Locks() *lock.Manager { return e.locks }
 // Space exposes the free-space manager.
 func (e *Engine) Space() *space.Manager { return e.sm }
 
-// Close flushes and shuts the engine down cleanly.
+// Close flushes and shuts the engine down cleanly. In-flight pipeline
+// commits are hardened before the log closes.
 func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		return nil
+	}
+	if e.flushd != nil {
+		_ = e.flushd.Close() // final flush of queued commit LSNs
 	}
 	if err := e.pool.Close(); err != nil {
 		return err
@@ -104,23 +124,156 @@ func (e *Engine) Begin() (*tx.Tx, error) {
 	return t, nil
 }
 
-// Commit makes t durable: commit record, group-commit log flush, lock
-// release.
+// Commit makes t durable. Without the commit pipeline this is the
+// classic monolithic path: commit record, group-commit log flush while
+// still holding every lock, then lock release. With CommitPipeline it is
+// staged — pre-commit (commit record + early lock release), harden
+// (batched flush by the daemon), notify — but keeps the exact same
+// external contract: when Commit returns nil, the commit is durable.
 func (e *Engine) Commit(t *tx.Tx) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
+	if e.cfg.CommitPipeline {
+		if t.State() == tx.StateCommitting {
+			// Retrying after a failed harden: the commit record is
+			// already in the log; just wait out its durability.
+			return e.awaitHarden(t, t.HardenTarget())
+		}
+		target, err := e.PreCommit(t)
+		if err != nil {
+			return err
+		}
+		return e.awaitHarden(t, target)
+	}
+	switch t.State() {
+	case tx.StateCommitting:
+		// Retrying after a failed flush: the commit record is already in
+		// the log. Once it exists the transaction is in doubt — it can
+		// only harden (here) or be resolved by restart recovery; it can
+		// never abort, because a background flusher may harden the commit
+		// record at any moment.
+		if err := e.log.Flush(t.HardenTarget()); err != nil {
+			return err
+		}
+		e.releaseLocks(t)
+		return e.txns.Commit(t)
+	case tx.StateActive:
+	default:
+		return fmt.Errorf("%w: tx %d is %v", ErrCommitting, t.ID(), t.State())
+	}
+	// Insert the commit record and enter StateCommitting atomically with
+	// respect to checkpoint snapshots (shared ckptMu; see its comment).
+	e.ckptMu.RLock()
 	lsn, err := e.log.Insert(&wal.Record{
 		Type: wal.RecTxCommit, TxID: t.ID(), PrevLSN: t.LastLSN(),
 	})
 	if err != nil {
+		e.ckptMu.RUnlock()
 		return err
 	}
 	t.RecordLog(lsn)
-	if err := e.log.Flush(e.log.CurLSN()); err != nil {
+	t.SetCommitLSN(lsn)
+	t.SetHardenTarget(e.log.CurLSN())
+	err = e.txns.BeginCommit(t)
+	e.ckptMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if err := e.log.Flush(t.HardenTarget()); err != nil {
+		// In doubt: stays StateCommitting with locks held; the caller may
+		// retry Commit (not Abort) or let restart recovery decide.
 		return err
 	}
 	e.releaseLocks(t)
+	return e.txns.Commit(t)
+}
+
+// CommitAsync starts committing t and returns a channel that fires
+// exactly once: nil when the commit LSN is durable, an error otherwise.
+// With the commit pipeline, t's locks are already released when
+// CommitAsync returns — other transactions can read its (not yet
+// durable) writes, ordered behind this commit's durability via the ELR
+// horizon. Without the pipeline it degrades to a blocking commit on a
+// helper goroutine. The caller must not touch t after calling this.
+func (e *Engine) CommitAsync(t *tx.Tx) <-chan error {
+	out := make(chan error, 1)
+	if e.closed.Load() {
+		out <- ErrClosed
+		return out
+	}
+	if !e.cfg.CommitPipeline {
+		go func() { out <- e.Commit(t) }()
+		return out
+	}
+	if t.State() == tx.StateCommitting {
+		// Retrying after a failed harden; the commit record already exists.
+		go func() { out <- e.awaitHarden(t, t.HardenTarget()) }()
+		return out
+	}
+	target, err := e.PreCommit(t)
+	if err != nil {
+		out <- err
+		return out
+	}
+	go func() { out <- e.awaitHarden(t, target) }()
+	return out
+}
+
+// PreCommit runs the first pipeline stage: it inserts t's commit record,
+// moves t to StateCommitting, publishes the ELR horizon and releases all
+// of t's locks. It returns the harden target — the log position that must
+// become durable before the commit may be acknowledged. After PreCommit
+// succeeds t can no longer abort; a crash before the target hardens rolls
+// it back during restart recovery (the commit record never made it to
+// disk, so analysis sees a loser).
+func (e *Engine) PreCommit(t *tx.Tx) (wal.LSN, error) {
+	if e.closed.Load() {
+		return wal.NullLSN, ErrClosed
+	}
+	if t.State() != tx.StateActive {
+		return wal.NullLSN, fmt.Errorf("%w: tx %d is %v", ErrCommitting, t.ID(), t.State())
+	}
+	// Insert the commit record and enter StateCommitting atomically with
+	// respect to checkpoint snapshots (shared ckptMu; see its comment).
+	e.ckptMu.RLock()
+	lsn, err := e.log.Insert(&wal.Record{
+		Type: wal.RecTxCommit, TxID: t.ID(), PrevLSN: t.LastLSN(),
+	})
+	if err != nil {
+		e.ckptMu.RUnlock()
+		return wal.NullLSN, err
+	}
+	t.RecordLog(lsn)
+	t.SetCommitLSN(lsn)
+	// The harden target covers the commit record; CurLSN is a safe (and
+	// group-commit-friendly) over-approximation of lsn+len(record).
+	target := e.log.CurLSN()
+	if h := t.ELRHorizon(); h > target {
+		target = h // ordered behind every releaser whose data t may have read
+	}
+	t.SetHardenTarget(target)
+	err = e.txns.BeginCommit(t)
+	e.ckptMu.RUnlock()
+	if err != nil {
+		return wal.NullLSN, err
+	}
+	// Early Lock Release: publish the horizon first so that any
+	// transaction acquiring these locks observes it, then drop the locks.
+	e.locks.RaiseELR(uint64(target))
+	e.releaseLocks(t)
+	return target, nil
+}
+
+// awaitHarden is the notify stage: wait for the flush daemon to push the
+// durable horizon past target, then retire t from the transaction table.
+func (e *Engine) awaitHarden(t *tx.Tx, target wal.LSN) error {
+	if err := <-e.flushd.Harden(target); err != nil {
+		// Not durable (engine closing / log failure): leave t in
+		// StateCommitting; restart recovery decides its fate exactly as a
+		// crash would.
+		return err
+	}
 	return e.txns.Commit(t)
 }
 
@@ -129,6 +282,12 @@ func (e *Engine) Commit(t *tx.Tx) error {
 func (e *Engine) Abort(t *tx.Tx) error {
 	if e.closed.Load() {
 		return ErrClosed
+	}
+	if t.State() == tx.StateCommitting {
+		// Pre-committed: the commit record is logged and the locks are
+		// gone; rolling back now could undo writes another transaction
+		// already read. Only restart recovery may resolve it.
+		return fmt.Errorf("%w: tx %d", ErrCommitting, t.ID())
 	}
 	lsn, err := e.log.Insert(&wal.Record{
 		Type: wal.RecTxAbort, TxID: t.ID(), PrevLSN: t.LastLSN(),
@@ -157,12 +316,18 @@ func (e *Engine) releaseLocks(t *tx.Tx) {
 	}
 }
 
-// acquire takes a lock for t, recording it for release.
+// acquire takes a lock for t, recording it for release. Under the commit
+// pipeline the granted lock may have been released early by a transaction
+// whose commit record is not yet durable; folding the ELR horizon into t
+// orders t's own commit acknowledgment behind that releaser's durability.
 func (e *Engine) acquire(t *tx.Tx, n lock.Name, m lock.Mode) error {
 	if err := e.locks.Lock(t.ID(), n, m, 0); err != nil {
 		return err
 	}
 	t.AddLock(n)
+	if e.cfg.CommitPipeline {
+		t.ObserveELR(wal.LSN(e.locks.ELRHorizon()))
+	}
 	return nil
 }
 
@@ -281,6 +446,9 @@ func (e *Engine) Crash() {
 	if e.closed.Swap(true) {
 		return
 	}
+	if e.flushd != nil {
+		e.flushd.Kill() // queued hardens are abandoned, not flushed
+	}
 	e.pool.StopCleaner()
 	_ = e.log.Close() // flushes staged buffer contents up to close point
 	e.logStore.Crash()
@@ -293,28 +461,36 @@ func (e *Engine) CrashHard() {
 	if e.closed.Swap(true) {
 		return
 	}
+	if e.flushd != nil {
+		e.flushd.Kill()
+	}
 	e.pool.StopCleaner()
 	e.logStore.Crash()
 }
 
 // EngineStats aggregates component statistics for profiling output.
 type EngineStats struct {
-	Buffer buffer.Stats
-	Log    wal.ManagerStats
-	Lock   lock.Stats
-	Space  space.Stats
-	Tx     tx.Stats
+	Buffer   buffer.Stats
+	Log      wal.ManagerStats
+	Lock     lock.Stats
+	Space    space.Stats
+	Tx       tx.Stats
+	Pipeline wal.DaemonStats // zero unless CommitPipeline is enabled
 }
 
 // Stats snapshots all component counters.
 func (e *Engine) Stats() EngineStats {
-	return EngineStats{
+	s := EngineStats{
 		Buffer: e.pool.Stats(),
 		Log:    e.log.Stats(),
 		Lock:   e.locks.Stats(),
 		Space:  e.sm.Stats(),
 		Tx:     e.txns.Stats(),
 	}
+	if e.flushd != nil {
+		s.Pipeline = e.flushd.Stats()
+	}
+	return s
 }
 
 // fix wraps pool.Fix.

@@ -47,12 +47,13 @@ type Options struct {
 
 // Stats reports lock-manager activity.
 type Stats struct {
-	Acquires   uint64 // granted lock requests (incl. re-grants/conversions)
-	Waits      uint64 // requests that had to block
-	Deadlocks  uint64 // requests aborted by the detector
-	Timeouts   uint64 // requests aborted by timeout
-	PoolAllocs uint64 // request-pool misses
-	Latch      sync2.Stats
+	Acquires    uint64 // granted lock requests (incl. re-grants/conversions)
+	Waits       uint64 // requests that had to block
+	Deadlocks   uint64 // requests aborted by the detector
+	Timeouts    uint64 // requests aborted by timeout
+	PoolAllocs  uint64 // request-pool misses
+	ELRReleases uint64 // transactions that released locks before hardening
+	Latch       sync2.Stats
 }
 
 // lockHead is the per-object lock state: an intrusive FIFO queue of
@@ -84,6 +85,14 @@ type Manager struct {
 	waits     atomic.Uint64
 	deadlocks atomic.Uint64
 	timeouts  atomic.Uint64
+
+	// Early Lock Release (staged commit pipeline): the highest log
+	// position released-before-hardening by any committing transaction.
+	// Acquirers fold the current horizon into their own durability
+	// dependency, ordering their commit acknowledgment behind every
+	// releaser whose (still volatile) data they may have observed.
+	elrHorizon  atomic.Uint64
+	elrReleases atomic.Uint64
 }
 
 // NewManager builds a lock manager.
@@ -468,6 +477,29 @@ func (m *Manager) TryLockNoWait(txID uint64, name Name, mode Mode) error {
 	return ErrWouldBlock
 }
 
+// RaiseELR publishes horizon as an early-release point before the caller
+// drops a committing transaction's locks: the commit record covering
+// horizon is in the log but possibly not durable yet. Later acquirers of
+// any lock must treat the horizon as a durability dependency (see
+// ELRHorizon). The horizon is manager-global — coarser than per-lock
+// tracking, but safe, and commit-record ordering in the single log makes
+// the over-approximation nearly free: a dependent's own commit LSN almost
+// always exceeds it anyway.
+func (m *Manager) RaiseELR(horizon uint64) {
+	m.elrReleases.Add(1)
+	for {
+		old := m.elrHorizon.Load()
+		if horizon <= old || m.elrHorizon.CompareAndSwap(old, horizon) {
+			return
+		}
+	}
+}
+
+// ELRHorizon returns the current early-release horizon: the log position
+// that must be durable before data guarded by any recently acquired lock
+// may be considered committed.
+func (m *Manager) ELRHorizon() uint64 { return m.elrHorizon.Load() }
+
 // Unlock releases txID's lock on name. Unlocking a name not held is a
 // no-op (idempotent release simplifies abort paths).
 func (m *Manager) Unlock(txID uint64, name Name) {
@@ -597,11 +629,12 @@ func (m *Manager) clearEdges(txID uint64) {
 // Stats returns a snapshot of lock-manager counters.
 func (m *Manager) Stats() Stats {
 	s := Stats{
-		Acquires:   m.acquires.Load(),
-		Waits:      m.waits.Load(),
-		Deadlocks:  m.deadlocks.Load(),
-		Timeouts:   m.timeouts.Load(),
-		PoolAllocs: m.pool.allocations(),
+		Acquires:    m.acquires.Load(),
+		Waits:       m.waits.Load(),
+		Deadlocks:   m.deadlocks.Load(),
+		Timeouts:    m.timeouts.Load(),
+		PoolAllocs:  m.pool.allocations(),
+		ELRReleases: m.elrReleases.Load(),
 	}
 	if m.opts.Table == TableGlobal {
 		s.Latch = m.global.Stats()

@@ -26,6 +26,13 @@ const (
 	StateActive State = iota
 	StateCommitted
 	StateAborted
+	// StateCommitting is the staged-commit pipeline's pre-committed state:
+	// the commit record is in the log (not necessarily durable) and all
+	// locks have been released early. The transaction can no longer abort
+	// voluntarily; it either hardens to StateCommitted or, if the system
+	// crashes before its commit record reaches the disk, is rolled back by
+	// restart recovery like any other loser.
+	StateCommitting
 )
 
 // String names the state.
@@ -33,6 +40,8 @@ func (s State) String() string {
 	switch s {
 	case StateActive:
 		return "active"
+	case StateCommitting:
+		return "committing"
 	case StateCommitted:
 		return "committed"
 	case StateAborted:
@@ -48,13 +57,28 @@ var ErrNotActive = errors.New("tx: transaction not active")
 // Tx is one transaction's bookkeeping. A Tx is owned by a single worker
 // goroutine; only the transaction-table links are shared.
 type Tx struct {
-	id    uint64
-	state State
+	id uint64
+	// state is atomic because the owner goroutine moves it to
+	// StateCommitting while checkpoints concurrently inspect it.
+	state atomic.Int32
 
-	// Log chain.
+	// Log chain. lastLSN and undoNext are atomic because checkpoint
+	// snapshots read them concurrently with the owner's RecordLog.
 	firstLSN wal.LSN
-	lastLSN  wal.LSN
-	undoNext wal.LSN
+	lastLSN  atomic.Uint64
+	undoNext atomic.Uint64
+
+	// commitLSN is the transaction's commit record (pipeline commits).
+	commitLSN wal.LSN
+	// hardenTarget is the log position whose durability completes this
+	// transaction's commit (set at commit-record insertion; used to retry
+	// hardening after a failed flush).
+	hardenTarget wal.LSN
+	// elrHorizon is the highest early-release horizon observed while
+	// acquiring locks: the log position that must be durable before this
+	// transaction's own commit may be acknowledged, because data it read
+	// could come from a pre-committed-but-not-yet-hardened transaction.
+	elrHorizon wal.LSN
 
 	// 2PL bookkeeping: every lock acquired, released only at commit/abort.
 	locks []lock.Name
@@ -72,25 +96,52 @@ type Tx struct {
 func (t *Tx) ID() uint64 { return t.id }
 
 // State returns the lifecycle state.
-func (t *Tx) State() State { return t.state }
+func (t *Tx) State() State { return State(t.state.Load()) }
+
+// SetCommitLSN records the transaction's commit-record LSN (pipeline
+// pre-commit stage).
+func (t *Tx) SetCommitLSN(lsn wal.LSN) { t.commitLSN = lsn }
+
+// CommitLSN returns the commit-record LSN (NullLSN before pre-commit).
+func (t *Tx) CommitLSN() wal.LSN { return t.commitLSN }
+
+// SetHardenTarget records the log position whose durability completes
+// this transaction's commit.
+func (t *Tx) SetHardenTarget(l wal.LSN) { t.hardenTarget = l }
+
+// HardenTarget returns the commit's durability target (NullLSN before
+// the commit record is inserted).
+func (t *Tx) HardenTarget() wal.LSN { return t.hardenTarget }
+
+// ObserveELR folds an early-lock-release horizon into the transaction's
+// durability dependency: its commit must not be acknowledged before the
+// log is durable past every observed horizon.
+func (t *Tx) ObserveELR(h wal.LSN) {
+	if h > t.elrHorizon {
+		t.elrHorizon = h
+	}
+}
+
+// ELRHorizon returns the highest observed early-release horizon.
+func (t *Tx) ELRHorizon() wal.LSN { return t.elrHorizon }
 
 // LastLSN returns the most recent log record of this transaction.
-func (t *Tx) LastLSN() wal.LSN { return t.lastLSN }
+func (t *Tx) LastLSN() wal.LSN { return wal.LSN(t.lastLSN.Load()) }
 
 // UndoNext returns the next record to undo during rollback.
-func (t *Tx) UndoNext() wal.LSN { return t.undoNext }
+func (t *Tx) UndoNext() wal.LSN { return wal.LSN(t.undoNext.Load()) }
 
 // RecordLog links a freshly inserted log record into the chain.
 func (t *Tx) RecordLog(lsn wal.LSN) {
 	if t.firstLSN == wal.NullLSN {
 		t.firstLSN = lsn
 	}
-	t.lastLSN = lsn
-	t.undoNext = lsn
+	t.lastLSN.Store(uint64(lsn))
+	t.undoNext.Store(uint64(lsn))
 }
 
 // SetUndoNext moves the undo cursor (used when CLRs skip records).
-func (t *Tx) SetUndoNext(lsn wal.LSN) { t.undoNext = lsn }
+func (t *Tx) SetUndoNext(lsn wal.LSN) { t.undoNext.Store(uint64(lsn)) }
 
 // AddLock records a held lock for release at end-of-transaction.
 func (t *Tx) AddLock(n lock.Name) { t.locks = append(t.locks, n) }
@@ -165,7 +216,7 @@ func NewManager(opts Options) *Manager {
 // Begin starts a transaction.
 func (m *Manager) Begin() *Tx {
 	id := m.nextID.Add(1) - 1
-	t := &Tx{id: id, state: StateActive}
+	t := &Tx{id: id} // zero state == StateActive
 	m.mu.Lock()
 	m.active[id] = t
 	if m.opts.CachedOldest && len(m.active) == 1 {
@@ -190,7 +241,7 @@ func (m *Manager) finish(t *Tx, s State) error {
 		m.oldest.Store(m.scanOldestLocked())
 	}
 	m.mu.Unlock()
-	t.state = s
+	t.state.Store(int32(s))
 	if s == StateCommitted {
 		m.commits.Add(1)
 	} else {
@@ -202,6 +253,23 @@ func (m *Manager) finish(t *Tx, s State) error {
 // Commit marks t committed and removes it from the table. Log flushing and
 // lock release are the storage manager's responsibility.
 func (m *Manager) Commit(t *Tx) error { return m.finish(t, StateCommitted) }
+
+// BeginCommit moves t to StateCommitting (the pipeline pre-commit stage)
+// while keeping it in the active table until the commit hardens. It must
+// be called only after t's commit record has been inserted into the log:
+// checkpoints skip committing transactions on the strength of that
+// ordering (the commit record provably precedes the checkpoint-end record,
+// so the checkpoint's own flush hardens it).
+func (m *Manager) BeginCommit(t *Tx) error {
+	m.mu.Lock()
+	if _, ok := m.active[t.id]; !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNotActive, t.id)
+	}
+	t.state.Store(int32(StateCommitting))
+	m.mu.Unlock()
+	return nil
+}
 
 // Abort marks t aborted and removes it from the table.
 func (m *Manager) Abort(t *Tx) error { return m.finish(t, StateAborted) }
@@ -243,7 +311,9 @@ func (m *Manager) Lookup(id uint64) *Tx {
 // Restore re-registers a loser transaction during restart recovery with
 // its chain state reconstructed by the analysis pass.
 func (m *Manager) Restore(id uint64, lastLSN, undoNext wal.LSN) *Tx {
-	t := &Tx{id: id, state: StateActive, lastLSN: lastLSN, undoNext: undoNext}
+	t := &Tx{id: id} // zero state == StateActive
+	t.lastLSN.Store(uint64(lastLSN))
+	t.undoNext.Store(uint64(undoNext))
 	m.mu.Lock()
 	m.active[id] = t
 	if m.opts.CachedOldest {
@@ -269,7 +339,14 @@ func (m *Manager) Snapshot() []wal.TxInfo {
 	defer m.mu.Unlock()
 	out := make([]wal.TxInfo, 0, len(m.active))
 	for _, t := range m.active {
-		out = append(out, wal.TxInfo{TxID: t.id, LastLSN: t.lastLSN, UndoNext: t.undoNext})
+		if t.State() == StateCommitting {
+			// Pre-committed: its commit record is already in the log below
+			// the checkpoint-end record, so the checkpoint flush hardens it
+			// and analysis will see it as a winner. Listing it here would
+			// make recovery roll back a durably committed transaction.
+			continue
+		}
+		out = append(out, wal.TxInfo{TxID: t.id, LastLSN: t.LastLSN(), UndoNext: t.UndoNext()})
 	}
 	return out
 }

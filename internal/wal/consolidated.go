@@ -32,6 +32,12 @@ type consolidatedLog struct {
 	copied  atomic.Uint64 // ordered completion cursor
 	gc      *groupCommit
 	flushMu sync2.BlockingLock
+	// flushWaiters counts callers blocked in Flush. A flush target can
+	// exceed the completion cursor (CurLSN returns the reservation head),
+	// so a drain triggered by the waiter's kick may run before the copy
+	// publishes; publishers re-kick while anyone waits, closing the
+	// lost-wakeup window.
+	flushWaiters atomic.Int64
 
 	kick   chan struct{}
 	stop   chan struct{}
@@ -148,6 +154,9 @@ func (l *consolidatedLog) publish(r, size uint64) {
 		l.publishSpins.Add(uint64(it))
 	}
 	l.copied.Store(r + size)
+	if l.flushWaiters.Load() > 0 {
+		l.kickFlusher()
+	}
 }
 
 // Insert implements Manager.
@@ -206,8 +215,10 @@ func (l *consolidatedLog) Flush(upTo LSN) error {
 	if l.closed.Load() {
 		return ErrLogClosed
 	}
+	l.flushWaiters.Add(1)
 	l.kickFlusher()
 	l.gc.wait(upTo, func() bool { return l.closed.Load() })
+	l.flushWaiters.Add(-1)
 	if l.gc.get() < upTo {
 		return ErrLogClosed
 	}
@@ -219,6 +230,9 @@ func (l *consolidatedLog) CurLSN() LSN { return LSN(l.head.Load()) }
 
 // DurableLSN implements Manager.
 func (l *consolidatedLog) DurableLSN() LSN { return l.gc.get() }
+
+// Subscribe implements Manager.
+func (l *consolidatedLog) Subscribe(upTo LSN) <-chan error { return l.gc.subscribe(upTo) }
 
 // Stats implements Manager.
 func (l *consolidatedLog) Stats() ManagerStats {
@@ -243,7 +257,7 @@ func (l *consolidatedLog) Close() error {
 	}
 	close(l.stop)
 	<-l.done
-	l.gc.wakeAll()
+	l.gc.fail(ErrLogClosed) // resolve subscriptions the final drain missed
 	return nil
 }
 

@@ -130,6 +130,11 @@ func (l *coupledLog) CurLSN() LSN {
 // DurableLSN implements Manager.
 func (l *coupledLog) DurableLSN() LSN { return l.gc.get() }
 
+// Subscribe implements Manager. The coupled design has no background
+// flusher, so a subscription resolves only when some caller (typically a
+// flush daemon) invokes Flush.
+func (l *coupledLog) Subscribe(upTo LSN) <-chan error { return l.gc.subscribe(upTo) }
+
 // Stats implements Manager.
 func (l *coupledLog) Stats() ManagerStats {
 	return ManagerStats{
@@ -150,7 +155,7 @@ func (l *coupledLog) Close() error {
 	l.mu.Lock()
 	err := l.flushLocked()
 	l.mu.Unlock()
-	l.gc.wakeAll()
+	l.gc.fail(ErrLogClosed) // resolve subscriptions the final flush missed
 	return err
 }
 

@@ -126,12 +126,13 @@ func (l *decoupledLog) insert(rec *Record) (LSN, error) {
 	}
 	copyToRing(l.ring, l.head, buf[:n])
 	l.head += LSN(n)
-	l.copied.Store(uint64(l.head))
+	head := l.head
+	l.copied.Store(uint64(head))
 	l.insertMu.Unlock()
 
 	l.inserts.Add(1)
 	l.insertedBytes.Add(uint64(n))
-	if l.head-l.gc.get() > LSN(len(l.ring)/2) {
+	if head-l.gc.get() > LSN(len(l.ring)/2) {
 		l.kickFlusher()
 	}
 	return rec.LSN, nil
@@ -215,6 +216,9 @@ func (l *decoupledLog) CurLSN() LSN { return LSN(l.copied.Load()) }
 // DurableLSN implements Manager.
 func (l *decoupledLog) DurableLSN() LSN { return l.gc.get() }
 
+// Subscribe implements Manager.
+func (l *decoupledLog) Subscribe(upTo LSN) <-chan error { return l.gc.subscribe(upTo) }
+
 // Stats implements Manager.
 func (l *decoupledLog) Stats() ManagerStats {
 	s := ManagerStats{
@@ -235,7 +239,7 @@ func (l *decoupledLog) Close() error {
 	}
 	close(l.stop)
 	<-l.done
-	l.gc.wakeAll()
+	l.gc.fail(ErrLogClosed) // resolve subscriptions the final drain missed
 	return nil
 }
 

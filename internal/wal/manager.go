@@ -47,6 +47,12 @@ type Manager interface {
 	CurLSN() LSN
 	// DurableLSN returns the boundary below which all records are durable.
 	DurableLSN() LSN
+	// Subscribe returns a channel that receives nil once every record with
+	// LSN < upTo is durable, or ErrLogClosed if the manager closes first.
+	// Subscribe is passive: it never triggers a flush, so a subscription
+	// completes only when Flush (or a flush daemon) advances the boundary
+	// past upTo. The channel is buffered; the manager never blocks on it.
+	Subscribe(upTo LSN) <-chan error
 	// Stats returns contention and traffic counters.
 	Stats() ManagerStats
 	// Close stops background daemons and flushes everything.
@@ -93,11 +99,21 @@ func New(store Store, opts Options) Manager {
 
 // groupCommit implements shared flush waiting: callers block until the
 // durable LSN passes their target, and a single flusher satisfies many
-// waiters at once.
+// waiters at once. It also carries the asynchronous side of the same
+// contract: durable-LSN subscriptions, resolved by whoever advances the
+// boundary (the commit pipeline's notify stage rides on this).
 type groupCommit struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	durable atomic.Uint64
+	subs    []gcSub // outstanding subscriptions, unordered
+	failErr error   // once set, new subscriptions fail immediately
+}
+
+// gcSub is one durable-LSN subscription.
+type gcSub struct {
+	upTo LSN
+	ch   chan error
 }
 
 func newGroupCommit() *groupCommit {
@@ -106,7 +122,8 @@ func newGroupCommit() *groupCommit {
 	return g
 }
 
-// advance publishes a new durable boundary and wakes waiters.
+// advance publishes a new durable boundary, wakes waiters, and resolves
+// satisfied subscriptions.
 func (g *groupCommit) advance(to LSN) {
 	for {
 		old := g.durable.Load()
@@ -118,6 +135,53 @@ func (g *groupCommit) advance(to LSN) {
 		}
 	}
 	g.mu.Lock()
+	g.cond.Broadcast()
+	if len(g.subs) > 0 {
+		durable := g.get()
+		kept := g.subs[:0]
+		for _, s := range g.subs {
+			if s.upTo <= durable {
+				s.ch <- nil // buffered: never blocks
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		g.subs = kept
+	}
+	g.mu.Unlock()
+}
+
+// subscribe registers a durable-LSN subscription. The returned channel is
+// buffered and receives exactly one value.
+func (g *groupCommit) subscribe(upTo LSN) <-chan error {
+	ch := make(chan error, 1)
+	if g.get() >= upTo {
+		ch <- nil
+		return ch
+	}
+	g.mu.Lock()
+	switch {
+	case g.get() >= upTo: // raced with advance
+		ch <- nil
+	case g.failErr != nil:
+		ch <- g.failErr
+	default:
+		g.subs = append(g.subs, gcSub{upTo: upTo, ch: ch})
+	}
+	g.mu.Unlock()
+	return ch
+}
+
+// fail resolves every outstanding subscription with err and makes future
+// subscriptions fail fast. Called at manager close, after the final drain
+// has resolved everything it could.
+func (g *groupCommit) fail(err error) {
+	g.mu.Lock()
+	g.failErr = err
+	for _, s := range g.subs {
+		s.ch <- err
+	}
+	g.subs = nil
 	g.cond.Broadcast()
 	g.mu.Unlock()
 }

@@ -35,7 +35,8 @@ import (
 // scalable engine by default.
 type Stage int
 
-// Optimization stages (see Figure 7 and §7 of the paper).
+// Optimization stages (see Figure 7 and §7 of the paper, plus the
+// post-paper commit pipeline).
 const (
 	StageDefault  Stage = iota // same as StageFinal
 	StageBaseline              // §7.1: the original Shore
@@ -45,6 +46,11 @@ const (
 	StageLockMgr               // §7.5
 	StageBpool2                // §7.6
 	StageFinal                 // §7.7: Shore-MT
+	// StagePipeline extends the ladder past the paper: commits are staged
+	// through Early Lock Release and an asynchronous group-commit flush
+	// daemon. Commit keeps its durable-on-return contract; CommitAsync
+	// exposes the weaker pre-committed state.
+	StagePipeline
 )
 
 // coreStage maps the public enum onto the engine's.
@@ -62,6 +68,8 @@ func (s Stage) coreStage() core.Stage {
 		return core.StageLockMgr
 	case StageBpool2:
 		return core.StageBpool2
+	case StagePipeline:
+		return core.StagePipeline
 	default:
 		return core.StageFinal
 	}
@@ -72,8 +80,24 @@ func (s Stage) String() string { return s.coreStage().String() }
 
 // Stages lists the optimization ladder in order.
 func Stages() []Stage {
-	return []Stage{StageBaseline, StageBpool1, StageCaching, StageLog, StageLockMgr, StageBpool2, StageFinal}
+	return []Stage{StageBaseline, StageBpool1, StageCaching, StageLog, StageLockMgr, StageBpool2, StageFinal, StagePipeline}
 }
+
+// Durability selects what Tx.Commit guarantees when it returns.
+type Durability int
+
+const (
+	// DurabilityStrict (the default) makes Commit block until the commit
+	// record is durable — the classical contract.
+	DurabilityStrict Durability = iota
+	// DurabilityRelaxed lets Commit return once the transaction is
+	// pre-committed: the commit record is in the log and the locks are
+	// released, but durability is hardened in the background. A crash in
+	// the window silently rolls the transaction back — use CommitAsync
+	// instead when the caller needs to learn the outcome. Only meaningful
+	// with StagePipeline; other stages always commit strictly.
+	DurabilityRelaxed
+)
 
 // RID identifies a heap record.
 type RID = page.RID
@@ -94,6 +118,8 @@ type Options struct {
 	// CleanerInterval runs the background page cleaner (default 50ms;
 	// negative disables).
 	CleanerInterval time.Duration
+	// Durability selects Commit's blocking behavior (see Durability).
+	Durability Durability
 	// Advanced overrides the full component configuration; when non-nil it
 	// takes precedence over Stage.
 	Advanced *core.Config
@@ -111,9 +137,10 @@ var (
 
 // DB is an open database.
 type DB struct {
-	engine   *core.Engine
-	vol      disk.Volume
-	logStore wal.Store
+	engine     *core.Engine
+	vol        disk.Volume
+	logStore   wal.Store
+	durability Durability
 }
 
 // Open creates or reopens a database. If the log is non-empty, ARIES
@@ -161,18 +188,13 @@ func Open(opts Options) (*DB, error) {
 		logStore.Close()
 		return nil, err
 	}
-	return &DB{engine: engine, vol: vol, logStore: logStore}, nil
+	return &DB{engine: engine, vol: vol, logStore: logStore, durability: opts.Durability}, nil
 }
 
-// Close flushes and closes the database.
+// Close flushes and closes the database. Every resource is closed even
+// when an earlier one fails; the errors are joined.
 func (db *DB) Close() error {
-	if err := db.engine.Close(); err != nil {
-		return err
-	}
-	if err := db.vol.Close(); err != nil {
-		return err
-	}
-	return db.logStore.Close()
+	return errors.Join(db.engine.Close(), db.vol.Close(), db.logStore.Close())
 }
 
 // Checkpoint takes a fuzzy checkpoint, bounding future recovery work.
@@ -201,13 +223,45 @@ func (db *DB) Begin() (*Tx, error) {
 	return &Tx{db: db, inner: inner}, nil
 }
 
-// Commit makes the transaction durable (group commit).
+// Commit commits the transaction. Under DurabilityStrict (the default)
+// it returns only once the commit record is durable (group commit).
+// Under DurabilityRelaxed it may return as soon as the transaction is
+// pre-committed, with hardening left to the background flush daemon;
+// immediately surfaced errors are still reported.
 func (t *Tx) Commit() error {
 	if t.done {
 		return ErrTxDone
 	}
 	t.done = true
+	// Relaxed durability only applies when the commit pipeline is on;
+	// other stages have no pre-committed state to return early from, so
+	// they always commit strictly (as Durability documents).
+	if t.db.durability == DurabilityRelaxed && t.db.engine.Config().CommitPipeline {
+		ch := t.db.engine.CommitAsync(t.inner)
+		select {
+		case err := <-ch: // resolved immediately: pre-commit failure or already durable
+			return err
+		default: // harden in the background; outcome intentionally unobserved
+			return nil
+		}
+	}
 	return t.db.engine.Commit(t.inner)
+}
+
+// CommitAsync pre-commits the transaction and returns a channel that
+// fires exactly once when the commit record is durable (nil) or the
+// commit failed (error). With StagePipeline the transaction's locks are
+// already released when CommitAsync returns, so other transactions can
+// proceed against its writes before durability — the engine orders their
+// own commit acknowledgments behind this one. Until the channel fires,
+// the commit is NOT guaranteed to survive a crash; callers needing the
+// classical guarantee must wait on the channel (or use Commit).
+func (t *Tx) CommitAsync() (<-chan error, error) {
+	if t.done {
+		return nil, ErrTxDone
+	}
+	t.done = true
+	return t.db.engine.CommitAsync(t.inner), nil
 }
 
 // Abort rolls the transaction back.

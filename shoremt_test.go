@@ -202,7 +202,7 @@ func TestFileBackedPersistence(t *testing.T) {
 }
 
 func TestStagesAllFunctional(t *testing.T) {
-	for _, stage := range []Stage{StageBaseline, StageBpool1, StageCaching, StageLog, StageLockMgr, StageBpool2, StageFinal} {
+	for _, stage := range Stages() {
 		stage := stage
 		t.Run(stage.String(), func(t *testing.T) {
 			db := openTest(t, Options{Stage: stage, BufferFrames: 128})
@@ -237,8 +237,97 @@ func TestDefaultStageIsFinal(t *testing.T) {
 	if StageDefault.String() != "final" || StageBaseline.String() != "baseline" {
 		t.Errorf("stage names: default=%q baseline=%q", StageDefault, StageBaseline)
 	}
-	if len(Stages()) != 7 {
+	if len(Stages()) != 8 {
 		t.Errorf("Stages() has %d entries", len(Stages()))
+	}
+	if StagePipeline.String() != "pipeline" {
+		t.Errorf("pipeline stage name = %q", StagePipeline)
+	}
+}
+
+func TestCommitAsyncDurable(t *testing.T) {
+	db := openTest(t, Options{Stage: StagePipeline, BufferFrames: 128})
+	tx1, _ := db.Begin()
+	tb, err := db.CreateTable(tx1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := tb.Insert(tx1, []byte("async"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := tx1.CommitAsync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-ch; err != nil {
+		t.Fatalf("async commit: %v", err)
+	}
+	if _, err := tx1.CommitAsync(); err != ErrTxDone {
+		t.Fatalf("second CommitAsync: %v", err)
+	}
+	tx2, _ := db.Begin()
+	got, err := tb.Get(tx2, rid)
+	if err != nil || string(got) != "async" {
+		t.Fatalf("after async commit: %q, %v", got, err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Stats(); st.Pipeline.Requests == 0 {
+		t.Errorf("flush daemon saw no harden requests: %+v", st.Pipeline)
+	}
+}
+
+// TestCommitAsyncWorksAtEveryStage: the API must degrade gracefully to a
+// blocking commit when the pipeline is off.
+func TestCommitAsyncWorksAtEveryStage(t *testing.T) {
+	for _, stage := range []Stage{StageBaseline, StageFinal, StagePipeline} {
+		stage := stage
+		t.Run(stage.String(), func(t *testing.T) {
+			db := openTest(t, Options{Stage: stage, BufferFrames: 128})
+			tx1, _ := db.Begin()
+			tb, err := db.CreateTable(tx1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tb.Insert(tx1, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			ch, err := tx1.CommitAsync()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := <-ch; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDurabilityRelaxedCommit(t *testing.T) {
+	db := openTest(t, Options{Stage: StagePipeline, Durability: DurabilityRelaxed, BufferFrames: 128})
+	tx1, _ := db.Begin()
+	tb, err := db.CreateTable(tx1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := tb.Insert(tx1, []byte("relaxed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Relaxed commit released locks at pre-commit: the row is readable
+	// immediately even if hardening is still in flight.
+	tx2, _ := db.Begin()
+	got, err := tb.Get(tx2, rid)
+	if err != nil || string(got) != "relaxed" {
+		t.Fatalf("after relaxed commit: %q, %v", got, err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
 	}
 }
 
