@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/lock"
 	"repro/internal/tpcc"
 	"repro/internal/wal"
 )
@@ -68,8 +70,12 @@ func main() {
 	}
 	fmt.Printf("loaded in %v\n", time.Since(start).Round(time.Millisecond))
 
+	// The run is bounded by a context deadline: workers drain as soon as
+	// it fires, even from inside a lock wait, and every transaction runs
+	// under the engine's managed deadlock retry.
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
 	var payments, newOrders, userAborts, failures atomic.Uint64
-	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
@@ -77,25 +83,26 @@ func main() {
 			defer wg.Done()
 			r := tpcc.NewRand(int64(1000 + c))
 			home := uint32(c%*warehouses + 1)
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
+			for ctx.Err() == nil {
 				if r.Int(1, 100) <= *payPct {
-					if err := db.PaymentWithRetry(tpcc.GenPayment(r, scale, home), 10); err != nil {
-						failures.Add(1)
-					} else {
+					err := db.PaymentCtx(ctx, tpcc.GenPayment(r, scale, home))
+					switch {
+					case err == nil:
 						payments.Add(1)
+					case errors.Is(err, lock.ErrCanceled):
+						return // deadline: drain
+					default:
+						failures.Add(1)
 					}
 				} else {
-					err := db.NewOrderWithRetry(tpcc.GenNewOrder(r, scale, home), 10)
+					err := db.NewOrderCtx(ctx, tpcc.GenNewOrder(r, scale, home))
 					switch {
 					case err == nil:
 						newOrders.Add(1)
 					case errors.Is(err, tpcc.ErrUserAbort):
 						userAborts.Add(1)
+					case errors.Is(err, lock.ErrCanceled):
+						return // deadline: drain
 					default:
 						failures.Add(1)
 					}
@@ -104,8 +111,6 @@ func main() {
 		}(c)
 	}
 	fmt.Printf("running %d clients for %v (stage %s)...\n", *clients, *duration, stage)
-	time.Sleep(*duration)
-	close(stop)
 	wg.Wait()
 
 	secs := duration.Seconds()
@@ -123,8 +128,8 @@ func main() {
 		st.Buffer.Hits, st.Buffer.HotHits, st.Buffer.Misses, st.Buffer.Evictions)
 	fmt.Printf("  log:         %d inserts (%.1f MiB), %d flushes\n",
 		st.Log.Inserts, float64(st.Log.InsertedBytes)/(1<<20), st.Log.Flushes)
-	fmt.Printf("  locks:       %d acquires, %d waits, %d deadlocks, %d timeouts\n",
-		st.Lock.Acquires, st.Lock.Waits, st.Lock.Deadlocks, st.Lock.Timeouts)
+	fmt.Printf("  locks:       %d acquires, %d waits, %d deadlocks, %d timeouts, %d canceled\n",
+		st.Lock.Acquires, st.Lock.Waits, st.Lock.Deadlocks, st.Lock.Timeouts, st.Lock.Cancels)
 	fmt.Printf("  space:       %d page allocations, %d extent grows\n",
 		st.Space.Allocs, st.Space.ExtentsGrown)
 	fmt.Printf("  tx:          %d begun, %d committed, %d aborted\n",

@@ -1,10 +1,11 @@
 // Bank: concurrent transfers between accounts, demonstrating isolation
-// (two-phase locking), deadlock detection with retry, and crash recovery
-// preserving the money-conservation invariant.
+// (two-phase locking), the managed DB.Update transaction runner — which
+// retries deadlock victims inside the engine, so the application never
+// sees them — and read-only audits via DB.View.
 package main
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -34,56 +35,41 @@ func decode(b []byte) int64 {
 
 func accountKey(i int) []byte { return []byte(fmt.Sprintf("acct%04d", i)) }
 
-// transfer moves amount between two accounts in one transaction,
-// retrying when chosen as a deadlock victim.
-func transfer(db *shoremt.DB, ix *shoremt.Index, from, to int, amount int64) error {
-	for attempt := 0; attempt < 20; attempt++ {
-		tx, err := db.Begin()
+// transfer moves amount between two accounts in one managed transaction.
+// Deadlock-victim retry is the engine's job: the closure just does the
+// work and may run several times.
+func transfer(ctx context.Context, db *shoremt.DB, ix *shoremt.Index, from, to int, amount int64) error {
+	return db.Update(ctx, func(tx *shoremt.Tx) error {
+		fb, ok, err := ix.Get(tx, accountKey(from))
 		if err != nil {
 			return err
 		}
-		err = func() error {
-			fb, ok, err := ix.Get(tx, accountKey(from))
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return fmt.Errorf("account %d missing", from)
-			}
-			tb, ok, err := ix.Get(tx, accountKey(to))
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return fmt.Errorf("account %d missing", to)
-			}
-			if err := ix.Update(tx, accountKey(from), encode(decode(fb)-amount)); err != nil {
-				return err
-			}
-			return ix.Update(tx, accountKey(to), encode(decode(tb)+amount))
-		}()
+		if !ok {
+			return fmt.Errorf("account %d missing", from)
+		}
+		tb, ok, err := ix.Get(tx, accountKey(to))
 		if err != nil {
-			_ = tx.Abort()
-			if errors.Is(err, shoremt.ErrDeadlock) || errors.Is(err, shoremt.ErrTimeout) {
-				continue // victim: retry
-			}
 			return err
 		}
-		return tx.Commit()
-	}
-	return fmt.Errorf("transfer %d->%d: too many deadlock retries", from, to)
+		if !ok {
+			return fmt.Errorf("account %d missing", to)
+		}
+		if err := ix.Update(tx, accountKey(from), encode(decode(fb)-amount)); err != nil {
+			return err
+		}
+		return ix.Update(tx, accountKey(to), encode(decode(tb)+amount))
+	})
 }
 
-func audit(db *shoremt.DB, ix *shoremt.Index) (total int64, n int) {
-	tx, err := db.Begin()
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer tx.Commit()
-	if err := ix.Scan(tx, nil, nil, func(k, v []byte) bool {
-		total += decode(v)
-		n++
-		return true
+// audit sums every balance in one read-only View transaction.
+func audit(ctx context.Context, db *shoremt.DB, ix *shoremt.Index) (total int64, n int) {
+	if err := db.View(ctx, func(tx *shoremt.Tx) error {
+		total, n = 0, 0 // the closure may be retried; start fresh
+		return ix.Scan(tx, nil, nil, func(k, v []byte) bool {
+			total += decode(v)
+			n++
+			return true
+		})
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -91,6 +77,7 @@ func audit(db *shoremt.DB, ix *shoremt.Index) (total int64, n int) {
 }
 
 func main() {
+	ctx := context.Background()
 	db, err := shoremt.Open(shoremt.Options{})
 	if err != nil {
 		log.Fatal(err)
@@ -98,23 +85,26 @@ func main() {
 	defer db.Close()
 
 	// Load accounts.
-	tx, _ := db.Begin()
-	ix, err := db.CreateIndex(tx)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for i := 0; i < accounts; i++ {
-		if err := ix.Insert(tx, accountKey(i), encode(initialBalance)); err != nil {
-			log.Fatal(err)
+	var ix *shoremt.Index
+	if err := db.Update(ctx, func(tx *shoremt.Tx) error {
+		var err error
+		ix, err = db.CreateIndex(tx)
+		if err != nil {
+			return err
 		}
-	}
-	if err := tx.Commit(); err != nil {
+		for i := 0; i < accounts; i++ {
+			if err := ix.Insert(tx, accountKey(i), encode(initialBalance)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("loaded %d accounts with balance %d each\n", accounts, initialBalance)
 
-	// Concurrent random transfers (lock order is random → deadlocks occur
-	// and must be detected and retried).
+	// Concurrent random transfers (lock order is random → deadlocks occur;
+	// the engine detects them and retries the closure under the hood).
 	var wg sync.WaitGroup
 	var done atomic.Int64
 	for w := 0; w < workers; w++ {
@@ -128,7 +118,7 @@ func main() {
 				if from == to {
 					continue
 				}
-				if err := transfer(db, ix, from, to, int64(rng.Intn(100))); err != nil {
+				if err := transfer(ctx, db, ix, from, to, int64(rng.Intn(100))); err != nil {
 					log.Fatal(err)
 				}
 				done.Add(1)
@@ -137,10 +127,10 @@ func main() {
 	}
 	wg.Wait()
 	st := db.Stats()
-	fmt.Printf("%d transfers done (%d deadlocks detected and retried)\n",
+	fmt.Printf("%d transfers done (%d deadlocks detected and retried inside Update)\n",
 		done.Load(), st.Lock.Deadlocks)
 
-	total, n := audit(db, ix)
+	total, n := audit(ctx, db, ix)
 	fmt.Printf("audit: %d accounts, total balance %d (expected %d)\n",
 		n, total, int64(accounts*initialBalance))
 	if total != accounts*initialBalance {

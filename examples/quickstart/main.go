@@ -1,5 +1,9 @@
 // Quickstart: open an in-memory Shore-MT database, create a table and an
 // index, insert and query records, and demonstrate commit vs abort.
+//
+// This example deliberately stays on the manual Begin/Commit/Abort path
+// to show explicit lifecycle control; see examples/bank for the managed
+// DB.Update/DB.View style with built-in deadlock retry.
 package main
 
 import (

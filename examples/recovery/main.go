@@ -28,7 +28,7 @@ func main() {
 
 	// Committed work: 100 rows + an index.
 	t1, _ := engine.Begin()
-	table, err := engine.CreateTable()
+	table, err := engine.CreateTable(t1)
 	if err != nil {
 		log.Fatal(err)
 	}

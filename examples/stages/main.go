@@ -32,12 +32,19 @@ func runStage(stage core.Stage) {
 
 	// One private table per worker — the paper's microbenchmark shape.
 	stores := make([]uint32, workers)
+	setup, err := engine.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i := range stores {
-		s, err := engine.CreateTable()
+		s, err := engine.CreateTable(setup)
 		if err != nil {
 			log.Fatal(err)
 		}
 		stores[i] = s
+	}
+	if err := engine.Commit(setup); err != nil {
+		log.Fatal(err)
 	}
 
 	var wg sync.WaitGroup

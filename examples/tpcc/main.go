@@ -1,9 +1,13 @@
-// TPC-C: load the paper's benchmark schema through the public API-backed
-// engine and run a Payment / New Order mix (88% of the TPC-C transaction
-// mix, per §3.2 of the paper), demonstrating the workloads of Figure 5.
+// TPC-C: load the paper's benchmark schema and run a Payment / New Order
+// mix (88% of the TPC-C transaction mix, per §3.2 of the paper),
+// demonstrating the workloads of Figure 5 on the context-aware API: the
+// run is bounded by a context deadline, each transaction runs under the
+// engine's managed retry (no hand-rolled deadlock loops), and cancellation
+// drains the workers mid-wait instead of at the next iteration boundary.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -13,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/lock"
 	"repro/internal/tpcc"
 	"repro/internal/wal"
 )
@@ -37,8 +42,10 @@ func main() {
 
 	const clients = 4
 	const duration = 2 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+
 	var payments, orders, rollbacks atomic.Uint64
-	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -46,31 +53,33 @@ func main() {
 			defer wg.Done()
 			r := tpcc.NewRand(int64(c))
 			home := uint32(c%scale.Warehouses + 1)
-			for {
-				select {
-				case <-stop:
-					return
+			for ctx.Err() == nil {
+				// The §3.2 mix: Payment and New Order alternating, each a
+				// managed transaction — deadlock victims retry inside the
+				// engine, and the context deadline unblocks any lock wait.
+				err := db.PaymentCtx(ctx, tpcc.GenPayment(r, scale, home))
+				switch {
+				case err == nil:
+					payments.Add(1)
+				case errors.Is(err, lock.ErrCanceled):
+					return // deadline: drain
 				default:
-				}
-				// The §3.2 mix: Payment and New Order alternating.
-				if err := db.PaymentWithRetry(tpcc.GenPayment(r, scale, home), 10); err != nil {
 					log.Fatal("payment: ", err)
 				}
-				payments.Add(1)
-				err := db.NewOrderWithRetry(tpcc.GenNewOrder(r, scale, home), 10)
+				err = db.NewOrderCtx(ctx, tpcc.GenNewOrder(r, scale, home))
 				switch {
 				case err == nil:
 					orders.Add(1)
 				case errors.Is(err, tpcc.ErrUserAbort):
 					rollbacks.Add(1) // the spec's 1% intentional aborts
+				case errors.Is(err, lock.ErrCanceled):
+					return // deadline: drain
 				default:
 					log.Fatal("new order: ", err)
 				}
 			}
 		}(c)
 	}
-	time.Sleep(duration)
-	close(stop)
 	wg.Wait()
 
 	secs := duration.Seconds()
@@ -93,6 +102,6 @@ func main() {
 	fmt.Printf("ORDERS rows: %d (== committed new orders: %v)\n",
 		totalOrders, uint64(totalOrders) == orders.Load())
 	st := engine.Stats()
-	fmt.Printf("engine: %d lock acquires, %d waits, %d deadlocks, %d log inserts\n",
-		st.Lock.Acquires, st.Lock.Waits, st.Lock.Deadlocks, st.Log.Inserts)
+	fmt.Printf("engine: %d lock acquires, %d waits, %d deadlocks, %d canceled waits, %d log inserts\n",
+		st.Lock.Acquires, st.Lock.Waits, st.Lock.Deadlocks, st.Lock.Cancels, st.Log.Inserts)
 }

@@ -23,7 +23,7 @@ func TestLoserSpanningCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	store, _ := e.CreateTable()
+	store := createTable(t, e)
 	// Committed baseline.
 	tx1, _ := e.Begin()
 	rid, err := e.HeapInsert(tx1, store, []byte("baseline"))
@@ -81,7 +81,7 @@ func TestDoubleCrashRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	store, _ := e.CreateTable()
+	store := createTable(t, e)
 	tx1, _ := e.Begin()
 	var rids []page.RID
 	for i := 0; i < 30; i++ {
@@ -154,7 +154,7 @@ func TestCheckpointWhileConcurrentLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	store, _ := e.CreateTable()
+	store := createTable(t, e)
 	done := make(chan error, 1)
 	go func() {
 		for i := 0; i < 20; i++ {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/disk"
@@ -110,10 +112,27 @@ func (e *Engine) Close() error {
 	return e.log.Close()
 }
 
+// ctxErr maps a cancelled context onto the lock package's ErrCanceled
+// sentinel (the engine-wide cancellation currency), or nil.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", lock.ErrCanceled, context.Cause(ctx))
+	}
+	return nil
+}
+
 // Begin starts a transaction and logs its begin record.
-func (e *Engine) Begin() (*tx.Tx, error) {
+func (e *Engine) Begin() (*tx.Tx, error) { return e.BeginCtx(context.Background()) }
+
+// BeginCtx is Begin observing ctx: a transaction begun with it threads no
+// state — cancellation is checked here and must be passed to each
+// subsequent operation via its Ctx variant.
+func (e *Engine) BeginCtx(ctx context.Context) (*tx.Tx, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
 	}
 	t := e.txns.Begin()
 	lsn, err := e.log.Insert(&wal.Record{Type: wal.RecTxBegin, TxID: t.ID()})
@@ -130,21 +149,38 @@ func (e *Engine) Begin() (*tx.Tx, error) {
 // staged — pre-commit (commit record + early lock release), harden
 // (batched flush by the daemon), notify — but keeps the exact same
 // external contract: when Commit returns nil, the commit is durable.
-func (e *Engine) Commit(t *tx.Tx) error {
+func (e *Engine) Commit(t *tx.Tx) error { return e.CommitCtx(context.Background(), t) }
+
+// CommitCtx is Commit whose durability wait observes ctx. Cancellation
+// mid-wait returns lock.ErrCanceled-wrapped context error and leaves t in
+// StateCommitting: the commit record is already in the log, so the
+// transaction is in doubt — the caller may retry Commit (the record is
+// not re-inserted; only the wait resumes) or walk away and let the
+// background flush / restart recovery settle it. It can never abort.
+func (e *Engine) CommitCtx(ctx context.Context, t *tx.Tx) error {
 	if e.closed.Load() {
 		return ErrClosed
+	}
+	// Fail fast on a dead context before the commit record exists: at
+	// this point the transaction can still abort cleanly, whereas one
+	// instruction later it is in doubt and will commit despite the
+	// caller being told it was cancelled.
+	if t.State() == tx.StateActive {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 	}
 	if e.cfg.CommitPipeline {
 		if t.State() == tx.StateCommitting {
 			// Retrying after a failed harden: the commit record is
 			// already in the log; just wait out its durability.
-			return e.awaitHarden(t, t.HardenTarget())
+			return e.awaitHarden(ctx, t, t.HardenTarget())
 		}
 		target, err := e.PreCommit(t)
 		if err != nil {
 			return err
 		}
-		return e.awaitHarden(t, target)
+		return e.awaitHarden(ctx, t, target)
 	}
 	switch t.State() {
 	case tx.StateCommitting:
@@ -153,7 +189,7 @@ func (e *Engine) Commit(t *tx.Tx) error {
 		// only harden (here) or be resolved by restart recovery; it can
 		// never abort, because a background flusher may harden the commit
 		// record at any moment.
-		if err := e.log.Flush(t.HardenTarget()); err != nil {
+		if err := e.flushCtx(ctx, t.HardenTarget()); err != nil {
 			return err
 		}
 		e.releaseLocks(t)
@@ -162,31 +198,93 @@ func (e *Engine) Commit(t *tx.Tx) error {
 	default:
 		return fmt.Errorf("%w: tx %d is %v", ErrCommitting, t.ID(), t.State())
 	}
-	// Insert the commit record and enter StateCommitting atomically with
-	// respect to checkpoint snapshots (shared ckptMu; see its comment).
-	e.ckptMu.RLock()
-	lsn, err := e.log.Insert(&wal.Record{
-		Type: wal.RecTxCommit, TxID: t.ID(), PrevLSN: t.LastLSN(),
-	})
-	if err != nil {
-		e.ckptMu.RUnlock()
+	if _, err := e.publishCommit(t); err != nil {
 		return err
 	}
-	t.RecordLog(lsn)
-	t.SetCommitLSN(lsn)
-	t.SetHardenTarget(e.log.CurLSN())
-	err = e.txns.BeginCommit(t)
-	e.ckptMu.RUnlock()
-	if err != nil {
-		return err
-	}
-	if err := e.log.Flush(t.HardenTarget()); err != nil {
+	if err := e.flushCtx(ctx, t.HardenTarget()); err != nil {
 		// In doubt: stays StateCommitting with locks held; the caller may
 		// retry Commit (not Abort) or let restart recovery decide.
 		return err
 	}
 	e.releaseLocks(t)
 	return e.txns.Commit(t)
+}
+
+// publishCommit is the commit point shared by every commit flavor: it
+// inserts t's commit record and enters StateCommitting atomically with
+// respect to checkpoint snapshots (shared ckptMu; see its comment), and
+// stamps the harden target — CurLSN as a group-commit-friendly cover of
+// the record, raised to any observed ELR horizon so t's acknowledgment
+// stays ordered behind every early releaser whose data it may have read
+// (the horizon is zero outside the pipeline).
+func (e *Engine) publishCommit(t *tx.Tx) (wal.LSN, error) {
+	e.ckptMu.RLock()
+	defer e.ckptMu.RUnlock()
+	lsn, err := e.log.Insert(&wal.Record{
+		Type: wal.RecTxCommit, TxID: t.ID(), PrevLSN: t.LastLSN(),
+	})
+	if err != nil {
+		return wal.NullLSN, err
+	}
+	t.RecordLog(lsn)
+	t.SetCommitLSN(lsn)
+	target := e.log.CurLSN()
+	if h := t.ELRHorizon(); h > target {
+		target = h
+	}
+	t.SetHardenTarget(target)
+	if err := e.txns.BeginCommit(t); err != nil {
+		return wal.NullLSN, err
+	}
+	return target, nil
+}
+
+// CommitReadOnly ends a transaction the caller guarantees performed no
+// updates: commit record, lock release — and no durability wait of its
+// own, because there is nothing whose loss a crash could expose (losing
+// the commit record of a read-only transaction merely makes recovery
+// treat it as a loser with an empty undo chain). The one exception is an
+// inherited Early-Lock-Release horizon: a reader that observed writes of
+// a not-yet-hardened committer must not acknowledge before that horizon
+// is durable, or a crash could un-commit data the reader already
+// reported. The public View API rides on this.
+func (e *Engine) CommitReadOnly(ctx context.Context, t *tx.Tx) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if t.State() != tx.StateActive {
+		return fmt.Errorf("%w: tx %d is %v", ErrCommitting, t.ID(), t.State())
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err // still abortable; don't push past the point of no return
+	}
+	if _, err := e.publishCommit(t); err != nil {
+		return err
+	}
+	e.releaseLocks(t)
+	if e.flushd != nil {
+		if h := t.ELRHorizon(); h > e.log.DurableLSN() {
+			return e.awaitHarden(ctx, t, h)
+		}
+	}
+	return e.txns.Commit(t)
+}
+
+// flushCtx is log.Flush racing ctx: the flush itself is never torn down
+// (group commit continues for everyone else), but the caller stops
+// waiting for it when ctx fires.
+func (e *Engine) flushCtx(ctx context.Context, upTo wal.LSN) error {
+	if ctx.Done() == nil {
+		return e.log.Flush(upTo)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- e.log.Flush(upTo) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		return ctxErr(ctx)
+	}
 }
 
 // CommitAsync starts committing t and returns a channel that fires
@@ -203,12 +301,36 @@ func (e *Engine) CommitAsync(t *tx.Tx) <-chan error {
 		return out
 	}
 	if !e.cfg.CommitPipeline {
-		go func() { out <- e.Commit(t) }()
+		go func() {
+			err := e.Commit(t)
+			if err != nil {
+				switch t.State() {
+				case tx.StateActive:
+					// The commit never reached its commit record (insert
+					// failure): the caller has no handle to clean up with,
+					// so roll back here rather than strand the locks.
+					_ = e.Abort(t)
+				case tx.StateCommitting:
+					// In doubt after a failed flush — and without the
+					// pipeline the locks are still held. The channel fires
+					// at most once, so no caller can retry: do it here,
+					// briefly; if the log stays dead, restart recovery
+					// resolves the commit exactly as a crash would.
+					for attempt := 0; attempt < 3; attempt++ {
+						time.Sleep(time.Millisecond << attempt)
+						if e.Commit(t) == nil {
+							break
+						}
+					}
+				}
+			}
+			out <- err
+		}()
 		return out
 	}
 	if t.State() == tx.StateCommitting {
 		// Retrying after a failed harden; the commit record already exists.
-		go func() { out <- e.awaitHarden(t, t.HardenTarget()) }()
+		go func() { out <- e.awaitHarden(context.Background(), t, t.HardenTarget()) }()
 		return out
 	}
 	target, err := e.PreCommit(t)
@@ -216,7 +338,7 @@ func (e *Engine) CommitAsync(t *tx.Tx) <-chan error {
 		out <- err
 		return out
 	}
-	go func() { out <- e.awaitHarden(t, target) }()
+	go func() { out <- e.awaitHarden(context.Background(), t, target) }()
 	return out
 }
 
@@ -234,27 +356,7 @@ func (e *Engine) PreCommit(t *tx.Tx) (wal.LSN, error) {
 	if t.State() != tx.StateActive {
 		return wal.NullLSN, fmt.Errorf("%w: tx %d is %v", ErrCommitting, t.ID(), t.State())
 	}
-	// Insert the commit record and enter StateCommitting atomically with
-	// respect to checkpoint snapshots (shared ckptMu; see its comment).
-	e.ckptMu.RLock()
-	lsn, err := e.log.Insert(&wal.Record{
-		Type: wal.RecTxCommit, TxID: t.ID(), PrevLSN: t.LastLSN(),
-	})
-	if err != nil {
-		e.ckptMu.RUnlock()
-		return wal.NullLSN, err
-	}
-	t.RecordLog(lsn)
-	t.SetCommitLSN(lsn)
-	// The harden target covers the commit record; CurLSN is a safe (and
-	// group-commit-friendly) over-approximation of lsn+len(record).
-	target := e.log.CurLSN()
-	if h := t.ELRHorizon(); h > target {
-		target = h // ordered behind every releaser whose data t may have read
-	}
-	t.SetHardenTarget(target)
-	err = e.txns.BeginCommit(t)
-	e.ckptMu.RUnlock()
+	target, err := e.publishCommit(t)
 	if err != nil {
 		return wal.NullLSN, err
 	}
@@ -267,18 +369,29 @@ func (e *Engine) PreCommit(t *tx.Tx) (wal.LSN, error) {
 
 // awaitHarden is the notify stage: wait for the flush daemon to push the
 // durable horizon past target, then retire t from the transaction table.
-func (e *Engine) awaitHarden(t *tx.Tx, target wal.LSN) error {
-	if err := <-e.flushd.Harden(target); err != nil {
-		// Not durable (engine closing / log failure): leave t in
-		// StateCommitting; restart recovery decides its fate exactly as a
-		// crash would.
-		return err
+// The wait observes ctx: cancellation abandons the (buffered, exactly-
+// once) subscription channel — the daemon still resolves and drops it
+// when the horizon advances, so the subscription list stays intact — and
+// leaves t in StateCommitting for a later retry or restart recovery.
+func (e *Engine) awaitHarden(ctx context.Context, t *tx.Tx, target wal.LSN) error {
+	select {
+	case err := <-e.flushd.Harden(target):
+		if err != nil {
+			// Not durable (engine closing / log failure): leave t in
+			// StateCommitting; restart recovery decides its fate exactly
+			// as a crash would.
+			return err
+		}
+		return e.txns.Commit(t)
+	case <-ctx.Done(): // a nil Done channel (no cancellation) never fires
+		return ctxErr(ctx)
 	}
-	return e.txns.Commit(t)
 }
 
 // Abort rolls t back: undo every update (physical or logical), writing
-// compensation records, then release locks.
+// compensation records, then release locks. Abort deliberately has no
+// ctx-observing variant: once begun, rollback must run to completion to
+// restore consistency — a cancelled caller still gets a full abort.
 func (e *Engine) Abort(t *tx.Tx) error {
 	if e.closed.Load() {
 		return ErrClosed
@@ -316,12 +429,13 @@ func (e *Engine) releaseLocks(t *tx.Tx) {
 	}
 }
 
-// acquire takes a lock for t, recording it for release. Under the commit
-// pipeline the granted lock may have been released early by a transaction
-// whose commit record is not yet durable; folding the ELR horizon into t
-// orders t's own commit acknowledgment behind that releaser's durability.
-func (e *Engine) acquire(t *tx.Tx, n lock.Name, m lock.Mode) error {
-	if err := e.locks.Lock(t.ID(), n, m, 0); err != nil {
+// acquire takes a lock for t, recording it for release; ctx cancellation
+// unblocks the wait. Under the commit pipeline the granted lock may have
+// been released early by a transaction whose commit record is not yet
+// durable; folding the ELR horizon into t orders t's own commit
+// acknowledgment behind that releaser's durability.
+func (e *Engine) acquire(ctx context.Context, t *tx.Tx, n lock.Name, m lock.Mode) error {
+	if err := e.locks.Lock(ctx, t.ID(), n, m, 0); err != nil {
 		return err
 	}
 	t.AddLock(n)
@@ -333,16 +447,16 @@ func (e *Engine) acquire(t *tx.Tx, n lock.Name, m lock.Mode) error {
 
 // lockRow performs hierarchical locking for a row access in mode
 // (lock.S or lock.X), with table-level escalation past the threshold.
-func (e *Engine) lockRow(t *tx.Tx, store uint32, rid page.RID, m lock.Mode) error {
+func (e *Engine) lockRow(ctx context.Context, t *tx.Tx, store uint32, rid page.RID, m lock.Mode) error {
 	intent := lock.Intention(m)
 	// If already escalated to a covering store lock, nothing to do.
 	if held, ok := t.Escalated(store); ok && lock.StrongerOrEqual(held, m) {
 		return nil
 	}
-	if err := e.acquire(t, lock.DatabaseName(), intent); err != nil {
+	if err := e.acquire(ctx, t, lock.DatabaseName(), intent); err != nil {
 		return err
 	}
-	if err := e.acquire(t, lock.StoreName(store), intent); err != nil {
+	if err := e.acquire(ctx, t, lock.StoreName(store), intent); err != nil {
 		return err
 	}
 	if e.cfg.EscalateAfter > 0 && t.CountRowLock(store) > e.cfg.EscalateAfter {
@@ -350,14 +464,14 @@ func (e *Engine) lockRow(t *tx.Tx, store uint32, rid page.RID, m lock.Mode) erro
 		if m == lock.X || m == lock.U {
 			esc = lock.X
 		}
-		if err := e.acquire(t, lock.StoreName(store), esc); err == nil {
+		if err := e.acquire(ctx, t, lock.StoreName(store), esc); err == nil {
 			t.MarkEscalated(store, esc)
 			return nil
 		}
 		// Escalation failed (somebody else holds conflicting locks): fall
 		// back to row locking.
 	}
-	return e.acquire(t, lock.RowName(store, rid), m)
+	return e.acquire(ctx, t, lock.RowName(store, rid), m)
 }
 
 // logPhysical appends an update record for op on f's page, applies it, and

@@ -27,6 +27,24 @@ func newEngine(t *testing.T, stage Stage) (*Engine, *disk.MemVolume, *wal.MemSto
 	return e, vol, logStore
 }
 
+// createTable registers a heap store inside a short committed setup
+// transaction (CreateTable requires an active transaction).
+func createTable(tb testing.TB, e *Engine) uint32 {
+	tb.Helper()
+	ct, err := e.Begin()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	store, err := e.CreateTable(ct)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := e.Commit(ct); err != nil {
+		tb.Fatal(err)
+	}
+	return store
+}
+
 // reopen closes nothing and opens a new engine over the same stores
 // (post-crash).
 func reopen(t *testing.T, vol *disk.MemVolume, logStore *wal.MemStore, stage Stage) *Engine {
@@ -51,10 +69,7 @@ func allStages(t *testing.T, fn func(t *testing.T, stage Stage)) {
 func TestHeapCRUDCommit(t *testing.T) {
 	allStages(t, func(t *testing.T, stage Stage) {
 		e, _, _ := newEngine(t, stage)
-		store, err := e.CreateTable()
-		if err != nil {
-			t.Fatal(err)
-		}
+		store := createTable(t, e)
 		tx1, err := e.Begin()
 		if err != nil {
 			t.Fatal(err)
@@ -94,7 +109,7 @@ func TestHeapCRUDCommit(t *testing.T) {
 func TestAbortUndoesHeapChanges(t *testing.T) {
 	allStages(t, func(t *testing.T, stage Stage) {
 		e, _, _ := newEngine(t, stage)
-		store, _ := e.CreateTable()
+		store := createTable(t, e)
 		// Committed baseline row.
 		tx1, _ := e.Begin()
 		rid, err := e.HeapInsert(tx1, store, []byte("stable"))
@@ -133,7 +148,7 @@ func TestAbortUndoesHeapChanges(t *testing.T) {
 
 func TestHeapScanMany(t *testing.T) {
 	e, _, _ := newEngine(t, StageFinal)
-	store, _ := e.CreateTable()
+	store := createTable(t, e)
 	tx1, _ := e.Begin()
 	const n = 3000 // spans many pages and extents
 	want := map[string]bool{}
@@ -258,7 +273,7 @@ func TestCrashRecoveryCommittedSurvive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		store, _ := e.CreateTable()
+		store := createTable(t, e)
 		tx1, _ := e.Begin()
 		var rids []page.RID
 		for i := 0; i < 100; i++ {
@@ -335,7 +350,7 @@ func TestCrashRecoveryUncommittedInvisible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	store, _ := e.CreateTable()
+	store := createTable(t, e)
 	tx1, _ := e.Begin()
 	if _, err := e.HeapInsert(tx1, store, []byte("ghost")); err != nil {
 		t.Fatal(err)
@@ -433,7 +448,7 @@ func TestCheckpointShortensRecovery(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			store, _ := e.CreateTable()
+			store := createTable(t, e)
 			tx1, _ := e.Begin()
 			rid, err := e.HeapInsert(tx1, store, []byte("pre-ckpt"))
 			if err != nil {
@@ -481,10 +496,7 @@ func TestConcurrentTransactionsDisjointTables(t *testing.T) {
 		const g, n = 4, 100
 		stores := make([]uint32, g)
 		for i := range stores {
-			s, err := e.CreateTable()
-			if err != nil {
-				t.Fatal(err)
-			}
+			s := createTable(t, e)
 			stores[i] = s
 		}
 		var wg sync.WaitGroup
@@ -541,7 +553,7 @@ func TestConcurrentTransactionsDisjointTables(t *testing.T) {
 
 func TestRowLockConflictBlocksAndResolves(t *testing.T) {
 	e, _, _ := newEngine(t, StageFinal)
-	store, _ := e.CreateTable()
+	store := createTable(t, e)
 	tx1, _ := e.Begin()
 	rid, err := e.HeapInsert(tx1, store, []byte("v0"))
 	if err != nil {
@@ -584,7 +596,7 @@ func TestLockEscalation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e.Close()
-	store, _ := e.CreateTable()
+	store := createTable(t, e)
 	tx1, _ := e.Begin()
 	for i := 0; i < 200; i++ {
 		if _, err := e.HeapInsert(tx1, store, []byte("r")); err != nil {
@@ -630,7 +642,7 @@ func TestStageConfigPresets(t *testing.T) {
 
 func TestEngineStatsPopulated(t *testing.T) {
 	e, _, _ := newEngine(t, StageFinal)
-	store, _ := e.CreateTable()
+	store := createTable(t, e)
 	tx1, _ := e.Begin()
 	for i := 0; i < 50; i++ {
 		if _, err := e.HeapInsert(tx1, store, []byte("x")); err != nil {
@@ -641,7 +653,7 @@ func TestEngineStatsPopulated(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := e.Stats()
-	if st.Log.Inserts == 0 || st.Lock.Acquires == 0 || st.Space.Allocs == 0 || st.Tx.Commits != 1 {
+	if st.Log.Inserts == 0 || st.Lock.Acquires == 0 || st.Space.Allocs == 0 || st.Tx.Commits != 2 {
 		t.Errorf("stats look empty: %+v", st)
 	}
 }

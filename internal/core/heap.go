@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -23,10 +24,18 @@ var ErrNoRecord = errors.New("core: no such record")
 // MaxRecord bounds heap record size.
 const MaxRecord = page.MaxRecordSize / 2
 
-// CreateTable registers a new heap store.
-func (e *Engine) CreateTable() (uint32, error) {
+// CreateTable registers a new heap store inside transaction t, mirroring
+// CreateIndex's shape. Like index creation, store registration itself is
+// NOT transactional: the store id is allocated immediately and is not
+// reclaimed if t aborts — table durability is derived from the page
+// headers of the first committed insert, so an aborted creation leaves
+// only an unused id behind.
+func (e *Engine) CreateTable(t *tx.Tx) (uint32, error) {
 	if e.closed.Load() {
 		return 0, ErrClosed
+	}
+	if t == nil || t.State() != tx.StateActive {
+		return 0, fmt.Errorf("core: CreateTable requires an active transaction")
 	}
 	return e.sm.CreateStore(space.KindHeap), nil
 }
@@ -71,16 +80,21 @@ func (e *Engine) allocHeapPage(t *tx.Tx, store uint32) (*buffer.Frame, page.ID, 
 // conditionally under the page latch; on conflict the latch is released
 // and the lock awaited before retrying).
 func (e *Engine) HeapInsert(t *tx.Tx, store uint32, data []byte) (page.RID, error) {
+	return e.HeapInsertCtx(context.Background(), t, store, data)
+}
+
+// HeapInsertCtx is HeapInsert whose lock waits observe ctx.
+func (e *Engine) HeapInsertCtx(ctx context.Context, t *tx.Tx, store uint32, data []byte) (page.RID, error) {
 	if e.closed.Load() {
 		return page.RID{}, ErrClosed
 	}
 	if len(data) == 0 || len(data) > MaxRecord {
 		return page.RID{}, fmt.Errorf("core: record size %d out of range", len(data))
 	}
-	if err := e.acquire(t, lock.DatabaseName(), lock.IX); err != nil {
+	if err := e.acquire(ctx, t, lock.DatabaseName(), lock.IX); err != nil {
 		return page.RID{}, err
 	}
-	if err := e.acquire(t, lock.StoreName(store), lock.IX); err != nil {
+	if err := e.acquire(ctx, t, lock.StoreName(store), lock.IX); err != nil {
 		return page.RID{}, err
 	}
 	_, escalated := t.Escalated(store)
@@ -124,7 +138,7 @@ func (e *Engine) HeapInsert(t *tx.Tx, store uint32, data []byte) (page.RID, erro
 				if errors.Is(err, lock.ErrWouldBlock) {
 					// Wait without the latch, keep the lock (2PL), retry the
 					// slot choice from scratch.
-					if err := e.acquire(t, name, lock.X); err != nil {
+					if err := e.acquire(ctx, t, name, lock.X); err != nil {
 						return page.RID{}, err
 					}
 					continue
@@ -157,10 +171,15 @@ func (e *Engine) HeapInsert(t *tx.Tx, store uint32, data []byte) (page.RID, erro
 
 // HeapRead returns a copy of the record at rid under an S row lock.
 func (e *Engine) HeapRead(t *tx.Tx, store uint32, rid page.RID) ([]byte, error) {
+	return e.HeapReadCtx(context.Background(), t, store, rid)
+}
+
+// HeapReadCtx is HeapRead whose lock waits observe ctx.
+func (e *Engine) HeapReadCtx(ctx context.Context, t *tx.Tx, store uint32, rid page.RID) ([]byte, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
-	if err := e.lockRow(t, store, rid, lock.S); err != nil {
+	if err := e.lockRow(ctx, t, store, rid, lock.S); err != nil {
 		return nil, err
 	}
 	f, err := e.fix(rid.Page, sync2.LatchSH)
@@ -177,13 +196,18 @@ func (e *Engine) HeapRead(t *tx.Tx, store uint32, rid page.RID) ([]byte, error) 
 
 // HeapUpdate replaces the record at rid under an X row lock.
 func (e *Engine) HeapUpdate(t *tx.Tx, store uint32, rid page.RID, data []byte) error {
+	return e.HeapUpdateCtx(context.Background(), t, store, rid, data)
+}
+
+// HeapUpdateCtx is HeapUpdate whose lock waits observe ctx.
+func (e *Engine) HeapUpdateCtx(ctx context.Context, t *tx.Tx, store uint32, rid page.RID, data []byte) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
 	if len(data) == 0 || len(data) > MaxRecord {
 		return fmt.Errorf("core: record size %d out of range", len(data))
 	}
-	if err := e.lockRow(t, store, rid, lock.X); err != nil {
+	if err := e.lockRow(ctx, t, store, rid, lock.X); err != nil {
 		return err
 	}
 	f, err := e.fix(rid.Page, sync2.LatchEX)
@@ -203,10 +227,15 @@ func (e *Engine) HeapUpdate(t *tx.Tx, store uint32, rid page.RID, data []byte) e
 // HeapDelete removes the record at rid under an X row lock. The slot is
 // tombstoned; its RID may be reused after the transaction commits.
 func (e *Engine) HeapDelete(t *tx.Tx, store uint32, rid page.RID) error {
+	return e.HeapDeleteCtx(context.Background(), t, store, rid)
+}
+
+// HeapDeleteCtx is HeapDelete whose lock waits observe ctx.
+func (e *Engine) HeapDeleteCtx(ctx context.Context, t *tx.Tx, store uint32, rid page.RID) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	if err := e.lockRow(t, store, rid, lock.X); err != nil {
+	if err := e.lockRow(ctx, t, store, rid, lock.X); err != nil {
 		return err
 	}
 	f, err := e.fix(rid.Page, sync2.LatchEX)
@@ -227,13 +256,18 @@ func (e *Engine) HeapDelete(t *tx.Tx, store uint32, rid page.RID) error {
 // store-level S lock, calling fn with the rid and a copy of each record.
 // fn returning false stops the scan.
 func (e *Engine) HeapScan(t *tx.Tx, store uint32, fn func(rid page.RID, rec []byte) bool) error {
+	return e.HeapScanCtx(context.Background(), t, store, fn)
+}
+
+// HeapScanCtx is HeapScan whose lock waits observe ctx.
+func (e *Engine) HeapScanCtx(ctx context.Context, t *tx.Tx, store uint32, fn func(rid page.RID, rec []byte) bool) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	if err := e.acquire(t, lock.DatabaseName(), lock.IS); err != nil {
+	if err := e.acquire(ctx, t, lock.DatabaseName(), lock.IS); err != nil {
 		return err
 	}
-	if err := e.acquire(t, lock.StoreName(store), lock.S); err != nil {
+	if err := e.acquire(ctx, t, lock.StoreName(store), lock.S); err != nil {
 		return err
 	}
 	pids, err := e.sm.Pages(store)

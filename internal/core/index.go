@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/btree"
 	"repro/internal/buffer"
 	"repro/internal/lock"
@@ -91,15 +93,15 @@ func keyLockName(store uint32, key []byte) lock.Name {
 }
 
 // lockKey performs hierarchical key locking with escalation.
-func (e *Engine) lockKey(t *tx.Tx, store uint32, key []byte, m lock.Mode) error {
+func (e *Engine) lockKey(ctx context.Context, t *tx.Tx, store uint32, key []byte, m lock.Mode) error {
 	intent := lock.Intention(m)
 	if held, ok := t.Escalated(store); ok && lock.StrongerOrEqual(held, m) {
 		return nil
 	}
-	if err := e.acquire(t, lock.DatabaseName(), intent); err != nil {
+	if err := e.acquire(ctx, t, lock.DatabaseName(), intent); err != nil {
 		return err
 	}
-	if err := e.acquire(t, lock.StoreName(store), intent); err != nil {
+	if err := e.acquire(ctx, t, lock.StoreName(store), intent); err != nil {
 		return err
 	}
 	if e.cfg.EscalateAfter > 0 && t.CountRowLock(store) > e.cfg.EscalateAfter {
@@ -107,12 +109,12 @@ func (e *Engine) lockKey(t *tx.Tx, store uint32, key []byte, m lock.Mode) error 
 		if m == lock.X {
 			esc = lock.X
 		}
-		if err := e.acquire(t, lock.StoreName(store), esc); err == nil {
+		if err := e.acquire(ctx, t, lock.StoreName(store), esc); err == nil {
 			t.MarkEscalated(store, esc)
 			return nil
 		}
 	}
-	return e.acquire(t, keyLockName(store, key), m)
+	return e.acquire(ctx, t, keyLockName(store, key), m)
 }
 
 // probeLockTable is the pre-§7.7 wasted work: every B-tree probe searched
@@ -125,10 +127,15 @@ func (e *Engine) probeLockTable(t *tx.Tx, store uint32, key []byte) {
 
 // IndexInsert adds key→value to the index under an X key lock.
 func (e *Engine) IndexInsert(t *tx.Tx, ix *Index, key, value []byte) error {
+	return e.IndexInsertCtx(context.Background(), t, ix, key, value)
+}
+
+// IndexInsertCtx is IndexInsert whose lock waits observe ctx.
+func (e *Engine) IndexInsertCtx(ctx context.Context, t *tx.Tx, ix *Index, key, value []byte) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	if err := e.lockKey(t, ix.store, key, lock.X); err != nil {
+	if err := e.lockKey(ctx, t, ix.store, key, lock.X); err != nil {
 		return err
 	}
 	e.probeLockTable(t, ix.store, key)
@@ -137,10 +144,15 @@ func (e *Engine) IndexInsert(t *tx.Tx, ix *Index, key, value []byte) error {
 
 // IndexLookup probes the index under an S key lock.
 func (e *Engine) IndexLookup(t *tx.Tx, ix *Index, key []byte) ([]byte, bool, error) {
+	return e.IndexLookupCtx(context.Background(), t, ix, key)
+}
+
+// IndexLookupCtx is IndexLookup whose lock waits observe ctx.
+func (e *Engine) IndexLookupCtx(ctx context.Context, t *tx.Tx, ix *Index, key []byte) ([]byte, bool, error) {
 	if e.closed.Load() {
 		return nil, false, ErrClosed
 	}
-	if err := e.lockKey(t, ix.store, key, lock.S); err != nil {
+	if err := e.lockKey(ctx, t, ix.store, key, lock.S); err != nil {
 		return nil, false, err
 	}
 	e.probeLockTable(t, ix.store, key)
@@ -149,10 +161,15 @@ func (e *Engine) IndexLookup(t *tx.Tx, ix *Index, key []byte) ([]byte, bool, err
 
 // IndexUpdate replaces the value for key under an X key lock.
 func (e *Engine) IndexUpdate(t *tx.Tx, ix *Index, key, value []byte) error {
+	return e.IndexUpdateCtx(context.Background(), t, ix, key, value)
+}
+
+// IndexUpdateCtx is IndexUpdate whose lock waits observe ctx.
+func (e *Engine) IndexUpdateCtx(ctx context.Context, t *tx.Tx, ix *Index, key, value []byte) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	if err := e.lockKey(t, ix.store, key, lock.X); err != nil {
+	if err := e.lockKey(ctx, t, ix.store, key, lock.X); err != nil {
 		return err
 	}
 	e.probeLockTable(t, ix.store, key)
@@ -161,10 +178,15 @@ func (e *Engine) IndexUpdate(t *tx.Tx, ix *Index, key, value []byte) error {
 
 // IndexDelete removes key under an X key lock, returning the old value.
 func (e *Engine) IndexDelete(t *tx.Tx, ix *Index, key []byte) ([]byte, error) {
+	return e.IndexDeleteCtx(context.Background(), t, ix, key)
+}
+
+// IndexDeleteCtx is IndexDelete whose lock waits observe ctx.
+func (e *Engine) IndexDeleteCtx(ctx context.Context, t *tx.Tx, ix *Index, key []byte) ([]byte, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
-	if err := e.lockKey(t, ix.store, key, lock.X); err != nil {
+	if err := e.lockKey(ctx, t, ix.store, key, lock.X); err != nil {
 		return nil, err
 	}
 	e.probeLockTable(t, ix.store, key)
@@ -175,13 +197,18 @@ func (e *Engine) IndexDelete(t *tx.Tx, ix *Index, key []byte) ([]byte, error) {
 // calling fn with copies of each pair. fn must not re-enter the engine on
 // the same index's pages with EX intent.
 func (e *Engine) IndexScan(t *tx.Tx, ix *Index, from, to []byte, fn func(key, value []byte) bool) error {
+	return e.IndexScanCtx(context.Background(), t, ix, from, to, fn)
+}
+
+// IndexScanCtx is IndexScan whose lock waits observe ctx.
+func (e *Engine) IndexScanCtx(ctx context.Context, t *tx.Tx, ix *Index, from, to []byte, fn func(key, value []byte) bool) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	if err := e.acquire(t, lock.DatabaseName(), lock.IS); err != nil {
+	if err := e.acquire(ctx, t, lock.DatabaseName(), lock.IS); err != nil {
 		return err
 	}
-	if err := e.acquire(t, lock.StoreName(ix.store), lock.S); err != nil {
+	if err := e.acquire(ctx, t, lock.StoreName(ix.store), lock.S); err != nil {
 		return err
 	}
 	return ix.tree.Scan(from, to, func(k, v []byte) bool {

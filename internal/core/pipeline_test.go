@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -58,10 +59,7 @@ func reopenPipeline(t *testing.T, vol disk.Volume, logStore wal.Store) *Engine {
 // seedRow commits one row and returns its location.
 func seedRow(t *testing.T, e *Engine, val string) (uint32, page.RID) {
 	t.Helper()
-	store, err := e.CreateTable()
-	if err != nil {
-		t.Fatal(err)
-	}
+	store := createTable(t, e)
 	t0, err := e.Begin()
 	if err != nil {
 		t.Fatal(err)
@@ -299,7 +297,7 @@ func TestPipelineAbortAfterPreCommitRejected(t *testing.T) {
 		t.Fatalf("double pre-commit: %v", err)
 	}
 	// The commit can still harden normally.
-	if err := e.awaitHarden(t1, target); err != nil {
+	if err := e.awaitHarden(context.Background(), t1, target); err != nil {
 		t.Fatal(err)
 	}
 	if t1.State() != tx.StateCommitted {
@@ -341,10 +339,7 @@ func TestPipelineCheckpointDuringCommitting(t *testing.T) {
 // writers, crashes, and verifies every acknowledged commit survived.
 func TestPipelineConcurrentCommitsRecover(t *testing.T) {
 	e, vol, logStore := newPipelineEngine(t)
-	store, err := e.CreateTable()
-	if err != nil {
-		t.Fatal(err)
-	}
+	store := createTable(t, e)
 
 	const writers = 8
 	const perWriter = 25

@@ -31,10 +31,7 @@ func TestRecoveryStressRandomCrashPoints(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			store, err := e.CreateTable()
-			if err != nil {
-				t.Fatal(err)
-			}
+			store := createTable(t, e)
 			tx0, _ := e.Begin()
 			ix, err := e.CreateIndex(tx0)
 			if err != nil {
@@ -172,7 +169,7 @@ func TestDiskWriteFaultSurfaces(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e.Close()
-	store, _ := e.CreateTable()
+	store := createTable(t, e)
 
 	// Fill enough pages (2 KiB records, ~4/page, 50 pages > 8 frames) that
 	// evictions must write back, then arm faults.
@@ -226,7 +223,7 @@ func TestReadFaultSurfaces(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e.Close()
-	store, _ := e.CreateTable()
+	store := createTable(t, e)
 	tx1, _ := e.Begin()
 	rid, err := e.HeapInsert(tx1, store, []byte("target"))
 	if err != nil {

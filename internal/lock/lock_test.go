@@ -1,6 +1,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -122,18 +123,18 @@ func testManagerVariants(t *testing.T, fn func(t *testing.T, m *Manager)) {
 func TestSharedThenExclusive(t *testing.T) {
 	testManagerVariants(t, func(t *testing.T, m *Manager) {
 		n := StoreName(1)
-		if err := m.Lock(1, n, S, 0); err != nil {
+		if err := m.Lock(context.Background(), 1, n, S, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := m.Lock(2, n, S, 0); err != nil {
+		if err := m.Lock(context.Background(), 2, n, S, 0); err != nil {
 			t.Fatal(err) // S compatible with S
 		}
-		if err := m.Lock(3, n, X, 50*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		if err := m.Lock(context.Background(), 3, n, X, 50*time.Millisecond); !errors.Is(err, ErrTimeout) {
 			t.Fatalf("X over two S holders = %v, want timeout", err)
 		}
 		m.Unlock(1, n)
 		m.Unlock(2, n)
-		if err := m.Lock(3, n, X, 0); err != nil {
+		if err := m.Lock(context.Background(), 3, n, X, 0); err != nil {
 			t.Fatal(err)
 		}
 		if m.Holds(3, n) != X {
@@ -149,21 +150,21 @@ func TestSharedThenExclusive(t *testing.T) {
 func TestReacquireAndConversion(t *testing.T) {
 	testManagerVariants(t, func(t *testing.T, m *Manager) {
 		n := RowName(1, page.RID{Page: 2, Slot: 3})
-		if err := m.Lock(1, n, S, 0); err != nil {
+		if err := m.Lock(context.Background(), 1, n, S, 0); err != nil {
 			t.Fatal(err)
 		}
 		// Re-acquire weaker/equal: no-op.
-		if err := m.Lock(1, n, S, 0); err != nil {
+		if err := m.Lock(context.Background(), 1, n, S, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := m.Lock(1, n, IS, 0); err != nil {
+		if err := m.Lock(context.Background(), 1, n, IS, 0); err != nil {
 			t.Fatal(err)
 		}
 		if m.Holds(1, n) != S {
 			t.Fatalf("mode = %v, want S", m.Holds(1, n))
 		}
 		// Upgrade S -> X with no other holders: immediate.
-		if err := m.Lock(1, n, X, 0); err != nil {
+		if err := m.Lock(context.Background(), 1, n, X, 0); err != nil {
 			t.Fatal(err)
 		}
 		if m.Holds(1, n) != X {
@@ -176,15 +177,15 @@ func TestReacquireAndConversion(t *testing.T) {
 func TestConversionWaitsForReaders(t *testing.T) {
 	m := newTestManager(TablePerBucket, PoolLockFree)
 	n := StoreName(9)
-	if err := m.Lock(1, n, S, 0); err != nil {
+	if err := m.Lock(context.Background(), 1, n, S, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Lock(2, n, S, 0); err != nil {
+	if err := m.Lock(context.Background(), 2, n, S, 0); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
 	go func() {
-		done <- m.Lock(1, n, X, time.Second) // conversion blocked by tx2
+		done <- m.Lock(context.Background(), 1, n, X, time.Second) // conversion blocked by tx2
 	}()
 	time.Sleep(20 * time.Millisecond)
 	select {
@@ -205,10 +206,10 @@ func TestConversionWaitsForReaders(t *testing.T) {
 func TestSupremumConversionSIX(t *testing.T) {
 	m := newTestManager(TablePerBucket, PoolLockFree)
 	n := StoreName(4)
-	if err := m.Lock(1, n, S, 0); err != nil {
+	if err := m.Lock(context.Background(), 1, n, S, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Lock(1, n, IX, 0); err != nil {
+	if err := m.Lock(context.Background(), 1, n, IX, 0); err != nil {
 		t.Fatal(err)
 	}
 	if m.Holds(1, n) != SIX {
@@ -220,16 +221,16 @@ func TestSupremumConversionSIX(t *testing.T) {
 func TestFIFONoStarvation(t *testing.T) {
 	m := newTestManager(TablePerBucket, PoolLockFree)
 	n := StoreName(5)
-	if err := m.Lock(1, n, S, 0); err != nil {
+	if err := m.Lock(context.Background(), 1, n, S, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Writer queues.
 	wDone := make(chan error, 1)
-	go func() { wDone <- m.Lock(2, n, X, time.Second) }()
+	go func() { wDone <- m.Lock(context.Background(), 2, n, X, time.Second) }()
 	time.Sleep(20 * time.Millisecond)
 	// A later reader must NOT jump the queued writer.
 	rDone := make(chan error, 1)
-	go func() { rDone <- m.Lock(3, n, S, time.Second) }()
+	go func() { rDone <- m.Lock(context.Background(), 3, n, S, time.Second) }()
 	time.Sleep(20 * time.Millisecond)
 	select {
 	case <-rDone:
@@ -250,20 +251,20 @@ func TestFIFONoStarvation(t *testing.T) {
 func TestDeadlockDetection(t *testing.T) {
 	m := newTestManager(TablePerBucket, PoolLockFree)
 	a, b := StoreName(1), StoreName(2)
-	if err := m.Lock(1, a, X, 0); err != nil {
+	if err := m.Lock(context.Background(), 1, a, X, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Lock(2, b, X, 0); err != nil {
+	if err := m.Lock(context.Background(), 2, b, X, 0); err != nil {
 		t.Fatal(err)
 	}
 	// tx1 waits for b (held by tx2).
 	errc := make(chan error, 1)
-	go func() { errc <- m.Lock(1, b, X, 2*time.Second) }()
+	go func() { errc <- m.Lock(context.Background(), 1, b, X, 2*time.Second) }()
 	time.Sleep(30 * time.Millisecond)
 	// tx2 requests a: cycle. The detector must abort this quickly, well
 	// before the 2s timeout.
 	start := time.Now()
-	err := m.Lock(2, a, X, 2*time.Second)
+	err := m.Lock(context.Background(), 2, a, X, 2*time.Second)
 	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("expected deadlock, got %v", err)
 	}
@@ -285,11 +286,11 @@ func TestDeadlockDetection(t *testing.T) {
 func TestTimeoutWithoutDetector(t *testing.T) {
 	m := NewManager(Options{Buckets: 16, DefaultTimeout: 50 * time.Millisecond})
 	n := StoreName(1)
-	if err := m.Lock(1, n, X, 0); err != nil {
+	if err := m.Lock(context.Background(), 1, n, X, 0); err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	err := m.Lock(2, n, X, 0)
+	err := m.Lock(context.Background(), 2, n, X, 0)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v", err)
 	}
@@ -301,7 +302,7 @@ func TestTimeoutWithoutDetector(t *testing.T) {
 	}
 	// After the timeout the waiter must be fully gone: unlock and relock.
 	m.Unlock(1, n)
-	if err := m.Lock(2, n, X, 0); err != nil {
+	if err := m.Lock(context.Background(), 2, n, X, 0); err != nil {
 		t.Fatal(err)
 	}
 	m.Unlock(2, n)
@@ -310,7 +311,7 @@ func TestTimeoutWithoutDetector(t *testing.T) {
 func TestUnlockNotHeldIsNoop(t *testing.T) {
 	m := newTestManager(TableGlobal, PoolMutex)
 	m.Unlock(1, StoreName(1)) // nothing held: no panic
-	if err := m.Lock(1, StoreName(1), S, 0); err != nil {
+	if err := m.Lock(context.Background(), 1, StoreName(1), S, 0); err != nil {
 		t.Fatal(err)
 	}
 	m.Unlock(2, StoreName(1)) // wrong tx: no effect
@@ -330,13 +331,13 @@ func TestConcurrentRowLocking(t *testing.T) {
 			wg.Add(1)
 			go func(tx uint64) {
 				defer wg.Done()
-				if err := m.Lock(tx, StoreName(1), IX, time.Second); err != nil {
+				if err := m.Lock(context.Background(), tx, StoreName(1), IX, time.Second); err != nil {
 					errs <- err
 					return
 				}
 				for i := 0; i < 50; i++ {
 					rid := page.RID{Page: page.ID(tx), Slot: uint16(i)}
-					if err := m.Lock(tx, RowName(1, rid), X, time.Second); err != nil {
+					if err := m.Lock(context.Background(), tx, RowName(1, rid), X, time.Second); err != nil {
 						errs <- err
 						return
 					}
@@ -371,7 +372,7 @@ func TestHotLockContention(t *testing.T) {
 		go func(tx uint64) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				if err := m.Lock(tx, hot, X, 5*time.Second); err != nil {
+				if err := m.Lock(context.Background(), tx, hot, X, 5*time.Second); err != nil {
 					t.Error(err)
 					return
 				}

@@ -1,6 +1,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,6 +15,14 @@ import (
 var (
 	ErrDeadlock = errors.New("lock: deadlock detected")
 	ErrTimeout  = errors.New("lock: wait timed out")
+	// ErrCanceled is returned when the caller's context is cancelled (or
+	// its deadline passes) while the request is blocked. The underlying
+	// context error (context.Canceled / context.DeadlineExceeded / the
+	// cancellation cause) is wrapped, so errors.Is works against both
+	// ErrCanceled and the context sentinel. The cancelled request is
+	// dequeued cleanly: FIFO grant order and waits-for edges for everyone
+	// behind it are unaffected.
+	ErrCanceled = errors.New("lock: wait canceled")
 )
 
 // TableMode selects the latching granularity of the lock hash table,
@@ -51,6 +60,7 @@ type Stats struct {
 	Waits       uint64 // requests that had to block
 	Deadlocks   uint64 // requests aborted by the detector
 	Timeouts    uint64 // requests aborted by timeout
+	Cancels     uint64 // requests abandoned by context cancellation
 	PoolAllocs  uint64 // request-pool misses
 	ELRReleases uint64 // transactions that released locks before hardening
 	Latch       sync2.Stats
@@ -85,6 +95,7 @@ type Manager struct {
 	waits     atomic.Uint64
 	deadlocks atomic.Uint64
 	timeouts  atomic.Uint64
+	cancels   atomic.Uint64
 
 	// Early Lock Release (staged commit pipeline): the highest log
 	// position released-before-hardening by any committing transaction.
@@ -250,12 +261,42 @@ func holdersIncompatibleWith(h *lockHead, mode Mode, exclude *request) []uint64 
 	return ids
 }
 
+// blockersOf collects every transaction a fresh request r (wanting mode)
+// waits on: granted holders whose mode conflicts, plus — because grants
+// are strict FIFO — every earlier-arrived waiter or pending conversion,
+// compatible or not (hasWaiters blocks r behind them regardless). The
+// queue is push-front, so everything after r in the chain arrived before
+// it. Without the waiter edges, a cycle that passes through a queued
+// waiter (A holds x, B waits on x, C queued behind B while holding what
+// A wants) is invisible to the detector and resolves only by timeout.
+func blockersOf(h *lockHead, r *request, mode Mode) []uint64 {
+	var ids []uint64
+	for rr := r.next; rr != nil; rr = rr.next {
+		if rr.granted && rr.want == rr.mode {
+			if !Compatible(rr.mode, mode) {
+				ids = append(ids, rr.txID)
+			}
+		} else if rr.txID != r.txID {
+			ids = append(ids, rr.txID)
+		}
+	}
+	return ids
+}
+
 // Lock acquires name in mode for txID, blocking until granted, deadlock,
-// or timeout (0 uses the default). Re-acquiring an equal-or-weaker mode is
-// a no-op; a stronger mode performs a conversion.
-func (m *Manager) Lock(txID uint64, name Name, mode Mode, timeout time.Duration) error {
+// timeout (0 uses the default), or ctx cancellation — whichever comes
+// first (the earliest of the ctx deadline and the timeout wins).
+// Re-acquiring an equal-or-weaker mode is a no-op; a stronger mode
+// performs a conversion. Cancellation returns ErrCanceled wrapping the
+// context's error and dequeues the request promptly, leaving the queue
+// grantable for every waiter behind it.
+func (m *Manager) Lock(ctx context.Context, txID uint64, name Name, mode Mode, timeout time.Duration) error {
 	if mode == NL {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		m.cancels.Add(1)
+		return fmt.Errorf("%w: tx %d on %v: %w", ErrCanceled, txID, name, context.Cause(ctx))
 	}
 	if timeout == 0 {
 		timeout = m.opts.DefaultTimeout
@@ -292,7 +333,7 @@ func (m *Manager) Lock(txID uint64, name Name, mode Mode, timeout time.Duration)
 		wake := mine.wake
 		blockers := holdersIncompatibleWith(h, want, mine)
 		b.latch.Unlock()
-		return m.wait(txID, name, mine, wake, blockers, timeout, true)
+		return m.wait(ctx, txID, name, mine, wake, blockers, timeout, true)
 	}
 
 	// Fresh request.
@@ -311,94 +352,162 @@ func (m *Manager) Lock(txID uint64, name Name, mode Mode, timeout time.Duration)
 	}
 	r.wake = make(chan struct{})
 	wake := r.wake
-	blockers := holdersIncompatibleWith(h, mode, r)
+	blockers := blockersOf(h, r, mode)
 	b.latch.Unlock()
-	return m.wait(txID, name, r, wake, blockers, timeout, false)
+	return m.wait(ctx, txID, name, r, wake, blockers, timeout, false)
 }
 
-// wait blocks txID's request until granted, deadlock or timeout.
-func (m *Manager) wait(txID uint64, name Name, r *request, wake chan struct{}, blockers []uint64, timeout time.Duration, conversion bool) error {
+// detectPoll is how often a blocked request refreshes its waits-for
+// edges and re-runs cycle detection while a cycle is suspected (two
+// consecutive confirmations are needed, so real-deadlock latency is
+// ~2×detectPoll). Waiters with no suspected cycle back their polling
+// off exponentially to detectPollMax so long benign waits — the hot-lock
+// queues this engine is built around — don't hammer the bucket latch and
+// the waits-for mutex.
+const (
+	detectPoll    = 3 * time.Millisecond
+	detectPollMax = 24 * time.Millisecond
+)
+
+// wait blocks txID's request until granted, deadlock, timeout or ctx
+// cancellation.
+//
+// With deadlock detection on, the wait is a poll loop: every detectPoll
+// the waiter re-derives its blockers from the live queue under the
+// bucket latch and replaces its waits-for edges, then re-runs cycle
+// detection. Deriving edges from current state (rather than a snapshot
+// taken at enqueue) is what keeps the graph honest — snapshots go stale
+// as earlier waiters are granted and re-queue, and a stale edge can both
+// fabricate cycles (spurious victims) and hide real ones (timeout
+// storms). A cycle must survive two consecutive accurate snapshots
+// before its designated victim (largest txID: youngest-dies, so retry
+// loops cannot livelock on mutual victimization) backs out; a
+// non-victim that sees the cycle outlive many polls aborts itself as a
+// fallback rather than stalling until the lock timeout.
+func (m *Manager) wait(ctx context.Context, txID uint64, name Name, r *request, wake chan struct{}, blockers []uint64, timeout time.Duration, conversion bool) error {
 	m.waits.Add(1)
-	if m.opts.DetectDeadlock {
-		defer m.clearEdges(txID)
-		if m.addEdgesAndCheck(txID, blockers) {
-			// A cycle through this transaction exists — but edges are
-			// added outside the bucket latch, so it may be an artifact of
-			// a concurrent grant racing the edge registration. Real
-			// deadlocks persist (every participant is blocked); stale
-			// cycles evaporate as soon as the granted party's edges clear.
-			// Double-check after a grace period before declaring a victim.
-			deadlock := false
-			for i := 0; i < 12; i++ {
-				select {
-				case <-wake:
-					m.acquires.Add(1)
-					return nil
-				default:
-				}
-				time.Sleep(time.Millisecond)
-				cycle, victim := m.hasCycleVictim(txID)
-				if !cycle {
-					break // transient artifact; wait normally
-				}
-				if victim {
-					deadlock = true
-					break
-				}
-				// Not the designated victim: give the youngest participant
-				// time to abort (its own detector fires at wait entry). If
-				// the cycle outlives the whole window — the victim already
-				// slept past its check — abort ourselves as a fallback
-				// rather than stalling until the lock timeout.
-				if i == 11 {
-					deadlock = true
-				}
-			}
-			select {
-			case <-wake:
-				m.acquires.Add(1)
-				return nil
-			default:
-			}
-			if deadlock {
-				m.deadlocks.Add(1)
-				m.clearEdges(txID)
-				m.cancelWait(name, r, conversion)
-				return fmt.Errorf("%w: tx %d on %v", ErrDeadlock, txID, name)
-			}
-		}
-	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case <-wake:
-		m.acquires.Add(1)
-		return nil
-	case <-timer.C:
-		// Re-check under the latch: the grant may have raced the timer.
-		b := m.bucketFor(name)
-		b.latch.Lock()
+	if !m.opts.DetectDeadlock {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
 		select {
 		case <-wake:
-			b.latch.Unlock()
 			m.acquires.Add(1)
 			return nil
-		default:
+		case <-ctx.Done():
+			return m.cancelFor(ctx, txID, name, r, wake, conversion)
+		case <-timer.C:
+			if m.finishWait(name, r, wake, conversion) {
+				m.acquires.Add(1)
+				return nil // the grant raced the timer: keep the lock
+			}
+			m.timeouts.Add(1)
+			return fmt.Errorf("%w: tx %d on %v after %v", ErrTimeout, txID, name, timeout)
 		}
-		m.cancelWaitLocked(b, r, conversion)
-		b.latch.Unlock()
-		m.timeouts.Add(1)
-		return fmt.Errorf("%w: tx %d on %v after %v", ErrTimeout, txID, name, timeout)
+	}
+
+	defer m.clearEdges(txID)
+	m.setEdges(txID, blockers)
+	deadline := time.Now().Add(timeout)
+	suspicion := 0
+	interval := detectPoll
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-wake:
+			m.acquires.Add(1)
+			return nil
+		case <-ctx.Done():
+			return m.cancelFor(ctx, txID, name, r, wake, conversion)
+		case <-timer.C:
+		}
+		if !time.Now().Before(deadline) {
+			if m.finishWait(name, r, wake, conversion) {
+				m.acquires.Add(1)
+				return nil // the grant raced the timer: keep the lock
+			}
+			m.timeouts.Add(1)
+			return fmt.Errorf("%w: tx %d on %v after %v", ErrTimeout, txID, name, timeout)
+		}
+		granted, cur := m.currentBlockers(name, r, wake, conversion)
+		if granted {
+			m.acquires.Add(1)
+			return nil
+		}
+		m.setEdges(txID, cur)
+		cycle, victim := m.hasCycleVictim(txID)
+		switch {
+		case !cycle:
+			suspicion = 0
+			if interval < detectPollMax {
+				interval *= 2
+			}
+		case victim && suspicion >= 1, suspicion >= 12:
+			// Confirmed victim — or a cycle that outlived the whole
+			// window because its victim slept past its own check.
+			if m.finishWait(name, r, wake, conversion) {
+				m.acquires.Add(1)
+				return nil // the grant raced the verdict: keep the lock
+			}
+			m.deadlocks.Add(1)
+			return fmt.Errorf("%w: tx %d on %v", ErrDeadlock, txID, name)
+		default:
+			suspicion++
+			interval = detectPoll // confirm quickly
+		}
+		timer.Reset(interval)
 	}
 }
 
-// cancelWait removes a no-longer-wanted waiting request (or reverts a
-// pending conversion).
-func (m *Manager) cancelWait(name Name, r *request, conversion bool) {
+// currentBlockers re-derives, under the bucket latch, the set of
+// transactions r currently waits on — or reports that r has been granted
+// meanwhile.
+func (m *Manager) currentBlockers(name Name, r *request, wake chan struct{}, conversion bool) (granted bool, blockers []uint64) {
 	b := m.bucketFor(name)
 	b.latch.Lock()
+	defer b.latch.Unlock()
+	select {
+	case <-wake:
+		return true, nil
+	default:
+	}
+	if conversion {
+		return false, holdersIncompatibleWith(r.head, r.want, r)
+	}
+	return false, blockersOf(r.head, r, r.want)
+}
+
+// cancelFor resolves a wait whose context fired. A grant that raced the
+// cancellation wins — the lock is kept and nil returned, so the caller's
+// bookkeeping (2PL lock lists) stays consistent; the cancellation will
+// surface at the next blocking point instead.
+func (m *Manager) cancelFor(ctx context.Context, txID uint64, name Name, r *request, wake chan struct{}, conversion bool) error {
+	if m.finishWait(name, r, wake, conversion) {
+		m.acquires.Add(1)
+		return nil
+	}
+	m.cancels.Add(1)
+	return fmt.Errorf("%w: tx %d on %v: %w", ErrCanceled, txID, name, context.Cause(ctx))
+}
+
+// finishWait concludes a wait the caller is abandoning (timeout,
+// cancellation, or a deadlock verdict). The wake channel is re-checked
+// under the bucket latch — grants happen under it, so the check is
+// race-free: either the grant already won (report true, keep the lock) or
+// the request is dequeued / the pending conversion reverted, and waiters
+// behind it are re-examined so the queue stays grantable.
+func (m *Manager) finishWait(name Name, r *request, wake chan struct{}, conversion bool) (granted bool) {
+	b := m.bucketFor(name)
+	b.latch.Lock()
+	select {
+	case <-wake:
+		b.latch.Unlock()
+		return true
+	default:
+	}
 	m.cancelWaitLocked(b, r, conversion)
 	b.latch.Unlock()
+	return false
 }
 
 func (m *Manager) cancelWaitLocked(b *bucket, r *request, conversion bool) {
@@ -545,23 +654,17 @@ func (m *Manager) Holds(txID uint64, name Name) Mode {
 	return NL
 }
 
-// addEdgesAndCheck records txID waiting on blockers and reports whether
-// that creates a cycle in the waits-for graph. The edges remain registered
-// either way (the caller clears them when its wait resolves).
-func (m *Manager) addEdgesAndCheck(txID uint64, blockers []uint64) bool {
+// setEdges replaces txID's outgoing waits-for edges with blockers.
+func (m *Manager) setEdges(txID uint64, blockers []uint64) {
 	m.wfMu.Lock()
-	defer m.wfMu.Unlock()
-	set := m.wf[txID]
-	if set == nil {
-		set = make(map[uint64]struct{})
-		m.wf[txID] = set
-	}
+	set := make(map[uint64]struct{}, len(blockers))
 	for _, b := range blockers {
 		if b != txID {
 			set[b] = struct{}{}
 		}
 	}
-	return m.cycleLocked(txID)
+	m.wf[txID] = set
+	m.wfMu.Unlock()
 }
 
 // hasCycleVictim re-runs cycle detection for txID and reports whether a
@@ -633,6 +736,7 @@ func (m *Manager) Stats() Stats {
 		Waits:       m.waits.Load(),
 		Deadlocks:   m.deadlocks.Load(),
 		Timeouts:    m.timeouts.Load(),
+		Cancels:     m.cancels.Load(),
 		PoolAllocs:  m.pool.allocations(),
 		ELRReleases: m.elrReleases.Load(),
 	}

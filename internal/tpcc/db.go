@@ -1,6 +1,7 @@
 package tpcc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -52,8 +53,8 @@ type DB struct {
 }
 
 // readWarehouse fetches and decodes a warehouse row.
-func (db *DB) readWarehouse(t *tx.Tx, w uint32) (Warehouse, error) {
-	b, ok, err := db.Engine.IndexLookup(t, db.Warehouse, wKey(w))
+func (db *DB) readWarehouse(ctx context.Context, t *tx.Tx, w uint32) (Warehouse, error) {
+	b, ok, err := db.Engine.IndexLookupCtx(ctx, t, db.Warehouse, wKey(w))
 	if err != nil {
 		return Warehouse{}, err
 	}
@@ -63,8 +64,8 @@ func (db *DB) readWarehouse(t *tx.Tx, w uint32) (Warehouse, error) {
 	return decodeWarehouse(b)
 }
 
-func (db *DB) readDistrict(t *tx.Tx, w uint32, d uint8) (District, error) {
-	b, ok, err := db.Engine.IndexLookup(t, db.District, dKey(w, d))
+func (db *DB) readDistrict(ctx context.Context, t *tx.Tx, w uint32, d uint8) (District, error) {
+	b, ok, err := db.Engine.IndexLookupCtx(ctx, t, db.District, dKey(w, d))
 	if err != nil {
 		return District{}, err
 	}
@@ -74,8 +75,8 @@ func (db *DB) readDistrict(t *tx.Tx, w uint32, d uint8) (District, error) {
 	return decodeDistrict(b)
 }
 
-func (db *DB) readCustomer(t *tx.Tx, w uint32, d uint8, c uint32) (Customer, error) {
-	b, ok, err := db.Engine.IndexLookup(t, db.Customer, cKey(w, d, c))
+func (db *DB) readCustomer(ctx context.Context, t *tx.Tx, w uint32, d uint8, c uint32) (Customer, error) {
+	b, ok, err := db.Engine.IndexLookupCtx(ctx, t, db.Customer, cKey(w, d, c))
 	if err != nil {
 		return Customer{}, err
 	}
@@ -85,8 +86,8 @@ func (db *DB) readCustomer(t *tx.Tx, w uint32, d uint8, c uint32) (Customer, err
 	return decodeCustomer(b)
 }
 
-func (db *DB) readItem(t *tx.Tx, i uint32) (Item, bool, error) {
-	b, ok, err := db.Engine.IndexLookup(t, db.Item, iKey(i))
+func (db *DB) readItem(ctx context.Context, t *tx.Tx, i uint32) (Item, bool, error) {
+	b, ok, err := db.Engine.IndexLookupCtx(ctx, t, db.Item, iKey(i))
 	if err != nil || !ok {
 		return Item{}, ok, err
 	}
@@ -94,8 +95,8 @@ func (db *DB) readItem(t *tx.Tx, i uint32) (Item, bool, error) {
 	return it, true, err
 }
 
-func (db *DB) readStock(t *tx.Tx, w, i uint32) (Stock, error) {
-	b, ok, err := db.Engine.IndexLookup(t, db.Stock, sKey(w, i))
+func (db *DB) readStock(ctx context.Context, t *tx.Tx, w, i uint32) (Stock, error) {
+	b, ok, err := db.Engine.IndexLookupCtx(ctx, t, db.Stock, sKey(w, i))
 	if err != nil {
 		return Stock{}, err
 	}
@@ -139,7 +140,7 @@ func Load(engine *core.Engine, scale Scale, seed int64) (*DB, error) {
 	if db.Stock, err = mk(); err != nil {
 		return nil, err
 	}
-	if db.History, err = engine.CreateTable(); err != nil {
+	if db.History, err = engine.CreateTable(t); err != nil {
 		return nil, err
 	}
 	if err := engine.Commit(t); err != nil {

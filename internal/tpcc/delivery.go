@@ -1,9 +1,11 @@
 package tpcc
 
 import (
+	"context"
 	"errors"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/tx"
 )
 
@@ -29,73 +31,26 @@ func GenDelivery(r *Rand, scale Scale, homeW uint32) DeliveryInput {
 
 // Delivery processes the oldest undelivered order in every district of the
 // warehouse: deletes its NEW_ORDER row, stamps the carrier on ORDERS, sums
-// the order's lines, and credits the customer's balance.
-func (db *DB) Delivery(in DeliveryInput) (delivered int, err error) {
-	e := db.Engine
-	t, err := e.Begin()
+// the order's lines, and credits the customer's balance. Deadlock victims
+// are surfaced, not retried — use DeliveryCtx.
+func (db *DB) Delivery(in DeliveryInput) (int, error) {
+	return db.deliveryRun(context.Background(), onceOnly, in)
+}
+
+// DeliveryCtx is Delivery under the engine's managed-transaction runner:
+// deadlock/timeout victims are retried and lock waits observe ctx.
+func (db *DB) DeliveryCtx(ctx context.Context, in DeliveryInput) (int, error) {
+	return db.deliveryRun(ctx, retryPolicy, in)
+}
+
+func (db *DB) deliveryRun(ctx context.Context, policy core.RetryPolicy, in DeliveryInput) (int, error) {
+	var delivered int
+	err := db.Engine.RunCtx(ctx, policy, func(t *tx.Tx) error {
+		n, err := db.delivery(ctx, t, in)
+		delivered = n
+		return err
+	}, nil)
 	if err != nil {
-		return 0, err
-	}
-	fail := func(err error) (int, error) {
-		_ = e.Abort(t)
-		return 0, err
-	}
-	for d := 1; d <= db.Scale.Districts; d++ {
-		d := uint8(d)
-		oid, ok, err := db.oldestNewOrder(t, in.WID, d)
-		if err != nil {
-			return fail(err)
-		}
-		if !ok {
-			continue // district fully delivered
-		}
-		if _, err := e.IndexDelete(t, db.NewOrderTab, oKey(in.WID, d, oid)); err != nil {
-			return fail(err)
-		}
-		// Stamp the carrier on the order.
-		ob, ok, err := e.IndexLookup(t, db.Orders, oKey(in.WID, d, oid))
-		if err != nil || !ok {
-			return fail(errors.Join(err, errors.New("tpcc: NEW_ORDER without ORDERS row")))
-		}
-		ord, err := decodeOrder(ob)
-		if err != nil {
-			return fail(err)
-		}
-		ord.CarrierID = in.CarrierID
-		if err := e.IndexUpdate(t, db.Orders, oKey(in.WID, d, oid), ord.encode()); err != nil {
-			return fail(err)
-		}
-		// Sum the order lines and stamp delivery dates.
-		var total float64
-		now := time.Now().UnixNano()
-		for l := uint8(1); l <= ord.OLCount; l++ {
-			lb, ok, err := e.IndexLookup(t, db.OrderLine, olKey(in.WID, d, oid, l))
-			if err != nil {
-				return fail(err)
-			}
-			if !ok {
-				continue // rolled-back line counts were conservative
-			}
-			ol, err := decodeOrderLine(lb)
-			if err != nil {
-				return fail(err)
-			}
-			total += ol.Amount
-			_ = now // delivery date is carried in the order row's carrier stamp
-		}
-		// Credit the customer.
-		cust, err := db.readCustomer(t, in.WID, d, ord.CID)
-		if err != nil {
-			return fail(err)
-		}
-		cust.Balance += total
-		cust.DeliveryCt++
-		if err := e.IndexUpdate(t, db.Customer, cKey(in.WID, d, ord.CID), cust.encode()); err != nil {
-			return fail(err)
-		}
-		delivered++
-	}
-	if err := e.Commit(t); err != nil {
 		return 0, err
 	}
 	if delivered == 0 {
@@ -104,14 +59,75 @@ func (db *DB) Delivery(in DeliveryInput) (delivered int, err error) {
 	return delivered, nil
 }
 
+// delivery is the transaction body, run inside a managed transaction.
+func (db *DB) delivery(ctx context.Context, t *tx.Tx, in DeliveryInput) (delivered int, err error) {
+	e := db.Engine
+	for d := 1; d <= db.Scale.Districts; d++ {
+		d := uint8(d)
+		oid, ok, err := db.oldestNewOrder(ctx, t, in.WID, d)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			continue // district fully delivered
+		}
+		if _, err := e.IndexDeleteCtx(ctx, t, db.NewOrderTab, oKey(in.WID, d, oid)); err != nil {
+			return 0, err
+		}
+		// Stamp the carrier on the order.
+		ob, ok, err := e.IndexLookupCtx(ctx, t, db.Orders, oKey(in.WID, d, oid))
+		if err != nil || !ok {
+			return 0, errors.Join(err, errors.New("tpcc: NEW_ORDER without ORDERS row"))
+		}
+		ord, err := decodeOrder(ob)
+		if err != nil {
+			return 0, err
+		}
+		ord.CarrierID = in.CarrierID
+		if err := e.IndexUpdateCtx(ctx, t, db.Orders, oKey(in.WID, d, oid), ord.encode()); err != nil {
+			return 0, err
+		}
+		// Sum the order lines and stamp delivery dates.
+		var total float64
+		now := time.Now().UnixNano()
+		for l := uint8(1); l <= ord.OLCount; l++ {
+			lb, ok, err := e.IndexLookupCtx(ctx, t, db.OrderLine, olKey(in.WID, d, oid, l))
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				continue // rolled-back line counts were conservative
+			}
+			ol, err := decodeOrderLine(lb)
+			if err != nil {
+				return 0, err
+			}
+			total += ol.Amount
+			_ = now // delivery date is carried in the order row's carrier stamp
+		}
+		// Credit the customer.
+		cust, err := db.readCustomer(ctx, t, in.WID, d, ord.CID)
+		if err != nil {
+			return 0, err
+		}
+		cust.Balance += total
+		cust.DeliveryCt++
+		if err := e.IndexUpdateCtx(ctx, t, db.Customer, cKey(in.WID, d, ord.CID), cust.encode()); err != nil {
+			return 0, err
+		}
+		delivered++
+	}
+	return delivered, nil
+}
+
 // oldestNewOrder returns the smallest order id with a NEW_ORDER row in
 // (w, d).
-func (db *DB) oldestNewOrder(t *tx.Tx, w uint32, d uint8) (uint32, bool, error) {
+func (db *DB) oldestNewOrder(ctx context.Context, t *tx.Tx, w uint32, d uint8) (uint32, bool, error) {
 	var oid uint32
 	found := false
 	from := oKey(w, d, 0)
 	to := oKey(w, d+1, 0) // districts are small; d+1 never wraps in practice
-	err := db.Engine.IndexScan(t, db.NewOrderTab, from, to, func(k, v []byte) bool {
+	err := db.Engine.IndexScanCtx(ctx, t, db.NewOrderTab, from, to, func(k, v []byte) bool {
 		row, err := decodeNewOrderRow(v)
 		if err != nil {
 			return false
@@ -148,28 +164,40 @@ type OrderStatusResult struct {
 }
 
 // OrderStatus reports a customer's balance and their most recent order
-// with its lines. Read-only: exercises index probes and backward-ish range
-// location without any lock-manager writes.
+// with its lines. Read-only: it commits through CommitReadOnly, which
+// never waits on log durability.
 func (db *DB) OrderStatus(in OrderStatusInput) (OrderStatusResult, error) {
-	e := db.Engine
-	t, err := e.Begin()
-	if err != nil {
-		return OrderStatusResult{}, err
-	}
-	fail := func(err error) (OrderStatusResult, error) {
-		_ = e.Abort(t)
-		return OrderStatusResult{}, err
-	}
+	return db.OrderStatusCtx(context.Background(), in)
+}
+
+// OrderStatusCtx is OrderStatus with managed retry and ctx-aware waits.
+func (db *DB) OrderStatusCtx(ctx context.Context, in OrderStatusInput) (OrderStatusResult, error) {
 	var res OrderStatusResult
-	res.Customer, err = db.readCustomer(t, in.WID, in.DID, in.CID)
+	err := db.Engine.RunCtx(ctx, retryPolicy, func(t *tx.Tx) error {
+		var err error
+		res, err = db.orderStatus(ctx, t, in)
+		return err
+	}, db.Engine.CommitReadOnly)
 	if err != nil {
-		return fail(err)
+		return OrderStatusResult{}, err
+	}
+	return res, nil
+}
+
+// orderStatus is the read-only transaction body.
+func (db *DB) orderStatus(ctx context.Context, t *tx.Tx, in OrderStatusInput) (OrderStatusResult, error) {
+	e := db.Engine
+	var res OrderStatusResult
+	var err error
+	res.Customer, err = db.readCustomer(ctx, t, in.WID, in.DID, in.CID)
+	if err != nil {
+		return OrderStatusResult{}, err
 	}
 	// Find the customer's most recent order: scan the district's orders
 	// and keep the last match (order ids ascend with time).
 	from := oKey(in.WID, in.DID, 0)
 	to := oKey(in.WID, in.DID+1, 0)
-	err = e.IndexScan(t, db.Orders, from, to, func(k, v []byte) bool {
+	err = e.IndexScanCtx(ctx, t, db.Orders, from, to, func(k, v []byte) bool {
 		ord, err := decodeOrder(v)
 		if err != nil {
 			return false
@@ -181,26 +209,23 @@ func (db *DB) OrderStatus(in OrderStatusInput) (OrderStatusResult, error) {
 		return true
 	})
 	if err != nil {
-		return fail(err)
+		return OrderStatusResult{}, err
 	}
 	if res.HasOrder {
 		for l := uint8(1); l <= res.Order.OLCount; l++ {
-			lb, ok, err := e.IndexLookup(t, db.OrderLine, olKey(in.WID, in.DID, res.Order.ID, l))
+			lb, ok, err := e.IndexLookupCtx(ctx, t, db.OrderLine, olKey(in.WID, in.DID, res.Order.ID, l))
 			if err != nil {
-				return fail(err)
+				return OrderStatusResult{}, err
 			}
 			if !ok {
 				continue
 			}
 			ol, err := decodeOrderLine(lb)
 			if err != nil {
-				return fail(err)
+				return OrderStatusResult{}, err
 			}
 			res.Lines = append(res.Lines, ol)
 		}
-	}
-	if err := e.Commit(t); err != nil {
-		return OrderStatusResult{}, err
 	}
 	return res, nil
 }
@@ -223,20 +248,31 @@ func GenStockLevel(r *Rand, scale Scale, homeW uint32) StockLevelInput {
 
 // StockLevel counts distinct items from the district's last 20 orders
 // whose stock is below the threshold. Read-only; the heaviest scanner of
-// the mix.
-func (db *DB) StockLevel(in StockLevelInput) (low int, err error) {
+// the mix. Commits through CommitReadOnly (no durability wait).
+func (db *DB) StockLevel(in StockLevelInput) (int, error) {
+	return db.StockLevelCtx(context.Background(), in)
+}
+
+// StockLevelCtx is StockLevel with managed retry and ctx-aware waits.
+func (db *DB) StockLevelCtx(ctx context.Context, in StockLevelInput) (int, error) {
+	var low int
+	err := db.Engine.RunCtx(ctx, retryPolicy, func(t *tx.Tx) error {
+		var err error
+		low, err = db.stockLevel(ctx, t, in)
+		return err
+	}, db.Engine.CommitReadOnly)
+	if err != nil {
+		return 0, err
+	}
+	return low, nil
+}
+
+// stockLevel is the read-only transaction body.
+func (db *DB) stockLevel(ctx context.Context, t *tx.Tx, in StockLevelInput) (low int, err error) {
 	e := db.Engine
-	t, err := e.Begin()
+	dist, err := db.readDistrict(ctx, t, in.WID, in.DID)
 	if err != nil {
 		return 0, err
-	}
-	fail := func(err error) (int, error) {
-		_ = e.Abort(t)
-		return 0, err
-	}
-	dist, err := db.readDistrict(t, in.WID, in.DID)
-	if err != nil {
-		return fail(err)
 	}
 	firstOID := uint32(1)
 	if dist.NextOID > 20 {
@@ -246,7 +282,7 @@ func (db *DB) StockLevel(in StockLevelInput) (low int, err error) {
 	items := map[uint32]struct{}{}
 	from := olKey(in.WID, in.DID, firstOID, 0)
 	to := oKey(in.WID, in.DID+1, 0)
-	err = e.IndexScan(t, db.OrderLine, from, to, func(k, v []byte) bool {
+	err = e.IndexScanCtx(ctx, t, db.OrderLine, from, to, func(k, v []byte) bool {
 		ol, err := decodeOrderLine(v)
 		if err != nil {
 			return false
@@ -255,19 +291,16 @@ func (db *DB) StockLevel(in StockLevelInput) (low int, err error) {
 		return true
 	})
 	if err != nil {
-		return fail(err)
+		return 0, err
 	}
 	for item := range items {
-		st, err := db.readStock(t, in.WID, item)
+		st, err := db.readStock(ctx, t, in.WID, item)
 		if err != nil {
-			return fail(err)
+			return 0, err
 		}
 		if st.Quantity < in.Threshold {
 			low++
 		}
-	}
-	if err := e.Commit(t); err != nil {
-		return 0, err
 	}
 	return low, nil
 }

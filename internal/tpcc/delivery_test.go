@@ -1,6 +1,7 @@
 package tpcc
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -49,7 +50,7 @@ func TestDeliveryProcessesOldestOrder(t *testing.T) {
 		t.Fatalf("carrier = %d, want 7", ord.CarrierID)
 	}
 	// Customer 2's balance was credited with the order total.
-	cust, err := db.readCustomer(tx1, 1, 1, 2)
+	cust, err := db.readCustomer(context.Background(), tx1, 1, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestFullMixConsistency(t *testing.T) {
 	}
 	sumNext := 0
 	for d := 1; d <= db.Scale.Districts; d++ {
-		dist, err := db.readDistrict(tx1, 1, uint8(d))
+		dist, err := db.readDistrict(context.Background(), tx1, 1, uint8(d))
 		if err != nil {
 			t.Fatal(err)
 		}

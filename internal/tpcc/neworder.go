@@ -1,7 +1,10 @@
 package tpcc
 
 import (
+	"context"
 	"time"
+
+	"repro/internal/tx"
 )
 
 // NewOrderInput parameterizes one New Order transaction.
@@ -57,33 +60,43 @@ func GenNewOrder(r *Rand, scale Scale, homeW uint32) NewOrderInput {
 // insertions) and the lock manager"). It commits on success; the 1%
 // intentional rollback returns ErrUserAbort after aborting.
 func (db *DB) NewOrder(in NewOrderInput) error {
-	e := db.Engine
-	t, err := e.Begin()
-	if err != nil {
-		return err
-	}
-	fail := func(err error) error {
-		_ = e.Abort(t)
-		return err
-	}
+	return db.Engine.RunCtx(context.Background(), onceOnly, func(t *tx.Tx) error {
+		return db.newOrder(context.Background(), t, in)
+	}, nil)
+}
 
+// NewOrderCtx runs NewOrder under the engine's managed-transaction
+// runner: deadlock victims and lock timeouts are aborted and retried
+// with capped exponential backoff, every lock wait observes ctx, and
+// ErrUserAbort (not retryable) passes through as-is.
+func (db *DB) NewOrderCtx(ctx context.Context, in NewOrderInput) error {
+	return db.Engine.RunCtx(ctx, retryPolicy, func(t *tx.Tx) error {
+		return db.newOrder(ctx, t, in)
+	}, nil)
+}
+
+// newOrder is the transaction body, run inside a managed transaction
+// (begin/abort/commit and deadlock retry belong to the runner; returning
+// ErrUserAbort makes the runner abort without retrying).
+func (db *DB) newOrder(ctx context.Context, t *tx.Tx, in NewOrderInput) error {
+	e := db.Engine
 	// Warehouse tax (read-only).
-	if _, err := db.readWarehouse(t, in.WID); err != nil {
-		return fail(err)
+	if _, err := db.readWarehouse(ctx, t, in.WID); err != nil {
+		return err
 	}
 	// Customer discount/credit (read-only).
-	if _, err := db.readCustomer(t, in.WID, in.DID, in.CID); err != nil {
-		return fail(err)
+	if _, err := db.readCustomer(ctx, t, in.WID, in.DID, in.CID); err != nil {
+		return err
 	}
 	// District: allocate the order id (hot per-district counter).
-	dist, err := db.readDistrict(t, in.WID, in.DID)
+	dist, err := db.readDistrict(ctx, t, in.WID, in.DID)
 	if err != nil {
-		return fail(err)
+		return err
 	}
 	oid := dist.NextOID
 	dist.NextOID++
-	if err := e.IndexUpdate(t, db.District, dKey(in.WID, in.DID), dist.encode()); err != nil {
-		return fail(err)
+	if err := e.IndexUpdateCtx(ctx, t, db.District, dKey(in.WID, in.DID), dist.encode()); err != nil {
+		return err
 	}
 
 	// ORDERS and NEW_ORDER rows.
@@ -98,12 +111,12 @@ func (db *DB) NewOrder(in NewOrderInput) error {
 		EntryDate: time.Now().UnixNano(),
 		OLCount:   uint8(len(in.Lines)), AllLocal: allLocal,
 	}
-	if err := e.IndexInsert(t, db.Orders, oKey(in.WID, in.DID, oid), ord.encode()); err != nil {
-		return fail(err)
+	if err := e.IndexInsertCtx(ctx, t, db.Orders, oKey(in.WID, in.DID, oid), ord.encode()); err != nil {
+		return err
 	}
 	no := NewOrderRow{WID: in.WID, DID: in.DID, OID: oid}
-	if err := e.IndexInsert(t, db.NewOrderTab, oKey(in.WID, in.DID, oid), no.encode()); err != nil {
-		return fail(err)
+	if err := e.IndexInsertCtx(ctx, t, db.NewOrderTab, oKey(in.WID, in.DID, oid), no.encode()); err != nil {
+		return err
 	}
 
 	// Lines: item probe (ITEM contention), stock update (STOCK
@@ -111,20 +124,18 @@ func (db *DB) NewOrder(in NewOrderInput) error {
 	for i, l := range in.Lines {
 		if in.Rollback && i == len(in.Lines)-1 {
 			// Unused item id: the spec's intentional rollback.
-			_ = e.Abort(t)
 			return ErrUserAbort
 		}
-		item, ok, err := db.readItem(t, l.ItemID)
+		item, ok, err := db.readItem(ctx, t, l.ItemID)
 		if err != nil {
-			return fail(err)
+			return err
 		}
 		if !ok {
-			_ = e.Abort(t)
 			return ErrUserAbort
 		}
-		st, err := db.readStock(t, l.SupplyWID, l.ItemID)
+		st, err := db.readStock(ctx, t, l.SupplyWID, l.ItemID)
 		if err != nil {
-			return fail(err)
+			return err
 		}
 		if st.Quantity >= int32(l.Quantity)+10 {
 			st.Quantity -= int32(l.Quantity)
@@ -136,8 +147,8 @@ func (db *DB) NewOrder(in NewOrderInput) error {
 		if l.SupplyWID != in.WID {
 			st.RemoteCnt++
 		}
-		if err := e.IndexUpdate(t, db.Stock, sKey(l.SupplyWID, l.ItemID), st.encode()); err != nil {
-			return fail(err)
+		if err := e.IndexUpdateCtx(ctx, t, db.Stock, sKey(l.SupplyWID, l.ItemID), st.encode()); err != nil {
+			return err
 		}
 		ol := OrderLine{
 			WID: in.WID, DID: in.DID, OID: oid, Number: uint8(i + 1),
@@ -145,24 +156,18 @@ func (db *DB) NewOrder(in NewOrderInput) error {
 			Amount:   float64(l.Quantity) * item.Price,
 			DistInfo: st.DistInfo,
 		}
-		if err := e.IndexInsert(t, db.OrderLine, olKey(in.WID, in.DID, oid, uint8(i+1)), ol.encode()); err != nil {
-			return fail(err)
-		}
-	}
-	return e.Commit(t)
-}
-
-// NewOrderWithRetry runs NewOrder, retrying deadlock/timeout victims.
-// ErrUserAbort is a success from the harness's point of view and is
-// returned as-is.
-func (db *DB) NewOrderWithRetry(in NewOrderInput, maxRetries int) error {
-	var err error
-	for i := 0; i <= maxRetries; i++ {
-		err = db.NewOrder(in)
-		if err == nil || !retryable(err) {
+		if err := e.IndexInsertCtx(ctx, t, db.OrderLine, olKey(in.WID, in.DID, oid, uint8(i+1)), ol.encode()); err != nil {
 			return err
 		}
-		retryBackoff(i)
 	}
-	return err
+	return nil
+}
+
+// NewOrderWithRetry is NewOrderCtx with an explicit retry budget, kept
+// for callers that count in "retries". ErrUserAbort is a success from
+// the harness's point of view and is returned as-is, without retry.
+func (db *DB) NewOrderWithRetry(in NewOrderInput, maxRetries int) error {
+	return db.Engine.RunCtx(context.Background(), attempts(maxRetries), func(t *tx.Tx) error {
+		return db.newOrder(context.Background(), t, in)
+	}, nil)
 }

@@ -1,27 +1,34 @@
 package tpcc
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"time"
 
-	"repro/internal/lock"
+	"repro/internal/core"
+	"repro/internal/tx"
 )
 
 // ErrUserAbort marks New Order's intentional 1% rollback.
 var ErrUserAbort = errors.New("tpcc: user-initiated rollback")
 
-// retryable reports whether err should be retried after an abort
-// (deadlock victim or lock timeout).
-func retryable(err error) bool {
-	return errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrTimeout)
-}
+// retryPolicy is the managed-retry policy for the *Ctx transaction
+// entrypoints: the engine aborts deadlock/timeout victims and re-runs
+// the body with capped exponential backoff. TPC-C transactions are
+// short (tens of µs of work), so the cap is kept tight — the default
+// 50ms cap would oversleep hot-row victims by two orders of magnitude.
+var retryPolicy = core.RetryPolicy{BaseBackoff: 500 * time.Microsecond, MaxBackoff: 16 * time.Millisecond}
 
-// retryBackoff sleeps a randomized, linearly growing interval between
-// deadlock retries so repeated victims do not re-collide in lockstep.
-func retryBackoff(attempt int) {
-	time.Sleep(time.Duration(rand.Intn(1000)+500) * time.Microsecond * time.Duration(attempt+1))
+// onceOnly runs a managed transaction exactly once — the plain
+// entrypoints surface deadlock victims to the caller.
+var onceOnly = core.RetryPolicy{MaxAttempts: 1}
+
+// attempts converts a legacy "retries" count to a RetryPolicy.
+func attempts(maxRetries int) core.RetryPolicy {
+	p := retryPolicy
+	p.MaxAttempts = maxRetries + 1
+	return p
 }
 
 // PaymentInput parameterizes one Payment transaction.
@@ -62,42 +69,51 @@ func GenPayment(r *Rand, scale Scale, homeW uint32) PaymentInput {
 // Payment executes one TPC-C Payment transaction (§3.2: "updates the
 // customer's balance and corresponding district and warehouse sales
 // statistics ... One of the updates made by Payment is to a contended
-// table, WAREHOUSE"). It commits on success and aborts on error.
+// table, WAREHOUSE"). It commits on success and aborts on error; a
+// deadlock victim is surfaced, not retried — use PaymentCtx.
 func (db *DB) Payment(in PaymentInput) error {
-	e := db.Engine
-	t, err := e.Begin()
-	if err != nil {
-		return err
-	}
-	fail := func(err error) error {
-		_ = e.Abort(t)
-		return err
-	}
+	return db.Engine.RunCtx(context.Background(), onceOnly, func(t *tx.Tx) error {
+		return db.payment(context.Background(), t, in)
+	}, nil)
+}
 
+// PaymentCtx runs Payment under the engine's managed-transaction runner:
+// deadlock victims and lock timeouts are aborted and retried with capped
+// exponential backoff, and every lock wait observes ctx.
+func (db *DB) PaymentCtx(ctx context.Context, in PaymentInput) error {
+	return db.Engine.RunCtx(ctx, retryPolicy, func(t *tx.Tx) error {
+		return db.payment(ctx, t, in)
+	}, nil)
+}
+
+// payment is the transaction body, run inside a managed transaction
+// (begin/abort/commit and deadlock retry belong to the runner).
+func (db *DB) payment(ctx context.Context, t *tx.Tx, in PaymentInput) error {
+	e := db.Engine
 	// Warehouse: read + update YTD — the hot row.
-	wh, err := db.readWarehouse(t, in.WID)
+	wh, err := db.readWarehouse(ctx, t, in.WID)
 	if err != nil {
-		return fail(err)
+		return err
 	}
 	wh.YTD += in.Amount
-	if err := e.IndexUpdate(t, db.Warehouse, wKey(in.WID), wh.encode()); err != nil {
-		return fail(err)
+	if err := e.IndexUpdateCtx(ctx, t, db.Warehouse, wKey(in.WID), wh.encode()); err != nil {
+		return err
 	}
 
 	// District: read + update YTD.
-	dist, err := db.readDistrict(t, in.WID, in.DID)
+	dist, err := db.readDistrict(ctx, t, in.WID, in.DID)
 	if err != nil {
-		return fail(err)
+		return err
 	}
 	dist.YTD += in.Amount
-	if err := e.IndexUpdate(t, db.District, dKey(in.WID, in.DID), dist.encode()); err != nil {
-		return fail(err)
+	if err := e.IndexUpdateCtx(ctx, t, db.District, dKey(in.WID, in.DID), dist.encode()); err != nil {
+		return err
 	}
 
 	// Customer: read + update balance/payment stats.
-	cust, err := db.readCustomer(t, in.CWID, in.CDID, in.CID)
+	cust, err := db.readCustomer(ctx, t, in.CWID, in.CDID, in.CID)
 	if err != nil {
-		return fail(err)
+		return err
 	}
 	cust.Balance -= in.Amount
 	cust.YTDPayment += in.Amount
@@ -109,8 +125,8 @@ func (db *DB) Payment(in PaymentInput) error {
 			cust.Data = cust.Data[:500]
 		}
 	}
-	if err := e.IndexUpdate(t, db.Customer, cKey(in.CWID, in.CDID, in.CID), cust.encode()); err != nil {
-		return fail(err)
+	if err := e.IndexUpdateCtx(ctx, t, db.Customer, cKey(in.CWID, in.CDID, in.CID), cust.encode()); err != nil {
+		return err
 	}
 
 	// History: append.
@@ -120,22 +136,15 @@ func (db *DB) Payment(in PaymentInput) error {
 		Date: time.Now().UnixNano(), Amount: in.Amount,
 		Data: wh.Name + "    " + dist.Name,
 	}
-	if _, err := e.HeapInsert(t, db.History, h.encode()); err != nil {
-		return fail(err)
-	}
-	return e.Commit(t)
+	_, err = e.HeapInsertCtx(ctx, t, db.History, h.encode())
+	return err
 }
 
-// PaymentWithRetry runs Payment, retrying deadlock/timeout victims with
-// randomized backoff.
+// PaymentWithRetry is PaymentCtx with an explicit retry budget, kept for
+// callers that count in "retries"; the hand-rolled loop it once carried
+// now lives in the engine's managed runner.
 func (db *DB) PaymentWithRetry(in PaymentInput, maxRetries int) error {
-	var err error
-	for i := 0; i <= maxRetries; i++ {
-		err = db.Payment(in)
-		if err == nil || !retryable(err) {
-			return err
-		}
-		retryBackoff(i)
-	}
-	return err
+	return db.Engine.RunCtx(context.Background(), attempts(maxRetries), func(t *tx.Tx) error {
+		return db.payment(context.Background(), t, in)
+	}, nil)
 }

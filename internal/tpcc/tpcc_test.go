@@ -1,6 +1,7 @@
 package tpcc
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -149,7 +150,7 @@ func TestLoadPopulatesAllTables(t *testing.T) {
 		t.Fatal(err)
 	}
 	for w := uint32(1); w <= 2; w++ {
-		wh, err := db.readWarehouse(tx1, w)
+		wh, err := db.readWarehouse(context.Background(), tx1, w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,7 +158,7 @@ func TestLoadPopulatesAllTables(t *testing.T) {
 			t.Fatalf("warehouse %d decoded id %d", w, wh.ID)
 		}
 		for d := uint8(1); d <= 2; d++ {
-			dist, err := db.readDistrict(tx1, w, d)
+			dist, err := db.readDistrict(context.Background(), tx1, w, d)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -165,19 +166,19 @@ func TestLoadPopulatesAllTables(t *testing.T) {
 				t.Fatalf("district NextOID = %d", dist.NextOID)
 			}
 			for c := uint32(1); c <= 10; c++ {
-				if _, err := db.readCustomer(tx1, w, d, c); err != nil {
+				if _, err := db.readCustomer(context.Background(), tx1, w, d, c); err != nil {
 					t.Fatal(err)
 				}
 			}
 		}
 		for i := uint32(1); i <= 50; i++ {
-			if _, err := db.readStock(tx1, w, i); err != nil {
+			if _, err := db.readStock(context.Background(), tx1, w, i); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
 	for i := uint32(1); i <= 50; i++ {
-		if _, ok, err := db.readItem(tx1, i); err != nil || !ok {
+		if _, ok, err := db.readItem(context.Background(), tx1, i); err != nil || !ok {
 			t.Fatalf("item %d: %v %v", i, ok, err)
 		}
 	}
@@ -193,18 +194,18 @@ func TestPaymentUpdatesBalances(t *testing.T) {
 		t.Fatal(err)
 	}
 	tx1, _ := db.Engine.Begin()
-	wh, err := db.readWarehouse(tx1, 1)
+	wh, err := db.readWarehouse(context.Background(), tx1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if wh.YTD != 100 {
 		t.Errorf("warehouse YTD = %v, want 100", wh.YTD)
 	}
-	dist, _ := db.readDistrict(tx1, 1, 1)
+	dist, _ := db.readDistrict(context.Background(), tx1, 1, 1)
 	if dist.YTD != 100 {
 		t.Errorf("district YTD = %v", dist.YTD)
 	}
-	cust, _ := db.readCustomer(tx1, 1, 1, 3)
+	cust, _ := db.readCustomer(context.Background(), tx1, 1, 1, 3)
 	if cust.Balance != -110 {
 		t.Errorf("customer balance = %v, want -110", cust.Balance)
 	}
@@ -248,7 +249,7 @@ func TestNewOrderCreatesRows(t *testing.T) {
 		t.Fatal(err)
 	}
 	tx1, _ := db.Engine.Begin()
-	dist, err := db.readDistrict(tx1, 1, 1)
+	dist, err := db.readDistrict(context.Background(), tx1, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestNewOrderCreatesRows(t *testing.T) {
 		}
 	}
 	// Stock was decremented.
-	st, err := db.readStock(tx1, 1, 1)
+	st, err := db.readStock(context.Background(), tx1, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestNewOrderRollbackLeavesNoTrace(t *testing.T) {
 		t.Fatalf("rollback order err = %v", err)
 	}
 	tx1, _ := db.Engine.Begin()
-	dist, err := db.readDistrict(tx1, 1, 1)
+	dist, err := db.readDistrict(context.Background(), tx1, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestNewOrderRollbackLeavesNoTrace(t *testing.T) {
 	if _, ok, _ := db.Engine.IndexLookup(tx1, db.Orders, oKey(1, 1, 1)); ok {
 		t.Fatal("rolled-back order row visible")
 	}
-	st, err := db.readStock(tx1, 1, 1)
+	st, err := db.readStock(context.Background(), tx1, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,13 +384,13 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 	tx1, _ := db.Engine.Begin()
 	var wYTD, dYTD float64
 	for w := uint32(1); w <= 2; w++ {
-		wh, err := db.readWarehouse(tx1, w)
+		wh, err := db.readWarehouse(context.Background(), tx1, w)
 		if err != nil {
 			t.Fatal(err)
 		}
 		wYTD += wh.YTD
 		for d := uint8(1); d <= 2; d++ {
-			dist, err := db.readDistrict(tx1, w, d)
+			dist, err := db.readDistrict(context.Background(), tx1, w, d)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -71,21 +71,45 @@ func NewFlushDaemon(mgr Manager, opts DaemonOptions) *FlushDaemon {
 }
 
 // Harden asks the daemon to make every record with LSN < upTo durable and
-// returns a channel that fires nil once it is (or ErrLogClosed if the log
-// closes first). The flush itself is batched with other callers'.
+// returns a channel that fires exactly once: nil when durable, or
+// ErrLogClosed when the daemon can no longer guarantee it. The flush
+// itself is batched with other callers'.
 func (d *FlushDaemon) Harden(upTo LSN) <-chan error {
 	ch := d.mgr.Subscribe(upTo)
 	if d.closed.Load() {
-		// Subscribe already resolved it (durable or failed); no flush to
-		// schedule.
-		return ch
+		// Usually the subscription resolved synchronously (durable, or
+		// the manager failed it at close). But after Kill — crash
+		// semantics without a manager close — it can still be pending
+		// with nobody left to ever flush; resolve it as closed rather
+		// than hand back a channel that never fires.
+		return resolveOrClosed(ch)
 	}
 	d.requests.Add(1)
 	select {
 	case d.req <- upTo:
 	case <-d.stop:
+		// Lost the race with Close/Kill: the target never entered the
+		// queue, so the final drain won't cover it either.
+		return resolveOrClosed(ch)
 	}
 	return ch
+}
+
+// resolveOrClosed returns ch if it already holds a verdict, else a
+// channel that fails immediately with ErrLogClosed (the daemon is gone;
+// durability cannot be promised — the transaction stays in doubt for the
+// caller, exactly as a crash would leave it).
+func resolveOrClosed(ch <-chan error) <-chan error {
+	select {
+	case err := <-ch:
+		out := make(chan error, 1)
+		out <- err
+		return out
+	default:
+		out := make(chan error, 1)
+		out <- ErrLogClosed
+		return out
+	}
 }
 
 // run is the daemon loop: gather a batch, flush its maximum, repeat.

@@ -7,16 +7,25 @@
 // original (bottlenecked) and optimized (scalable) form, selectable per
 // the paper's optimization stages.
 //
-// Quick start:
+// Quick start (managed transactions — deadlock retry is the engine's job):
 //
 //	db, err := shoremt.Open(shoremt.Options{})
-//	tx, _ := db.Begin()
-//	table, _ := db.CreateTable(tx)
-//	rid, _ := table.Insert(tx, []byte("hello"))
-//	_ = tx.Commit()
+//	var rid shoremt.RID
+//	err = db.Update(ctx, func(tx *shoremt.Tx) error {
+//		table, err := db.CreateTable(tx)
+//		if err != nil {
+//			return err
+//		}
+//		rid, err = table.Insert(tx, []byte("hello"))
+//		return err
+//	})
+//
+// The manual Begin/Commit path remains for callers that need explicit
+// lifecycle control; see DB.Begin and the README's API tour.
 package shoremt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -24,7 +33,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/disk"
-	"repro/internal/lock"
 	"repro/internal/page"
 	"repro/internal/tx"
 	"repro/internal/wal"
@@ -32,7 +40,8 @@ import (
 
 // Stage selects the optimization level of the engine, mirroring Figure 7.
 // The zero value means "the finished Shore-MT" so that Options{} gives the
-// scalable engine by default.
+// scalable engine by default. Every stage exposes the same public API —
+// managed Update/View transactions included; see the README's "API tour".
 type Stage int
 
 // Optimization stages (see Figure 7 and §7 of the paper, plus the
@@ -83,7 +92,9 @@ func Stages() []Stage {
 	return []Stage{StageBaseline, StageBpool1, StageCaching, StageLog, StageLockMgr, StageBpool2, StageFinal, StagePipeline}
 }
 
-// Durability selects what Tx.Commit guarantees when it returns.
+// Durability selects what Tx.Commit guarantees when it returns. (See the
+// README's "API tour" for how Durability composes with Update/View and
+// contexts: View never waits for durability regardless of this setting.)
 type Durability int
 
 const (
@@ -101,6 +112,11 @@ const (
 
 // RID identifies a heap record.
 type RID = page.RID
+
+// RetryPolicy governs DB.Update's (and DB.View's) automatic retry of
+// deadlock victims and lock timeouts: capped exponential backoff with
+// jitter. The zero value means 10 attempts, 250µs base, 50ms cap.
+type RetryPolicy = core.RetryPolicy
 
 // Options configures Open.
 type Options struct {
@@ -120,20 +136,13 @@ type Options struct {
 	CleanerInterval time.Duration
 	// Durability selects Commit's blocking behavior (see Durability).
 	Durability Durability
+	// Retry governs Update/View's automatic deadlock/timeout retry; the
+	// zero value selects the defaults (see RetryPolicy).
+	Retry RetryPolicy
 	// Advanced overrides the full component configuration; when non-nil it
 	// takes precedence over Stage.
 	Advanced *core.Config
 }
-
-// Sentinel errors surfaced by the public API.
-var (
-	ErrDeadlock  = lock.ErrDeadlock
-	ErrTimeout   = lock.ErrTimeout
-	ErrNoRecord  = core.ErrNoRecord
-	ErrTxDone    = errors.New("shoremt: transaction already finished")
-	ErrDuplicate = errors.New("shoremt: duplicate key")
-	ErrNotFound  = errors.New("shoremt: key not found")
-)
 
 // DB is an open database.
 type DB struct {
@@ -141,6 +150,7 @@ type DB struct {
 	vol        disk.Volume
 	logStore   wal.Store
 	durability Durability
+	retry      RetryPolicy
 }
 
 // Open creates or reopens a database. If the log is non-empty, ARIES
@@ -188,7 +198,7 @@ func Open(opts Options) (*DB, error) {
 		logStore.Close()
 		return nil, err
 	}
-	return &DB{engine: engine, vol: vol, logStore: logStore, durability: opts.Durability}, nil
+	return &DB{engine: engine, vol: vol, logStore: logStore, durability: opts.Durability, retry: opts.Retry}, nil
 }
 
 // Close flushes and closes the database. Every resource is closed even
@@ -207,37 +217,86 @@ func (db *DB) Stats() core.EngineStats { return db.engine.Stats() }
 // (benchmarks, stage experiments).
 func (db *DB) Engine() *core.Engine { return db.engine }
 
-// Tx is an open transaction. A Tx must be used by one goroutine.
+// Tx is an open transaction. A Tx must be used by one goroutine. Every
+// transaction is bound to a context at Begin/BeginCtx/Update/View time:
+// all of its lock waits and its commit's durability wait observe that
+// context, and cancellation surfaces as ErrCanceled.
 type Tx struct {
-	db    *DB
-	inner *tx.Tx
-	done  bool
+	db       *DB
+	inner    *tx.Tx
+	ctx      context.Context
+	readonly bool // under View: write methods return ErrReadOnly
+	managed  bool // under Update/View: Commit/Abort return ErrManaged
+	done     bool
 }
 
-// Begin starts a transaction.
-func (db *DB) Begin() (*Tx, error) {
-	inner, err := db.engine.Begin()
+// Begin starts a transaction bound to context.Background. Prefer BeginCtx
+// (or the managed Update/View) in code that can be cancelled.
+func (db *DB) Begin() (*Tx, error) { return db.BeginCtx(context.Background()) }
+
+// BeginCtx starts a transaction bound to ctx: every blocking point of the
+// transaction — lock waits in reads and writes, the commit's durability
+// wait — unblocks promptly when ctx is cancelled or its deadline passes,
+// returning ErrCanceled (which wraps the context's error). The earliest
+// of the ctx deadline and Options.LockTimeout bounds each lock wait.
+// Cancellation does NOT abort the transaction by itself: the caller still
+// owns the lifecycle and should Abort on error as usual.
+func (db *DB) BeginCtx(ctx context.Context) (*Tx, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	inner, err := db.engine.BeginCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return &Tx{db: db, inner: inner}, nil
+	return &Tx{db: db, inner: inner, ctx: ctx}, nil
 }
 
-// Commit commits the transaction. Under DurabilityStrict (the default)
-// it returns only once the commit record is durable (group commit).
-// Under DurabilityRelaxed it may return as soon as the transaction is
-// pre-committed, with hardening left to the background flush daemon;
-// immediately surfaced errors are still reported.
-func (t *Tx) Commit() error {
-	if t.done {
-		return ErrTxDone
+// Update executes fn inside a managed read-write transaction and commits
+// when fn returns nil. Deadlock victims and lock timeouts are aborted and
+// retried automatically with capped exponential backoff (Options.Retry),
+// so fn may run several times and must not have side effects outside the
+// transaction. Any other error from fn aborts and is returned as-is.
+// Cancellation of ctx stops the retry loop and unblocks any lock or
+// commit wait (ErrCanceled); fn must not call Commit or Abort itself
+// (they return ErrManaged).
+func (db *DB) Update(ctx context.Context, fn func(*Tx) error) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	t.done = true
+	return db.engine.RunCtx(ctx, db.retry, func(inner *tx.Tx) error {
+		w := &Tx{db: db, inner: inner, ctx: ctx, managed: true}
+		err := fn(w)
+		w.done = true // a leaked wrapper gets ErrTxDone, not a retired txID
+		return err
+	}, db.commitInner)
+}
+
+// View executes fn inside a managed read-only transaction: every write
+// method returns ErrReadOnly. Reads still lock (S mode, two-phase), so a
+// View can be a deadlock victim; like Update it is retried automatically,
+// and fn may run several times. Because a read-only transaction has
+// nothing to make durable, its commit never waits on the log.
+func (db *DB) View(ctx context.Context, fn func(*Tx) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return db.engine.RunCtx(ctx, db.retry, func(inner *tx.Tx) error {
+		w := &Tx{db: db, inner: inner, ctx: ctx, managed: true, readonly: true}
+		err := fn(w)
+		w.done = true // a leaked wrapper gets ErrTxDone, not a retired txID
+		return err
+	}, db.engine.CommitReadOnly)
+}
+
+// commitInner commits a finished inner transaction per the DB's
+// durability setting, observing ctx during any durability wait.
+func (db *DB) commitInner(ctx context.Context, inner *tx.Tx) error {
 	// Relaxed durability only applies when the commit pipeline is on;
 	// other stages have no pre-committed state to return early from, so
 	// they always commit strictly (as Durability documents).
-	if t.db.durability == DurabilityRelaxed && t.db.engine.Config().CommitPipeline {
-		ch := t.db.engine.CommitAsync(t.inner)
+	if db.durability == DurabilityRelaxed && db.engine.Config().CommitPipeline {
+		ch := db.engine.CommitAsync(inner)
 		select {
 		case err := <-ch: // resolved immediately: pre-commit failure or already durable
 			return err
@@ -245,7 +304,48 @@ func (t *Tx) Commit() error {
 			return nil
 		}
 	}
-	return t.db.engine.Commit(t.inner)
+	return db.engine.CommitCtx(ctx, inner)
+}
+
+// Commit commits the transaction. Under DurabilityStrict (the default)
+// it returns only once the commit record is durable (group commit).
+// Under DurabilityRelaxed it may return as soon as the transaction is
+// pre-committed, with hardening left to the background flush daemon;
+// immediately surfaced errors are still reported.
+//
+// If the transaction's context is cancelled during the durability wait,
+// Commit returns ErrCanceled and the transaction is in doubt: its commit
+// record is in the log, so it can no longer abort — call Commit again to
+// resume waiting (the record is not re-inserted), or walk away and let
+// the background flush / restart recovery settle it.
+func (t *Tx) Commit() error {
+	if t.managed {
+		return ErrManaged
+	}
+	if t.done {
+		return ErrTxDone
+	}
+	ctx := t.ctx
+	if t.inner.State() == tx.StateCommitting && ctx.Err() != nil {
+		// Explicit retry after a cancelled wait: the caller wants the
+		// commit finished, and the original context can never allow it.
+		ctx = context.Background()
+	}
+	err := t.db.commitInner(ctx, t.inner)
+	if err != nil {
+		switch t.inner.State() {
+		case tx.StateCommitting:
+			// In doubt: leave the Tx open so the caller can retry the wait.
+			return err
+		case tx.StateActive:
+			// Never reached the commit record (e.g. the fail-fast on an
+			// already-dead context): still abortable — leave the Tx open
+			// so the caller's usual Abort-on-error releases the locks.
+			return err
+		}
+	}
+	t.done = true
+	return err
 }
 
 // CommitAsync pre-commits the transaction and returns a channel that
@@ -257,15 +357,31 @@ func (t *Tx) Commit() error {
 // the commit is NOT guaranteed to survive a crash; callers needing the
 // classical guarantee must wait on the channel (or use Commit).
 func (t *Tx) CommitAsync() (<-chan error, error) {
+	if t.managed {
+		return nil, ErrManaged
+	}
 	if t.done {
 		return nil, ErrTxDone
 	}
 	t.done = true
-	return t.db.engine.CommitAsync(t.inner), nil
+	ch := t.db.engine.CommitAsync(t.inner)
+	if t.db.engine.Config().CommitPipeline && t.inner.State() == tx.StateActive {
+		// Pre-commit failed synchronously (the error is already on ch):
+		// the transaction is still active and abortable, so leave the Tx
+		// open for the caller to Abort. (Without the pipeline the commit
+		// runs on a helper goroutine, which cleans up after itself.)
+		t.done = false
+	}
+	return ch, nil
 }
 
-// Abort rolls the transaction back.
+// Abort rolls the transaction back. Abort always runs to completion,
+// even when the transaction's context is already cancelled — rollback is
+// what restores consistency.
 func (t *Tx) Abort() error {
+	if t.managed {
+		return ErrManaged
+	}
 	if t.done {
 		return ErrTxDone
 	}
@@ -279,13 +395,18 @@ type Table struct {
 	store uint32
 }
 
-// CreateTable creates a heap table. Creation is durable once any row
-// insert in it commits (table metadata is derived from page headers).
+// CreateTable creates a heap table inside transaction t. Like
+// CreateIndex, the store registration itself is not undone by abort;
+// creation is durable once any row insert in it commits (table metadata
+// is derived from page headers).
 func (db *DB) CreateTable(t *Tx) (*Table, error) {
 	if t.done {
 		return nil, ErrTxDone
 	}
-	store, err := db.engine.CreateTable()
+	if t.readonly {
+		return nil, ErrReadOnly
+	}
+	store, err := db.engine.CreateTable(t.inner)
 	if err != nil {
 		return nil, err
 	}
@@ -303,7 +424,10 @@ func (tb *Table) Insert(t *Tx, data []byte) (RID, error) {
 	if t.done {
 		return RID{}, ErrTxDone
 	}
-	return tb.db.engine.HeapInsert(t.inner, tb.store, data)
+	if t.readonly {
+		return RID{}, ErrReadOnly
+	}
+	return tb.db.engine.HeapInsertCtx(t.ctx, t.inner, tb.store, data)
 }
 
 // Get reads the record at rid (S-locked until commit).
@@ -311,7 +435,7 @@ func (tb *Table) Get(t *Tx, rid RID) ([]byte, error) {
 	if t.done {
 		return nil, ErrTxDone
 	}
-	return tb.db.engine.HeapRead(t.inner, tb.store, rid)
+	return tb.db.engine.HeapReadCtx(t.ctx, t.inner, tb.store, rid)
 }
 
 // Update replaces the record at rid.
@@ -319,7 +443,10 @@ func (tb *Table) Update(t *Tx, rid RID, data []byte) error {
 	if t.done {
 		return ErrTxDone
 	}
-	return tb.db.engine.HeapUpdate(t.inner, tb.store, rid, data)
+	if t.readonly {
+		return ErrReadOnly
+	}
+	return tb.db.engine.HeapUpdateCtx(t.ctx, t.inner, tb.store, rid, data)
 }
 
 // Delete removes the record at rid.
@@ -327,7 +454,10 @@ func (tb *Table) Delete(t *Tx, rid RID) error {
 	if t.done {
 		return ErrTxDone
 	}
-	return tb.db.engine.HeapDelete(t.inner, tb.store, rid)
+	if t.readonly {
+		return ErrReadOnly
+	}
+	return tb.db.engine.HeapDeleteCtx(t.ctx, t.inner, tb.store, rid)
 }
 
 // Scan iterates all records in RID order under a table S lock; fn
@@ -336,7 +466,7 @@ func (tb *Table) Scan(t *Tx, fn func(rid RID, rec []byte) bool) error {
 	if t.done {
 		return ErrTxDone
 	}
-	return tb.db.engine.HeapScan(t.inner, tb.store, fn)
+	return tb.db.engine.HeapScanCtx(t.ctx, t.inner, tb.store, fn)
 }
 
 // Index is a B-tree index handle.
@@ -349,6 +479,9 @@ type Index struct {
 func (db *DB) CreateIndex(t *Tx) (*Index, error) {
 	if t.done {
 		return nil, ErrTxDone
+	}
+	if t.readonly {
+		return nil, ErrReadOnly
 	}
 	ix, err := db.engine.CreateIndex(t.inner)
 	if err != nil {
@@ -374,7 +507,10 @@ func (ix *Index) Insert(t *Tx, key, value []byte) error {
 	if t.done {
 		return ErrTxDone
 	}
-	err := ix.db.engine.IndexInsert(t.inner, ix.inner, key, value)
+	if t.readonly {
+		return ErrReadOnly
+	}
+	err := ix.db.engine.IndexInsertCtx(t.ctx, t.inner, ix.inner, key, value)
 	return mapBtreeErr(err)
 }
 
@@ -383,7 +519,7 @@ func (ix *Index) Get(t *Tx, key []byte) ([]byte, bool, error) {
 	if t.done {
 		return nil, false, ErrTxDone
 	}
-	return ix.db.engine.IndexLookup(t.inner, ix.inner, key)
+	return ix.db.engine.IndexLookupCtx(t.ctx, t.inner, ix.inner, key)
 }
 
 // Update replaces the value for key; ErrNotFound if absent.
@@ -391,7 +527,10 @@ func (ix *Index) Update(t *Tx, key, value []byte) error {
 	if t.done {
 		return ErrTxDone
 	}
-	return mapBtreeErr(ix.db.engine.IndexUpdate(t.inner, ix.inner, key, value))
+	if t.readonly {
+		return ErrReadOnly
+	}
+	return mapBtreeErr(ix.db.engine.IndexUpdateCtx(t.ctx, t.inner, ix.inner, key, value))
 }
 
 // Delete removes key, returning the old value; ErrNotFound if absent.
@@ -399,7 +538,10 @@ func (ix *Index) Delete(t *Tx, key []byte) ([]byte, error) {
 	if t.done {
 		return nil, ErrTxDone
 	}
-	old, err := ix.db.engine.IndexDelete(t.inner, ix.inner, key)
+	if t.readonly {
+		return nil, ErrReadOnly
+	}
+	old, err := ix.db.engine.IndexDeleteCtx(t.ctx, t.inner, ix.inner, key)
 	return old, mapBtreeErr(err)
 }
 
@@ -409,7 +551,7 @@ func (ix *Index) Scan(t *Tx, from, to []byte, fn func(key, value []byte) bool) e
 	if t.done {
 		return ErrTxDone
 	}
-	return ix.db.engine.IndexScan(t.inner, ix.inner, from, to, fn)
+	return ix.db.engine.IndexScanCtx(t.ctx, t.inner, ix.inner, from, to, fn)
 }
 
 func mapBtreeErr(err error) error {
