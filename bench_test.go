@@ -70,6 +70,17 @@ func newBenchEngineStore(b *testing.B, stage core.Stage, store wal.Store) *core.
 	return e
 }
 
+// newBenchEngineCfg builds a real engine from an explicit config.
+func newBenchEngineCfg(b *testing.B, cfg core.Config) *core.Engine {
+	b.Helper()
+	e, err := core.Open(disk.NewMem(0), wal.NewMemStore(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { e.Close() })
+	return e
+}
+
 // benchInsert measures the record-insert path (the §3.2 microbenchmark's
 // inner loop) on the real engine.
 func benchInsert(b *testing.B, stage core.Stage) {
@@ -182,8 +193,18 @@ func BenchmarkFigure4_SimulatedEngines(b *testing.B) {
 	}
 }
 
+// newFig5Engine builds the Figure 5 engine: StageFinal with the lock
+// fast paths of the follow-up work enabled — the transaction-private
+// lock cache is always on, SLI per the flag.
+func newFig5Engine(b *testing.B, sli bool) *core.Engine {
+	cfg := core.StageConfig(core.StageFinal)
+	cfg.Frames = 4096
+	cfg.SLI = sli
+	return newBenchEngineCfg(b, cfg)
+}
+
 func BenchmarkFigure5_Payment(b *testing.B) {
-	e := newBenchEngine(b, core.StageFinal)
+	e := newFig5Engine(b, true)
 	db, err := tpcc.Load(e, tpcc.Scale{Warehouses: 2, Districts: 4, Customers: 50, Items: 200, StockPerItem: true}, 42)
 	if err != nil {
 		b.Fatal(err)
@@ -198,7 +219,7 @@ func BenchmarkFigure5_Payment(b *testing.B) {
 }
 
 func BenchmarkFigure5_NewOrder(b *testing.B) {
-	e := newBenchEngine(b, core.StageFinal)
+	e := newFig5Engine(b, true)
 	db, err := tpcc.Load(e, tpcc.Scale{Warehouses: 2, Districts: 4, Customers: 50, Items: 200, StockPerItem: true}, 42)
 	if err != nil {
 		b.Fatal(err)
@@ -210,6 +231,66 @@ func BenchmarkFigure5_NewOrder(b *testing.B) {
 		if err != nil && err != tpcc.ErrUserAbort {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchFig5Parallel drives a TPC-C transaction from concurrent workers
+// (run with -cpu=8 or more), comparing the lock path with and without
+// speculative lock inheritance. One iteration is one committed
+// transaction; retryable storms that exhaust the retry budget are
+// counted, not fatal.
+func benchFig5Parallel(b *testing.B, sli bool, run func(db *tpcc.DB, r *tpcc.Rand, home uint32) error) {
+	const warehouses = 4
+	e := newFig5Engine(b, sli)
+	db, err := tpcc.Load(e, tpcc.Scale{Warehouses: warehouses, Districts: 4, Customers: 50, Items: 200, StockPerItem: true}, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seq, giveUps atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := seq.Add(1)
+		r := tpcc.NewRand(id)
+		home := uint32(id%warehouses + 1)
+		for pb.Next() {
+			err := run(db, r, home)
+			switch {
+			case err == nil, errors.Is(err, tpcc.ErrUserAbort):
+			case core.IsRetryable(err):
+				giveUps.Add(1) // retry budget exhausted under contention
+			default:
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	st := e.Stats()
+	// Per-op rates, so runs with different b.N are comparable.
+	b.ReportMetric(float64(giveUps.Load())/float64(b.N), "giveups/op")
+	b.ReportMetric(float64(st.Lock.CacheHits)/float64(b.N), "cachehits/op")
+	b.ReportMetric(float64(st.Lock.InheritedGrants)/float64(b.N), "inherited/op")
+}
+
+func BenchmarkFigure5_PaymentParallel(b *testing.B) {
+	for _, sli := range []bool{false, true} {
+		sli := sli
+		b.Run(fmt.Sprintf("sli=%v", sli), func(b *testing.B) {
+			benchFig5Parallel(b, sli, func(db *tpcc.DB, r *tpcc.Rand, home uint32) error {
+				return db.PaymentWithRetry(tpcc.GenPayment(r, db.Scale, home), 100)
+			})
+		})
+	}
+}
+
+func BenchmarkFigure5_NewOrderParallel(b *testing.B) {
+	for _, sli := range []bool{false, true} {
+		sli := sli
+		b.Run(fmt.Sprintf("sli=%v", sli), func(b *testing.B) {
+			benchFig5Parallel(b, sli, func(db *tpcc.DB, r *tpcc.Rand, home uint32) error {
+				return db.NewOrderWithRetry(tpcc.GenNewOrder(r, db.Scale, home), 100)
+			})
+		})
 	}
 }
 
@@ -412,6 +493,47 @@ func BenchmarkLock_Manager(b *testing.B) {
 				})
 			})
 		}
+	}
+}
+
+// BenchmarkLock_SLI isolates the speculative-lock-inheritance fast
+// path on the hottest possible lock: every worker takes the single
+// database intent lock per "transaction". The plain variant pays the
+// bucket latch round trip twice per iteration (the §7.5 bottleneck,
+// since one hot name means one hot bucket no matter how many buckets
+// the table has); the inherit variant claims and parks the same grant
+// with one CAS each way.
+func BenchmarkLock_SLI(b *testing.B) {
+	for _, inherit := range []bool{false, true} {
+		inherit := inherit
+		b.Run(fmt.Sprintf("inherit=%v", inherit), func(b *testing.B) {
+			m := lock.NewManager(lock.Options{Table: lock.TablePerBucket, Pool: lock.PoolLockFree})
+			n := lock.DatabaseName()
+			var txSeq atomic.Uint64
+			b.RunParallel(func(pb *testing.PB) {
+				ag := m.NewAgent()
+				for pb.Next() {
+					txID := txSeq.Add(1)
+					if inherit {
+						if _, ok := ag.Claim(n, txID); !ok {
+							if err := m.Lock(context.Background(), txID, n, lock.IX, 0); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+						if !m.ReleaseInherit(txID, n, ag) {
+							m.Unlock(txID, n)
+						}
+						continue
+					}
+					if err := m.Lock(context.Background(), txID, n, lock.IX, 0); err != nil {
+						b.Error(err)
+						return
+					}
+					m.Unlock(txID, n)
+				}
+			})
+		})
 	}
 }
 

@@ -42,6 +42,7 @@ func main() {
 	stageName := flag.String("stage", "final", "engine optimization stage (baseline|bpool1|caching|log|lock mgr|bpool2|final|pipeline)")
 	frames := flag.Int("frames", 8192, "buffer pool frames")
 	payPct := flag.Int("payment", 50, "percent of transactions that are Payment (rest New Order)")
+	sli := flag.Bool("sli", false, "speculative lock inheritance: park intent locks on the worker agent across transactions")
 	flag.Parse()
 
 	stage, ok := stageByName(*stageName)
@@ -51,6 +52,7 @@ func main() {
 	}
 	cfg := core.StageConfig(stage)
 	cfg.Frames = *frames
+	cfg.SLI = *sli
 
 	engine, err := core.Open(disk.NewMem(0), wal.NewMemStore(), cfg)
 	if err != nil {
@@ -130,6 +132,8 @@ func main() {
 		st.Log.Inserts, float64(st.Log.InsertedBytes)/(1<<20), st.Log.Flushes)
 	fmt.Printf("  locks:       %d acquires, %d waits, %d deadlocks, %d timeouts, %d canceled\n",
 		st.Lock.Acquires, st.Lock.Waits, st.Lock.Deadlocks, st.Lock.Timeouts, st.Lock.Cancels)
+	fmt.Printf("  lock bypass: %d cache hits, %d inherits, %d inherited grants, %d revokes\n",
+		st.Lock.CacheHits, st.Lock.Inherits, st.Lock.InheritedGrants, st.Lock.Revokes)
 	fmt.Printf("  space:       %d page allocations, %d extent grows\n",
 		st.Space.Allocs, st.Space.ExtentsGrown)
 	fmt.Printf("  tx:          %d begun, %d committed, %d aborted\n",

@@ -91,7 +91,17 @@ type Config struct {
 	// PipelineInterval is the flush daemon's optional batching window
 	// (0 flushes as soon as the daemon is free).
 	PipelineInterval time.Duration
-	Seed             int64
+	// SLI enables speculative lock inheritance (Johnson, Pandis,
+	// Ailamaki, VLDB 2009): committing transactions park their
+	// database/store intent locks on a per-worker agent instead of
+	// releasing them, and the agent's next transaction reclaims them
+	// with one CAS — no lock-table traffic. Inherited locks stay
+	// revocable, but on workloads dominated by absolute (S/X) locks at
+	// store granularity the revocation round trips can outweigh the
+	// savings; leave it off there. The transaction-private lock cache
+	// is always on and needs no knob.
+	SLI  bool
+	Seed int64
 }
 
 // StageConfig returns the paper's preset for stage.

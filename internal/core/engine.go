@@ -52,6 +52,13 @@ type Engine struct {
 	// committed transaction.
 	ckptMu sync.RWMutex
 	closed atomic.Bool
+
+	// Agent pool for speculative lock inheritance: a committing
+	// transaction's agent (with its parked intent locks) is handed to
+	// whichever transaction begins next. LIFO reuse keeps a steady
+	// worker set claiming its own locks back.
+	agentMu sync.Mutex
+	agents  []*lock.Agent
 }
 
 // Open builds an engine over vol and logStore per cfg, running ARIES
@@ -135,12 +142,38 @@ func (e *Engine) BeginCtx(ctx context.Context) (*tx.Tx, error) {
 		return nil, err
 	}
 	t := e.txns.Begin()
+	if e.cfg.SLI {
+		t.SetAgent(e.grabAgent())
+	}
 	lsn, err := e.log.Insert(&wal.Record{Type: wal.RecTxBegin, TxID: t.ID()})
 	if err != nil {
 		return nil, err
 	}
 	t.RecordLog(lsn)
 	return t, nil
+}
+
+// grabAgent pops a pooled agent (with whatever intent locks its last
+// transaction parked on it) or makes a fresh one.
+func (e *Engine) grabAgent() *lock.Agent {
+	e.agentMu.Lock()
+	var a *lock.Agent
+	if n := len(e.agents); n > 0 {
+		a = e.agents[n-1]
+		e.agents = e.agents[:n-1]
+	}
+	e.agentMu.Unlock()
+	if a == nil {
+		a = e.locks.NewAgent()
+	}
+	return a
+}
+
+// putAgent returns an agent to the pool at end-of-transaction.
+func (e *Engine) putAgent(a *lock.Agent) {
+	e.agentMu.Lock()
+	e.agents = append(e.agents, a)
+	e.agentMu.Unlock()
 }
 
 // Commit makes t durable. Without the commit pipeline this is the
@@ -421,24 +454,71 @@ func (e *Engine) Abort(t *tx.Tx) error {
 	return e.txns.Abort(t)
 }
 
-// releaseLocks drops every lock t holds (end of 2PL).
+// releaseLocks drops every lock t holds (end of 2PL). With SLI, the
+// transaction's pure intent locks on the database and stores are parked
+// for inheritance instead of released, and the agent carrying them
+// returns to the pool for the next transaction; everything else is
+// released exactly once (the lock list is deduplicated by the private
+// cache).
 func (e *Engine) releaseLocks(t *tx.Tx) {
 	names := t.Locks()
+	ag := t.Agent()
 	for i := len(names) - 1; i >= 0; i-- {
-		e.locks.Unlock(t.ID(), names[i])
+		n := names[i]
+		if ag != nil && n.Scope != lock.ScopeRow {
+			if m := t.HeldMode(n); (m == lock.IS || m == lock.IX) &&
+				e.locks.ReleaseInherit(t.ID(), n, ag) {
+				continue
+			}
+		}
+		e.locks.Unlock(t.ID(), n)
+	}
+	if h := t.LockCacheHits(); h > 0 {
+		e.locks.NoteCacheHits(h)
+	}
+	if ag != nil {
+		t.SetAgent(nil)
+		e.putAgent(ag)
 	}
 }
 
 // acquire takes a lock for t, recording it for release; ctx cancellation
-// unblocks the wait. Under the commit pipeline the granted lock may have
-// been released early by a transaction whose commit record is not yet
-// durable; folding the ELR horizon into t orders t's own commit
-// acknowledgment behind that releaser's durability.
+// unblocks the wait. Two fast paths run before the lock manager:
+//
+//  1. The transaction-private cache: when the held mode already covers
+//     the request, return without any shared-structure access.
+//     Conversions (held mode weaker than requested) always reach the
+//     manager.
+//  2. The worker agent's inherited set (SLI): a lock parked by the
+//     agent's previous transaction is claimed with one CAS — no bucket
+//     latch. A claim that yields a too-weak mode still skips the fresh
+//     enqueue: the manager sees an ordinary conversion.
+//
+// Under the commit pipeline the granted lock may have been released
+// early by a transaction whose commit record is not yet durable;
+// folding the ELR horizon into t orders t's own commit acknowledgment
+// behind that releaser's durability. The fast paths skip the fold
+// safely: a cache hit adds no dependency the original acquisition did
+// not already observe, and inherited locks are pure intent locks, so
+// every data access under them still takes a row/key/store lock through
+// the manager first.
 func (e *Engine) acquire(ctx context.Context, t *tx.Tx, n lock.Name, m lock.Mode) error {
+	if held := t.HeldMode(n); held != lock.NL && lock.StrongerOrEqual(held, m) {
+		t.HitLockCache()
+		return nil
+	}
+	if ag := t.Agent(); ag != nil {
+		if got, ok := ag.Claim(n, t.ID()); ok {
+			t.AddLock(n, got)
+			if lock.StrongerOrEqual(got, m) {
+				return nil
+			}
+		}
+	}
 	if err := e.locks.Lock(ctx, t.ID(), n, m, 0); err != nil {
 		return err
 	}
-	t.AddLock(n)
+	t.AddLock(n, m)
 	if e.cfg.CommitPipeline {
 		t.ObserveELR(wal.LSN(e.locks.ELRHorizon()))
 	}
@@ -447,12 +527,21 @@ func (e *Engine) acquire(ctx context.Context, t *tx.Tx, n lock.Name, m lock.Mode
 
 // lockRow performs hierarchical locking for a row access in mode
 // (lock.S or lock.X), with table-level escalation past the threshold.
+// A row lock the transaction already holds covers its whole ancestry
+// (the intents were taken before it), so the re-access fast path is one
+// private cache probe — the manager, and even the per-level cache
+// probes, are skipped entirely.
 func (e *Engine) lockRow(ctx context.Context, t *tx.Tx, store uint32, rid page.RID, m lock.Mode) error {
-	intent := lock.Intention(m)
 	// If already escalated to a covering store lock, nothing to do.
 	if held, ok := t.Escalated(store); ok && lock.StrongerOrEqual(held, m) {
 		return nil
 	}
+	name := lock.RowName(store, rid)
+	if held := t.HeldMode(name); held != lock.NL && lock.StrongerOrEqual(held, m) {
+		t.HitLockCache()
+		return nil
+	}
+	intent := lock.Intention(m)
 	if err := e.acquire(ctx, t, lock.DatabaseName(), intent); err != nil {
 		return err
 	}
@@ -471,7 +560,7 @@ func (e *Engine) lockRow(ctx context.Context, t *tx.Tx, store uint32, rid page.R
 		// Escalation failed (somebody else holds conflicting locks): fall
 		// back to row locking.
 	}
-	return e.acquire(ctx, t, lock.RowName(store, rid), m)
+	return e.acquire(ctx, t, name, m)
 }
 
 // logPhysical appends an update record for op on f's page, applies it, and

@@ -92,12 +92,20 @@ func keyLockName(store uint32, key []byte) lock.Name {
 	return lock.RowName(store, page.RID{Page: page.ID(h & 0xffffffffff), Slot: uint16(h >> 48)})
 }
 
-// lockKey performs hierarchical key locking with escalation.
+// lockKey performs hierarchical key locking with escalation. Like
+// lockRow, a key lock the transaction already holds covers its whole
+// ancestry, so a re-probe of the same key is a single private cache
+// probe with no lock-table traffic.
 func (e *Engine) lockKey(ctx context.Context, t *tx.Tx, store uint32, key []byte, m lock.Mode) error {
-	intent := lock.Intention(m)
 	if held, ok := t.Escalated(store); ok && lock.StrongerOrEqual(held, m) {
 		return nil
 	}
+	name := keyLockName(store, key)
+	if held := t.HeldMode(name); held != lock.NL && lock.StrongerOrEqual(held, m) {
+		t.HitLockCache()
+		return nil
+	}
+	intent := lock.Intention(m)
 	if err := e.acquire(ctx, t, lock.DatabaseName(), intent); err != nil {
 		return err
 	}
@@ -114,7 +122,7 @@ func (e *Engine) lockKey(ctx context.Context, t *tx.Tx, store uint32, key []byte
 			return nil
 		}
 	}
-	return e.acquire(ctx, t, keyLockName(store, key), m)
+	return e.acquire(ctx, t, name, m)
 }
 
 // probeLockTable is the pre-§7.7 wasted work: every B-tree probe searched

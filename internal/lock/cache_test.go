@@ -1,0 +1,66 @@
+package lock
+
+import (
+	"testing"
+
+	"repro/internal/page"
+)
+
+func TestCachePutGet(t *testing.T) {
+	var c Cache
+	if got := c.Get(DatabaseName()); got != NL {
+		t.Fatalf("empty cache Get = %v, want NL", got)
+	}
+	if !c.Put(DatabaseName(), IX) {
+		t.Fatal("first Put not reported fresh")
+	}
+	if c.Put(DatabaseName(), IX) {
+		t.Fatal("re-Put reported fresh")
+	}
+	if got := c.Get(DatabaseName()); got != IX {
+		t.Fatalf("Get = %v, want IX", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheSupremumMerge(t *testing.T) {
+	var c Cache
+	n := StoreName(7)
+	c.Put(n, IX)
+	if c.Put(n, S) {
+		t.Fatal("merge reported fresh")
+	}
+	if got := c.Get(n); got != SIX {
+		t.Fatalf("IX+S = %v, want SIX", got)
+	}
+	// A weaker grant never downgrades the cached mode.
+	c.Put(n, IS)
+	if got := c.Get(n); got != SIX {
+		t.Fatalf("after weaker Put = %v, want SIX", got)
+	}
+}
+
+func TestCacheGrowth(t *testing.T) {
+	var c Cache
+	const rows = 1000 // forces several doublings past cacheInitSlots
+	for i := 0; i < rows; i++ {
+		n := RowName(3, page.RID{Page: page.ID(i), Slot: uint16(i % 50)})
+		if !c.Put(n, X) {
+			t.Fatalf("row %d not fresh", i)
+		}
+	}
+	if c.Len() != rows {
+		t.Fatalf("Len = %d, want %d", c.Len(), rows)
+	}
+	for i := 0; i < rows; i++ {
+		n := RowName(3, page.RID{Page: page.ID(i), Slot: uint16(i % 50)})
+		if got := c.Get(n); got != X {
+			t.Fatalf("row %d Get = %v after growth", i, got)
+		}
+	}
+	if got := c.Get(RowName(3, page.RID{Page: rows + 1})); got != NL {
+		t.Fatalf("absent row Get = %v, want NL", got)
+	}
+}

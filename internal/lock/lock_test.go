@@ -396,13 +396,13 @@ func TestPoolReuse(t *testing.T) {
 		t.Run(pk.String(), func(t *testing.T) {
 			p := newPool(pk)
 			r1 := p.get()
-			r1.txID = 9
+			r1.txID.Store(9)
 			p.put(r1)
 			r2 := p.get()
 			if r2 != r1 {
 				t.Error("pool did not reuse the freed request")
 			}
-			if r2.txID != 0 {
+			if r2.txID.Load() != 0 {
 				t.Error("pooled request not reset")
 			}
 			if p.allocations() != 1 {

@@ -63,7 +63,12 @@ type Stats struct {
 	Cancels     uint64 // requests abandoned by context cancellation
 	PoolAllocs  uint64 // request-pool misses
 	ELRReleases uint64 // transactions that released locks before hardening
-	Latch       sync2.Stats
+	// Lock-table bypass fast paths (transaction-private cache + SLI).
+	CacheHits       uint64 // requests answered by the tx-private lock cache
+	Inherits        uint64 // intent locks parked for inheritance at release
+	InheritedGrants uint64 // parked locks claimed latch-free by an agent
+	Revokes         uint64 // parked locks reclaimed by conflicting requesters
+	Latch           sync2.Stats
 }
 
 // lockHead is the per-object lock state: an intrusive FIFO queue of
@@ -77,6 +82,11 @@ type lockHead struct {
 type bucket struct {
 	latch sync2.Locker
 	heads *lockHead
+	// free recycles emptied lockHeads under the bucket latch: without
+	// it every acquire/release cycle on a quiescent name allocates a
+	// fresh head (removeHeadIfEmpty drops it as soon as the queue
+	// empties), which makes the lock table an allocation hotspot.
+	free *lockHead
 }
 
 // Manager is the lock manager.
@@ -87,15 +97,31 @@ type Manager struct {
 	pool    requestPool
 	mask    uint64
 
-	// waits-for graph for deadlock detection.
-	wfMu sync.Mutex
-	wf   map[uint64]map[uint64]struct{}
+	// waits-for graph for deadlock detection. Edge sets are plain
+	// slices (possibly with duplicates) and the traversal scratch —
+	// generation-marked seen maps plus DFS stacks — lives on the
+	// manager, all under wfMu: a blocked request refreshes its edges
+	// and re-probes every few milliseconds, and rebuilding maps per
+	// probe made the detector an allocation hotspot.
+	wfMu      sync.Mutex
+	wf        map[uint64][]uint64
+	wfFree    [][]uint64        // recycled edge slices
+	cycSeen   map[uint64]uint64 // generation marks for cycleLocked
+	cycGen    uint64
+	cycStack  []uint64
+	walkSeen  map[uint64]uint64 // generation marks for hasCycleVictim's walk
+	walkGen   uint64
+	walkStack []uint64
 
-	acquires  atomic.Uint64
-	waits     atomic.Uint64
-	deadlocks atomic.Uint64
-	timeouts  atomic.Uint64
-	cancels   atomic.Uint64
+	acquires      atomic.Uint64
+	waits         atomic.Uint64
+	deadlocks     atomic.Uint64
+	timeouts      atomic.Uint64
+	cancels       atomic.Uint64
+	cacheHits     atomic.Uint64
+	inherits      atomic.Uint64
+	inheritGrants atomic.Uint64
+	revokes       atomic.Uint64
 
 	// Early Lock Release (staged commit pipeline): the highest log
 	// position released-before-hardening by any committing transaction.
@@ -119,11 +145,13 @@ func NewManager(opts Options) *Manager {
 		opts.DefaultTimeout = 500 * time.Millisecond
 	}
 	m := &Manager{
-		opts:    opts,
-		buckets: make([]bucket, n),
-		pool:    newPool(opts.Pool),
-		mask:    uint64(n - 1),
-		wf:      make(map[uint64]map[uint64]struct{}),
+		opts:     opts,
+		buckets:  make([]bucket, n),
+		pool:     newPool(opts.Pool),
+		mask:     uint64(n - 1),
+		wf:       make(map[uint64][]uint64),
+		cycSeen:  make(map[uint64]uint64),
+		walkSeen: make(map[uint64]uint64),
 	}
 	if opts.Table == TableGlobal {
 		m.global = new(sync2.HybridLock)
@@ -153,12 +181,20 @@ func (b *bucket) findHead(name Name, create bool) *lockHead {
 	if !create {
 		return nil
 	}
-	h := &lockHead{name: name, next: b.heads}
+	h := b.free
+	if h != nil {
+		b.free = h.next
+	} else {
+		h = &lockHead{}
+	}
+	h.name = name
+	h.next = b.heads
 	b.heads = h
 	return h
 }
 
-// removeHeadIfEmpty unlinks h from b when it has no requests.
+// removeHeadIfEmpty unlinks h from b when it has no requests, recycling
+// it onto the bucket's free list.
 func (b *bucket) removeHeadIfEmpty(h *lockHead) {
 	if h.queue != nil {
 		return
@@ -166,6 +202,8 @@ func (b *bucket) removeHeadIfEmpty(h *lockHead) {
 	for pp := &b.heads; *pp != nil; pp = &(*pp).next {
 		if *pp == h {
 			*pp = h.next
+			h.next = b.free
+			b.free = h
 			return
 		}
 	}
@@ -210,17 +248,19 @@ func hasWaiters(h *lockHead, exclude *request) bool {
 func (h *lockHead) grantWaiters(m *Manager) {
 	grant := func(r *request) {
 		if m.opts.DetectDeadlock {
-			m.clearEdges(r.txID)
+			m.clearEdges(r.txID.Load())
 		}
 		if r.wake != nil {
 			close(r.wake)
 			r.wake = nil
 		}
 	}
-	// Conversions.
+	// Conversions. grantableOrRevoke may unlink speculative holders
+	// mid-iteration; an unlinked node's next pointer still leads back
+	// into the live chain, so the walk stays sound.
 	for r := h.queue; r != nil; r = r.next {
 		if r.granted && r.want != r.mode {
-			if grantedCompatible(h, r.want, r) {
+			if m.grantableOrRevoke(h, r.want, r) {
 				r.mode = r.want
 				grant(r)
 			}
@@ -237,7 +277,7 @@ func (h *lockHead) grantWaiters(m *Manager) {
 		if r.granted {
 			continue
 		}
-		if grantedCompatible(h, r.want, r) {
+		if m.grantableOrRevoke(h, r.want, r) {
 			r.granted = true
 			r.mode = r.want
 			grant(r)
@@ -255,7 +295,7 @@ func holdersIncompatibleWith(h *lockHead, mode Mode, exclude *request) []uint64 
 			continue
 		}
 		if !Compatible(r.mode, mode) {
-			ids = append(ids, r.txID)
+			ids = append(ids, r.txID.Load())
 		}
 	}
 	return ids
@@ -271,13 +311,14 @@ func holdersIncompatibleWith(h *lockHead, mode Mode, exclude *request) []uint64 
 // A wants) is invisible to the detector and resolves only by timeout.
 func blockersOf(h *lockHead, r *request, mode Mode) []uint64 {
 	var ids []uint64
+	myID := r.txID.Load()
 	for rr := r.next; rr != nil; rr = rr.next {
 		if rr.granted && rr.want == rr.mode {
 			if !Compatible(rr.mode, mode) {
-				ids = append(ids, rr.txID)
+				ids = append(ids, rr.txID.Load())
 			}
-		} else if rr.txID != r.txID {
-			ids = append(ids, rr.txID)
+		} else if id := rr.txID.Load(); id != myID {
+			ids = append(ids, id)
 		}
 	}
 	return ids
@@ -308,7 +349,7 @@ func (m *Manager) Lock(ctx context.Context, txID uint64, name Name, mode Mode, t
 	// Existing request by this transaction?
 	var mine *request
 	for r := h.queue; r != nil; r = r.next {
-		if r.txID == txID {
+		if r.txID.Load() == txID {
 			mine = r
 			break
 		}
@@ -320,8 +361,9 @@ func (m *Manager) Lock(ctx context.Context, txID uint64, name Name, mode Mode, t
 			m.acquires.Add(1)
 			return nil // already strong enough
 		}
-		// Conversion.
-		if grantedCompatible(h, want, mine) {
+		// Conversion: incompatible speculative holders are revoked, not
+		// waited on — an inherited lock must never block a live request.
+		if m.grantableOrRevoke(h, want, mine) {
 			mine.mode = want
 			mine.want = want
 			b.latch.Unlock()
@@ -338,12 +380,12 @@ func (m *Manager) Lock(ctx context.Context, txID uint64, name Name, mode Mode, t
 
 	// Fresh request.
 	r := m.pool.get()
-	r.txID = txID
+	r.txID.Store(txID)
 	r.want = mode
 	r.head = h
 	r.next = h.queue
 	h.queue = r
-	if !hasWaiters(h, r) && grantedCompatible(h, mode, r) {
+	if !hasWaiters(h, r) && m.grantableOrRevoke(h, mode, r) {
 		r.granted = true
 		r.mode = mode
 		b.latch.Unlock()
@@ -550,7 +592,7 @@ func (m *Manager) TryLockNoWait(txID uint64, name Name, mode Mode) error {
 	h := b.findHead(name, true)
 	var mine *request
 	for r := h.queue; r != nil; r = r.next {
-		if r.txID == txID {
+		if r.txID.Load() == txID {
 			mine = r
 			break
 		}
@@ -561,7 +603,7 @@ func (m *Manager) TryLockNoWait(txID uint64, name Name, mode Mode) error {
 			m.acquires.Add(1)
 			return nil
 		}
-		if grantedCompatible(h, want, mine) {
+		if m.grantableOrRevoke(h, want, mine) {
 			mine.mode = want
 			mine.want = want
 			m.acquires.Add(1)
@@ -570,9 +612,9 @@ func (m *Manager) TryLockNoWait(txID uint64, name Name, mode Mode) error {
 		b.removeHeadIfEmpty(h)
 		return ErrWouldBlock
 	}
-	if !hasWaiters(h, nil) && grantedCompatible(h, mode, nil) {
+	if !hasWaiters(h, nil) && m.grantableOrRevoke(h, mode, nil) {
 		r := m.pool.get()
-		r.txID = txID
+		r.txID.Store(txID)
 		r.mode = mode
 		r.want = mode
 		r.granted = true
@@ -621,7 +663,7 @@ func (m *Manager) Unlock(txID uint64, name Name) {
 	}
 	var mine *request
 	for r := h.queue; r != nil; r = r.next {
-		if r.txID == txID && r.granted {
+		if r.txID.Load() == txID && r.granted {
 			mine = r
 			break
 		}
@@ -634,8 +676,19 @@ func (m *Manager) Unlock(txID uint64, name Name) {
 	h.grantWaiters(m)
 	b.removeHeadIfEmpty(h)
 	b.latch.Unlock()
-	m.pool.put(mine)
+	if mine.spec.Load() == specOwned {
+		// A request that is (or was) parked for inheritance may still be
+		// referenced by its agent; leave it to the garbage collector
+		// instead of recycling it under a live pointer.
+		m.pool.put(mine)
+	}
 }
+
+// NoteCacheHits folds n transaction-private lock-cache hits into the
+// manager's counters. The engine counts hits on a plain per-transaction
+// field (the fast path must not touch a shared cache line) and reports
+// them in one call at release time.
+func (m *Manager) NoteCacheHits(n uint64) { m.cacheHits.Add(n) }
 
 // Holds returns the mode txID currently holds on name (NL if none).
 func (m *Manager) Holds(txID uint64, name Name) Mode {
@@ -647,20 +700,28 @@ func (m *Manager) Holds(txID uint64, name Name) Mode {
 		return NL
 	}
 	for r := h.queue; r != nil; r = r.next {
-		if r.txID == txID && r.granted {
+		if r.txID.Load() == txID && r.granted {
 			return r.mode
 		}
 	}
 	return NL
 }
 
-// setEdges replaces txID's outgoing waits-for edges with blockers.
+// setEdges replaces txID's outgoing waits-for edges with blockers,
+// reusing the transaction's previous edge slice (or a recycled one):
+// the common caller is a blocked request refreshing the same edge set
+// every poll, which should not allocate.
 func (m *Manager) setEdges(txID uint64, blockers []uint64) {
 	m.wfMu.Lock()
-	set := make(map[uint64]struct{}, len(blockers))
+	set, ok := m.wf[txID]
+	if !ok && len(m.wfFree) > 0 {
+		set = m.wfFree[len(m.wfFree)-1]
+		m.wfFree = m.wfFree[:len(m.wfFree)-1]
+	}
+	set = set[:0]
 	for _, b := range blockers {
 		if b != txID {
-			set[b] = struct{}{}
+			set = append(set, b)
 		}
 	}
 	m.wf[txID] = set
@@ -680,16 +741,22 @@ func (m *Manager) hasCycleVictim(txID uint64) (cycle, victim bool) {
 	}
 	// txID is on a cycle; find the cycle's members by walking edges
 	// restricted to nodes that can reach txID (approximation: all nodes on
-	// any path back to txID).
+	// any path back to txID). Scratch is distinct from cycleLocked's —
+	// the walk re-probes cycleLocked per candidate node.
+	m.walkGen++
+	if len(m.walkSeen) > seenHighWater {
+		clear(m.walkSeen)
+	}
+	g := m.walkGen
 	maxID := txID
-	seen := map[uint64]bool{txID: true}
-	stack := []uint64{txID}
+	m.walkSeen[txID] = g
+	stack := append(m.walkStack[:0], txID)
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for v := range m.wf[u] {
-			if !seen[v] {
-				seen[v] = true
+		for _, v := range m.wf[u] {
+			if m.walkSeen[v] != g {
+				m.walkSeen[v] = g
 				stack = append(stack, v)
 				if v > maxID && m.cycleLocked(v) {
 					maxID = v
@@ -697,48 +764,70 @@ func (m *Manager) hasCycleVictim(txID uint64) (cycle, victim bool) {
 			}
 		}
 	}
+	m.walkStack = stack
 	return true, txID == maxID
 }
 
+// seenHighWater bounds the generation-marked scratch maps: past it the
+// map is cleared rather than carrying marks for every transaction that
+// ever blocked.
+const seenHighWater = 1 << 13
+
 // cycleLocked reports whether a waits-for path leads from txID back to
-// itself. Caller holds wfMu.
+// itself: an iterative DFS over manager-owned scratch (generation marks
+// instead of a fresh map per probe). Caller holds wfMu.
 func (m *Manager) cycleLocked(txID uint64) bool {
-	seen := map[uint64]bool{}
-	var dfs func(u uint64) bool
-	dfs = func(u uint64) bool {
-		for v := range m.wf[u] {
-			if v == txID {
-				return true
-			}
-			if !seen[v] {
-				seen[v] = true
-				if dfs(v) {
-					return true
-				}
-			}
-		}
-		return false
+	m.cycGen++
+	if len(m.cycSeen) > seenHighWater {
+		clear(m.cycSeen)
 	}
-	return dfs(txID)
+	g := m.cycGen
+	stack := append(m.cycStack[:0], m.wf[txID]...)
+	found := false
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if u == txID {
+			found = true
+			break
+		}
+		if m.cycSeen[u] == g {
+			continue
+		}
+		m.cycSeen[u] = g
+		stack = append(stack, m.wf[u]...)
+	}
+	m.cycStack = stack
+	return found
 }
 
-// clearEdges removes txID's outgoing waits-for edges.
+// clearEdges removes txID's outgoing waits-for edges, recycling the
+// slice for the next setEdges.
 func (m *Manager) clearEdges(txID uint64) {
 	m.wfMu.Lock()
-	delete(m.wf, txID)
+	if set, ok := m.wf[txID]; ok {
+		delete(m.wf, txID)
+		if cap(set) > 0 && len(m.wfFree) < 64 {
+			m.wfFree = append(m.wfFree, set[:0])
+		}
+	}
 	m.wfMu.Unlock()
 }
 
 // Stats returns a snapshot of lock-manager counters.
 func (m *Manager) Stats() Stats {
 	s := Stats{
-		Acquires:    m.acquires.Load(),
-		Waits:       m.waits.Load(),
-		Deadlocks:   m.deadlocks.Load(),
-		Timeouts:    m.timeouts.Load(),
-		Cancels:     m.cancels.Load(),
-		PoolAllocs:  m.pool.allocations(),
-		ELRReleases: m.elrReleases.Load(),
+		Acquires:        m.acquires.Load(),
+		Waits:           m.waits.Load(),
+		Deadlocks:       m.deadlocks.Load(),
+		Timeouts:        m.timeouts.Load(),
+		Cancels:         m.cancels.Load(),
+		PoolAllocs:      m.pool.allocations(),
+		ELRReleases:     m.elrReleases.Load(),
+		CacheHits:       m.cacheHits.Load(),
+		Inherits:        m.inherits.Load(),
+		InheritedGrants: m.inheritGrants.Load(),
+		Revokes:         m.revokes.Load(),
 	}
 	if m.opts.Table == TableGlobal {
 		s.Latch = m.global.Stats()

@@ -10,16 +10,29 @@ import (
 // request is a lock request: one transaction's (granted or waiting) claim
 // on one lock head. Requests are pooled; Shore-MT found the pool's mutex
 // to be a contention point and replaced it with a lock-free stack (§7.5).
+//
+// txID and spec are atomic because speculative lock inheritance claims
+// and revokes a parked request without the bucket latch: the owning
+// agent writes txID and CASes spec outside the latch, while queue
+// walkers read both under it.
 type request struct {
-	txID    uint64
-	mode    Mode // granted mode (or requested, while waiting)
-	want    Mode // target mode for waiting conversions
+	txID    atomic.Uint64
+	spec    atomic.Uint32 // specOwned / specSpeculative / specRevoked
+	mode    Mode          // granted mode (or requested, while waiting)
+	want    Mode          // target mode for waiting conversions
 	granted bool
 	wake    chan struct{} // closed when the request is granted
 	next    *request      // intrusive list inside a lock head
 	head    *lockHead     // owner, for release
 	node    sync2.StackNode
 }
+
+// Speculative-inheritance states of a granted request.
+const (
+	specOwned       uint32 = iota // held by a live transaction (normal)
+	specSpeculative               // parked by a committed holder, claimable by its agent
+	specRevoked                   // terminal: a conflicting requester (or Drop) reclaimed it
+)
 
 // requestPool abstracts the pre-allocated request pool.
 type requestPool interface {
@@ -108,7 +121,8 @@ func (p *lockFreePool) put(r *request) {
 func (p *lockFreePool) allocations() uint64 { return p.allocs.Load() }
 
 func (r *request) reset() {
-	r.txID = 0
+	r.txID.Store(0)
+	r.spec.Store(specOwned)
 	r.mode = NL
 	r.want = NL
 	r.granted = false

@@ -1,0 +1,179 @@
+package lock
+
+// Speculative Lock Inheritance (Johnson, Pandis, Ailamaki, VLDB 2009):
+// the hot locks at the top of the hierarchy — the database and store
+// intent locks every transaction acquires and which virtually never
+// conflict — can bypass the lock table almost entirely. Instead of
+// releasing them at commit, the manager parks the granted request in
+// place (spec = specSpeculative) and hands a reference to the
+// committing transaction's Agent; the agent's next transaction claims
+// the request with a single CAS, never touching the bucket latch. The
+// inheritance is speculative because it must stay revocable: a
+// conflicting requester CASes the parked request to specRevoked under
+// the bucket latch and unlinks it, and the agent's next claim attempt
+// falls back to normal acquisition.
+//
+// The claim/revoke race is arbitrated entirely by the spec field:
+//
+//	claim  (agent, latch-free):  store txID; CAS spec SPECULATIVE→OWNED
+//	revoke (under bucket latch): CAS spec SPECULATIVE→REVOKED; unlink
+//
+// Exactly one CAS wins. A revoked request is never returned to the
+// request pool — the agent may still hold a stale pointer and write its
+// txID into it — so it is left to the garbage collector once the agent
+// discards its entry.
+
+// Agent identifies a worker (a client thread in the paper's terms)
+// across the transactions it runs, and carries the intent locks those
+// transactions inherit from one another. An Agent is owned by at most
+// one transaction at a time; handing it from a committing transaction
+// to the next one must happen under external synchronization (the
+// engine's agent pool provides it). Its methods are not otherwise safe
+// for concurrent use.
+type Agent struct {
+	mgr     *Manager
+	entries []agentEntry
+}
+
+type agentEntry struct {
+	name Name
+	mode Mode
+	r    *request
+}
+
+// NewAgent creates an agent bound to the manager.
+func (m *Manager) NewAgent() *Agent { return &Agent{mgr: m} }
+
+// Inherited returns the number of locks currently parked on the agent
+// (including any already revoked but not yet discovered).
+func (a *Agent) Inherited() int { return len(a.entries) }
+
+// Claim attempts to take ownership of an inherited lock on n for txID
+// without touching the lock table. On success it returns the inherited
+// mode (the claimer may still need a manager conversion if it wants a
+// stronger one). On failure — no inherited entry, or the entry was
+// revoked by a conflicting requester — it returns NL, false and the
+// caller acquires normally. Either way the entry is consumed.
+func (a *Agent) Claim(n Name, txID uint64) (Mode, bool) {
+	for i := range a.entries {
+		e := &a.entries[i]
+		if e.name != n {
+			continue
+		}
+		r, mode := e.r, e.mode
+		last := len(a.entries) - 1
+		a.entries[i] = a.entries[last]
+		a.entries[last] = agentEntry{}
+		a.entries = a.entries[:last]
+		// Order matters: the new owner's ID must be visible before the
+		// CAS publishes the claim, so no walker ever sees an owned
+		// request with the dead holder's ID. While the request is still
+		// speculative only this agent may write txID, and if the CAS
+		// loses the request is already unlinked — the write is harmless.
+		r.txID.Store(txID)
+		if r.spec.CompareAndSwap(specSpeculative, specOwned) {
+			a.mgr.inheritGrants.Add(1)
+			return mode, true
+		}
+		return NL, false // revoked meanwhile; fall back to the manager
+	}
+	return NL, false
+}
+
+// Drop revokes and releases every lock still parked on the agent. Used
+// when an agent retires (engine shutdown, tests); conflicting
+// requesters do not need it — they revoke in place.
+func (a *Agent) Drop() {
+	for _, e := range a.entries {
+		if e.r.spec.CompareAndSwap(specSpeculative, specRevoked) {
+			a.mgr.releaseRevoked(e.name, e.r)
+		}
+	}
+	a.entries = a.entries[:0]
+}
+
+// ReleaseInherit ends txID's hold on name by parking it for inheritance
+// instead of releasing it: the granted request stays in the queue in
+// specSpeculative state and is recorded on ag for a latch-free claim by
+// the agent's next transaction. Only uncontended pure intent grants are
+// eligible — the request must be granted in IS or IX with no waiter or
+// pending conversion behind it (inheriting over a waiter would starve
+// it). Returns false without side effects when ineligible; the caller
+// falls back to Unlock.
+func (m *Manager) ReleaseInherit(txID uint64, name Name, ag *Agent) bool {
+	b := m.bucketFor(name)
+	b.latch.Lock()
+	h := b.findHead(name, false)
+	if h == nil {
+		b.latch.Unlock()
+		return false
+	}
+	var mine *request
+	for r := h.queue; r != nil; r = r.next {
+		if r.txID.Load() == txID && r.granted {
+			mine = r
+			break
+		}
+	}
+	if mine == nil || (mine.mode != IS && mine.mode != IX) ||
+		mine.spec.Load() != specOwned || hasWaiters(h, mine) {
+		b.latch.Unlock()
+		return false
+	}
+	mine.spec.Store(specSpeculative)
+	b.latch.Unlock()
+	ag.entries = append(ag.entries, agentEntry{name: name, mode: mine.mode, r: mine})
+	m.inherits.Add(1)
+	return true
+}
+
+// grantableOrRevoke reports whether mode is compatible with every
+// granted request on h except exclude — revoking incompatible
+// speculative (inherited, unclaimed) holders when they are what stands
+// in the way. Every grant-examination point must use it (fresh
+// admission, conversions, TryLockNoWait, and grantWaiters after a
+// release): an inherited lock is only safe to keep parked because any
+// live request it blocks can always reclaim it, and a path that checks
+// compatibility without offering revocation turns the parked lock into
+// a phantom holder that can outwait a timeout. Caller holds the bucket
+// latch.
+func (m *Manager) grantableOrRevoke(h *lockHead, mode Mode, exclude *request) bool {
+	if grantedCompatible(h, mode, exclude) {
+		return true
+	}
+	return m.revokeIncompatible(h, mode, exclude) && grantedCompatible(h, mode, exclude)
+}
+
+// revokeIncompatible revokes every speculative (inherited, unclaimed)
+// granted request on h whose mode conflicts with mode, unlinking the
+// losers, and reports whether anything changed (the caller re-checks
+// grantability). Called under the bucket latch on the contended path
+// only — when a compatibility check has already failed. A CAS that
+// loses to a concurrent claim leaves the request as a normal holder.
+func (m *Manager) revokeIncompatible(h *lockHead, mode Mode, exclude *request) bool {
+	revoked := false
+	for r := h.queue; r != nil; {
+		next := r.next
+		if r != exclude && r.granted && !Compatible(r.mode, mode) &&
+			r.spec.CompareAndSwap(specSpeculative, specRevoked) {
+			unlinkRequest(h, r)
+			m.revokes.Add(1)
+			revoked = true
+		}
+		r = next
+	}
+	return revoked
+}
+
+// releaseRevoked finishes an agent-side revocation (Drop): the caller
+// won the CAS to specRevoked; unlink the request and re-examine the
+// queue under the bucket latch.
+func (m *Manager) releaseRevoked(name Name, r *request) {
+	b := m.bucketFor(name)
+	b.latch.Lock()
+	h := r.head
+	unlinkRequest(h, r)
+	h.grantWaiters(m)
+	b.removeHeadIfEmpty(h)
+	b.latch.Unlock()
+}

@@ -80,12 +80,28 @@ type Tx struct {
 	// could come from a pre-committed-but-not-yet-hardened transaction.
 	elrHorizon wal.LSN
 
-	// 2PL bookkeeping: every lock acquired, released only at commit/abort.
+	// 2PL bookkeeping: every distinct lock name acquired, released only
+	// at commit/abort.
 	locks []lock.Name
-	// rowLocks counts row locks per store for escalation.
-	rowLocks map[uint32]int
+	// held is the transaction-private lock cache: the supremum mode
+	// granted per name. It both answers the engine's covered-request
+	// fast path without a lock-table trip and dedupes the release list
+	// (the same name re-granted used to be replayed through Unlock once
+	// per grant).
+	held lock.Cache
+	// cacheHits counts lock requests answered by the private cache; a
+	// plain field (not atomic) because only the owner increments it —
+	// the engine folds it into the lock manager's stats at release.
+	cacheHits uint64
+	// agent, when non-nil, carries speculatively inherited intent locks
+	// between the transactions of one worker (SLI).
+	agent *lock.Agent
+	// rowLocks counts row locks per store for escalation. A transaction
+	// touches a handful of stores, so a linear-scanned slice beats a
+	// map (no allocation, no hashing).
+	rowLocks []rowLockCount
 	// escalated marks stores where the transaction holds a full-store lock.
-	escalated map[uint32]lock.Mode
+	escalated []storeEscalation
 
 	// ExtentCache is the per-transaction (conceptually thread-local)
 	// extent-membership cache of §6.2.2.
@@ -143,36 +159,81 @@ func (t *Tx) RecordLog(lsn wal.LSN) {
 // SetUndoNext moves the undo cursor (used when CLRs skip records).
 func (t *Tx) SetUndoNext(lsn wal.LSN) { t.undoNext.Store(uint64(lsn)) }
 
-// AddLock records a held lock for release at end-of-transaction.
-func (t *Tx) AddLock(n lock.Name) { t.locks = append(t.locks, n) }
+type rowLockCount struct {
+	store uint32
+	n     int
+}
 
-// Locks returns the held-lock list (most recent last).
+type storeEscalation struct {
+	store uint32
+	mode  lock.Mode
+}
+
+// AddLock records a grant of mode m on n: the private cache folds m
+// into any mode already held (Supremum, mirroring the manager's
+// conversion rule), and the name joins the release list only on its
+// first grant — releaseLocks releases each held name exactly once.
+func (t *Tx) AddLock(n lock.Name, m lock.Mode) {
+	if t.held.Put(n, m) {
+		t.locks = append(t.locks, n)
+	}
+}
+
+// HeldMode returns the supremum mode this transaction holds on n (NL if
+// none) from the private cache, without touching the lock table.
+func (t *Tx) HeldMode(n lock.Name) lock.Mode { return t.held.Get(n) }
+
+// HitLockCache counts one lock request answered by the private cache.
+func (t *Tx) HitLockCache() { t.cacheHits++ }
+
+// LockCacheHits returns the number of cache-answered lock requests.
+func (t *Tx) LockCacheHits() uint64 { return t.cacheHits }
+
+// SetAgent binds the worker agent whose inherited locks this
+// transaction may claim (nil detaches it).
+func (t *Tx) SetAgent(a *lock.Agent) { t.agent = a }
+
+// Agent returns the bound worker agent, if any.
+func (t *Tx) Agent() *lock.Agent { return t.agent }
+
+// Locks returns the held-lock list (most recent last), one entry per
+// distinct name.
 func (t *Tx) Locks() []lock.Name { return t.locks }
 
 // CountRowLock bumps the per-store row-lock counter and returns the new
 // count (for escalation decisions).
 func (t *Tx) CountRowLock(store uint32) int {
-	if t.rowLocks == nil {
-		t.rowLocks = make(map[uint32]int)
+	for i := range t.rowLocks {
+		if t.rowLocks[i].store == store {
+			t.rowLocks[i].n++
+			return t.rowLocks[i].n
+		}
 	}
-	t.rowLocks[store]++
-	return t.rowLocks[store]
+	t.rowLocks = append(t.rowLocks, rowLockCount{store: store, n: 1})
+	return 1
 }
 
 // MarkEscalated records that the transaction escalated to a store-level
 // lock in mode.
 func (t *Tx) MarkEscalated(store uint32, m lock.Mode) {
-	if t.escalated == nil {
-		t.escalated = make(map[uint32]lock.Mode)
+	for i := range t.escalated {
+		if t.escalated[i].store == store {
+			t.escalated[i].mode = m
+			return
+		}
 	}
-	t.escalated[store] = m
+	t.escalated = append(t.escalated, storeEscalation{store: store, mode: m})
 }
 
 // Escalated returns the store-level mode the transaction escalated to, if
 // any.
 func (t *Tx) Escalated(store uint32) (lock.Mode, bool) {
-	m, ok := t.escalated[store]
-	return m, ok
+	for i := range t.escalated {
+		if t.escalated[i].store == store {
+			return t.escalated[i].mode, true
+		}
+	}
+	return lock.NL, false
 }
 
 // Options configures the transaction manager.

@@ -118,11 +118,23 @@ func TestLockBookkeeping(t *testing.T) {
 	tx := m.Begin()
 	n1 := lock.StoreName(1)
 	n2 := lock.RowName(1, page.RID{Page: 2, Slot: 3})
-	tx.AddLock(n1)
-	tx.AddLock(n2)
+	tx.AddLock(n1, lock.IX)
+	tx.AddLock(n2, lock.X)
 	locks := tx.Locks()
 	if len(locks) != 2 || locks[0] != n1 || locks[1] != n2 {
 		t.Fatalf("locks = %v", locks)
+	}
+	// Re-granting a held name must not duplicate the release entry; the
+	// cached mode converges on the supremum of every grant.
+	tx.AddLock(n1, lock.S)
+	if got := tx.Locks(); len(got) != 2 {
+		t.Fatalf("re-grant duplicated release entry: %v", got)
+	}
+	if m := tx.HeldMode(n1); m != lock.SIX {
+		t.Fatalf("HeldMode(n1) = %v, want SIX (sup of IX and S)", m)
+	}
+	if m := tx.HeldMode(lock.StoreName(99)); m != lock.NL {
+		t.Fatalf("HeldMode(unheld) = %v, want NL", m)
 	}
 	if tx.CountRowLock(1) != 1 || tx.CountRowLock(1) != 2 {
 		t.Fatal("row lock counting wrong")

@@ -136,6 +136,15 @@ type Options struct {
 	CleanerInterval time.Duration
 	// Durability selects Commit's blocking behavior (see Durability).
 	Durability Durability
+	// SLI enables speculative lock inheritance: committing transactions
+	// park their database/store intent locks on a per-worker agent and
+	// the next transaction reclaims them with a single CAS instead of a
+	// lock-table round trip. Inherited locks are revoked on demand by
+	// conflicting requesters, so it is safe at every stage — but on
+	// high-conflict workloads (frequent store-level S/X locks, full-table
+	// scans) the revocation traffic can outweigh the savings; leave it
+	// off there. See the README's "Lock hierarchy" section.
+	SLI bool
 	// Retry governs Update/View's automatic deadlock/timeout retry; the
 	// zero value selects the defaults (see RetryPolicy).
 	Retry RetryPolicy
@@ -173,6 +182,9 @@ func Open(opts Options) (*DB, error) {
 		cfg.CleanerInterval = 50 * time.Millisecond
 	default:
 		cfg.CleanerInterval = 0
+	}
+	if opts.SLI {
+		cfg.SLI = true
 	}
 
 	var vol disk.Volume
