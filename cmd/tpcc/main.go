@@ -43,6 +43,7 @@ func main() {
 	frames := flag.Int("frames", 8192, "buffer pool frames")
 	payPct := flag.Int("payment", 50, "percent of transactions that are Payment (rest New Order)")
 	sli := flag.Bool("sli", false, "speculative lock inheritance: park intent locks on the worker agent across transactions")
+	olc := flag.Bool("olc", false, "optimistic latch coupling: validate B-tree inner nodes against latch versions instead of pinning them")
 	flag.Parse()
 
 	stage, ok := stageByName(*stageName)
@@ -53,6 +54,7 @@ func main() {
 	cfg := core.StageConfig(stage)
 	cfg.Frames = *frames
 	cfg.SLI = *sli
+	cfg.OLC = *olc
 
 	engine, err := core.Open(disk.NewMem(0), wal.NewMemStore(), cfg)
 	if err != nil {
@@ -134,6 +136,10 @@ func main() {
 		st.Lock.Acquires, st.Lock.Waits, st.Lock.Deadlocks, st.Lock.Timeouts, st.Lock.Cancels)
 	fmt.Printf("  lock bypass: %d cache hits, %d inherits, %d inherited grants, %d revokes\n",
 		st.Lock.CacheHits, st.Lock.Inherits, st.Lock.InheritedGrants, st.Lock.Revokes)
+	if *olc {
+		fmt.Printf("  btree OLC:   %d optimistic descents, %d restarts, %d fallbacks\n",
+			st.Btree.OptDescents, st.Btree.Restarts, st.Btree.Fallbacks)
+	}
 	fmt.Printf("  space:       %d page allocations, %d extent grows\n",
 		st.Space.Allocs, st.Space.ExtentsGrown)
 	fmt.Printf("  tx:          %d begun, %d committed, %d aborted\n",

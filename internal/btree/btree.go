@@ -3,6 +3,7 @@ package btree
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/page"
@@ -29,11 +30,67 @@ type Env interface {
 	Log(txID uint64, f *buffer.Frame, op pageop.Op, undo []byte) error
 }
 
+// OptEnv is the optional optimistic extension of Env: pin-free,
+// latch-free page references validated after the fact. buffer.Pool
+// implements it directly. Trees with an OptEnv descend inner levels
+// without writing any shared memory (optimistic latch coupling); leaves
+// keep classic SH/EX latching and the Lehman-Yao move-right rules.
+type OptEnv interface {
+	// FixOpt returns an optimistic reference to pid; ok=false when the
+	// page is absent, mid-load/eviction, or write-latched.
+	FixOpt(pid page.ID) (buffer.OptRef, bool)
+	// Validate reports whether all reads through the reference saw a
+	// consistent, current image.
+	Validate(buffer.OptRef) bool
+	// ReleaseOpt ends the reference (must always be called).
+	ReleaseOpt(buffer.OptRef)
+}
+
+// OLCStats counts optimistic-descent outcomes. One instance is typically
+// shared by every tree an engine opens, so the counters are engine-wide.
+type OLCStats struct {
+	OptDescents atomic.Uint64 // descents whose inner levels completed optimistically
+	Restarts    atomic.Uint64 // descents restarted from the root after failed validation
+	Fallbacks   atomic.Uint64 // descents that exhausted retries and went fully latched
+}
+
+// OLCSnapshot is a point-in-time copy of OLCStats.
+type OLCSnapshot struct {
+	OptDescents uint64
+	Restarts    uint64
+	Fallbacks   uint64
+}
+
+// Snapshot copies the counters.
+func (s *OLCStats) Snapshot() OLCSnapshot {
+	return OLCSnapshot{
+		OptDescents: s.OptDescents.Load(),
+		Restarts:    s.Restarts.Load(),
+		Fallbacks:   s.Fallbacks.Load(),
+	}
+}
+
+// maxOptRestarts bounds how often a descent restarts from the root after
+// a failed validation before falling back to the latched descent.
+const maxOptRestarts = 3
+
 // Tree is a B-link tree rooted at a fixed page.
 type Tree struct {
 	env   Env
+	opt   OptEnv // nil: every descent is latched
+	stats *OLCStats
 	store uint32
 	root  page.ID
+}
+
+// EnableOLC switches the tree to optimistic descents through opt,
+// recording outcomes in stats (allocated internally when nil). It must be
+// called before the tree is shared across goroutines.
+func (t *Tree) EnableOLC(opt OptEnv, stats *OLCStats) {
+	if stats == nil {
+		stats = new(OLCStats)
+	}
+	t.opt, t.stats = opt, stats
 }
 
 // Create allocates and initializes an empty tree for store, returning the
@@ -104,11 +161,147 @@ func (t *Tree) moveRight(f *buffer.Frame, hdr nodeHeader, key []byte, mode sync2
 	return f, hdr, nil
 }
 
-// descendToLeaf walks from the root to the leaf responsible for key,
-// latching in SH and crabbing; the leaf is returned latched in leafMode.
-// The returned path holds the page id of the parent at each level above
-// the leaf (for split propagation).
+// descendToLeaf walks from the root to the leaf responsible for key; the
+// leaf is returned latched in leafMode. The returned path holds the page
+// id of the parent at each level above the leaf (for split propagation).
+//
+// With an OptEnv the inner levels descend optimistically: separator keys
+// and child pointers are copied out of unlatched pages and validated
+// against the frame's latch version; a failed validation restarts from
+// the root (bounded), then the latched descent takes over. The leaf is
+// always latched for real.
 func (t *Tree) descendToLeaf(key []byte, leafMode sync2.LatchMode) (*buffer.Frame, nodeHeader, []page.ID, error) {
+	if t.opt != nil {
+		for attempt := 0; attempt < maxOptRestarts; attempt++ {
+			f, hdr, path, ok, err := t.descendOpt(key, leafMode)
+			if err != nil {
+				return nil, nodeHeader{}, nil, err
+			}
+			if ok {
+				t.stats.OptDescents.Add(1)
+				return f, hdr, path, nil
+			}
+			t.stats.Restarts.Add(1)
+		}
+		t.stats.Fallbacks.Add(1)
+	}
+	return t.descendLatched(key, leafMode)
+}
+
+// descendOpt is one optimistic descent attempt. ok=false (with nil error)
+// means a validation failed or the tree shifted under us: restart.
+// Returned errors were observed on validated (consistent) reads or the
+// latched leaf, so they are real.
+func (t *Tree) descendOpt(key []byte, leafMode sync2.LatchMode) (*buffer.Frame, nodeHeader, []page.ID, bool, error) {
+	var path []page.ID
+	pid := t.root
+	for {
+		var next page.ID
+		var level uint8
+		var leaf, sideways bool
+		if ref, got := t.opt.FixOpt(pid); got {
+			// Speculative read: everything extracted from the page before
+			// Validate is potentially torn and must be plain values or byte
+			// comparisons over bounds-checked accessors — never retained
+			// aliases. Only after Validate do the results mean anything.
+			var err error
+			next, level, leaf, sideways, err = nodeStep(ref.Page(), key)
+			valid := t.opt.Validate(ref)
+			t.opt.ReleaseOpt(ref)
+			if !valid {
+				return nil, nodeHeader{}, nil, false, nil
+			}
+			if err != nil {
+				// Validated, so the error is real corruption, not tearing.
+				return nil, nodeHeader{}, nil, false, err
+			}
+		} else {
+			// Not resident (or in flux): read this one node under a pinned
+			// SH latch — forcing a load if needed — then continue
+			// optimistically below it.
+			f, err := t.env.Fix(pid, sync2.LatchSH)
+			if err != nil {
+				return nil, nodeHeader{}, nil, false, err
+			}
+			next, level, leaf, sideways, err = nodeStep(f.Page(), key)
+			t.env.Unfix(f, sync2.LatchSH)
+			if err != nil {
+				return nil, nodeHeader{}, nil, false, err
+			}
+		}
+		if leaf {
+			return t.latchLeaf(pid, key, leafMode, path)
+		}
+		if !sideways {
+			path = append(path, pid)
+			if level == 1 {
+				// The child of a level-1 branch is a leaf, permanently
+				// (only the root ever changes level, and the root is
+				// nobody's child): latch it directly, skipping a wasted
+				// optimistic peek.
+				return t.latchLeaf(next, key, leafMode, path)
+			}
+		}
+		pid = next
+	}
+}
+
+// latchLeaf finishes a descent: pin+latch the leaf in leafMode, verify it
+// still is a leaf (the root may have grown a level — then restart), and
+// move right per Lehman-Yao.
+func (t *Tree) latchLeaf(pid page.ID, key []byte, leafMode sync2.LatchMode, path []page.ID) (*buffer.Frame, nodeHeader, []page.ID, bool, error) {
+	f, err := t.env.Fix(pid, leafMode)
+	if err != nil {
+		return nil, nodeHeader{}, nil, false, err
+	}
+	lh, err := readHeader(f.Page())
+	if err != nil {
+		t.env.Unfix(f, leafMode)
+		return nil, nodeHeader{}, nil, false, err
+	}
+	if !lh.isLeaf() {
+		t.env.Unfix(f, leafMode)
+		return nil, nodeHeader{}, nil, false, nil
+	}
+	f, lh, err = t.moveRight(f, lh, key, leafMode)
+	if err != nil {
+		return nil, nodeHeader{}, nil, false, err
+	}
+	return f, lh, path, true, nil
+}
+
+// nodeStep computes one descent step from a node image: leaf reports
+// arrival, sideways a Lehman-Yao move-right, otherwise next is the child
+// covering key (with level telling the caller what next is). All
+// extracted data is by-value, so a speculative caller may discard it
+// after a failed validation; on such reads an error usually just means
+// the image was torn.
+func nodeStep(p *page.Page, key []byte) (next page.ID, level uint8, leaf, sideways bool, err error) {
+	h, err := peekHeader(p)
+	if err != nil {
+		return 0, 0, false, false, err
+	}
+	switch {
+	case h.isLeaf():
+		return 0, h.level, true, false, nil
+	case needsMoveRight(h, key):
+		if h.right == 0 {
+			return 0, 0, false, false, fmt.Errorf("%w: high key without right sibling", ErrCorruptNode)
+		}
+		return h.right, h.level, false, true, nil
+	default:
+		next, err = branchChildFor(p, h, key)
+		if err != nil {
+			return 0, 0, false, false, err
+		}
+		return next, h.level, false, false, nil
+	}
+}
+
+// descendLatched is the classic pinned descent: SH latches level by
+// level, releasing each node before fixing the next (B-link move-right
+// repairs any split that slips in between).
+func (t *Tree) descendLatched(key []byte, leafMode sync2.LatchMode) (*buffer.Frame, nodeHeader, []page.ID, error) {
 	var path []page.ID
 	pid := t.root
 	for {

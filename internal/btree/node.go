@@ -71,7 +71,9 @@ func (h nodeHeader) encode() []byte {
 	return b
 }
 
-func decodeHeader(b []byte) (nodeHeader, error) {
+// decodeHeaderAlias decodes the header with highKey aliasing b — the one
+// place the layout (flags, level, right, leftChild, highKey) is read.
+func decodeHeaderAlias(b []byte) (nodeHeader, error) {
 	if len(b) < 18 {
 		return nodeHeader{}, fmt.Errorf("%w: short header", ErrCorruptNode)
 	}
@@ -82,7 +84,18 @@ func decodeHeader(b []byte) (nodeHeader, error) {
 		leftChild: page.ID(binary.LittleEndian.Uint64(b[10:])),
 	}
 	if len(b) > 18 {
-		h.highKey = append([]byte(nil), b[18:]...)
+		h.highKey = b[18:]
+	}
+	return h, nil
+}
+
+func decodeHeader(b []byte) (nodeHeader, error) {
+	h, err := decodeHeaderAlias(b)
+	if err != nil {
+		return nodeHeader{}, err
+	}
+	if h.highKey != nil {
+		h.highKey = append([]byte(nil), h.highKey...)
 	}
 	return h, nil
 }
@@ -94,6 +107,18 @@ func readHeader(p *page.Page) (nodeHeader, error) {
 		return nodeHeader{}, fmt.Errorf("%w: missing header record", ErrCorruptNode)
 	}
 	return decodeHeader(rec)
+}
+
+// peekHeader is readHeader without the high-key copy: highKey aliases
+// page memory. For hot paths that only compare against it and extract
+// scalars before the page can change (under a latch, or before an
+// optimistic validation whose failure discards every result).
+func peekHeader(p *page.Page) (nodeHeader, error) {
+	rec, err := p.Record(0)
+	if err != nil {
+		return nodeHeader{}, fmt.Errorf("%w: missing header record", ErrCorruptNode)
+	}
+	return decodeHeaderAlias(rec)
 }
 
 // entry encoding --------------------------------------------------------

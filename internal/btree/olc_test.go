@@ -1,0 +1,281 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/space"
+)
+
+// newOLCTree builds a tree with optimistic descents enabled over the
+// fake env's real buffer pool.
+func newOLCTree(tb testing.TB, frames int) (*Tree, *fakeEnv, *OLCStats) {
+	tb.Helper()
+	tr, env := newTestTree(tb, frames)
+	stats := new(OLCStats)
+	tr.EnableOLC(env.pool, stats)
+	return tr, env, stats
+}
+
+func TestOLCInsertSearchScan(t *testing.T) {
+	tr, _, stats := newOLCTree(t, 256)
+	const n = 2000 // forces a multi-level tree: inner nodes descend optimistically
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(1, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := tr.Search(key(i))
+		if err != nil || !ok {
+			t.Fatalf("Search(%s) = %v, %v", key(i), ok, err)
+		}
+		if !bytes.Equal(v, val(i)) {
+			t.Fatalf("Search(%s) = %q, want %q", key(i), v, val(i))
+		}
+	}
+	var got int
+	err := tr.Scan(nil, nil, func(k, v []byte) bool { got++; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("Scan saw %d keys, want %d", got, n)
+	}
+	if count, err := tr.Verify(); err != nil || count != n {
+		t.Fatalf("Verify = %d, %v; want %d", count, err, n)
+	}
+	s := stats.Snapshot()
+	if s.OptDescents == 0 {
+		t.Fatal("no optimistic descents recorded")
+	}
+	t.Logf("olc: %d optimistic, %d restarts, %d fallbacks", s.OptDescents, s.Restarts, s.Fallbacks)
+}
+
+// TestOLCEvictionChurn probes through a pool far smaller than the tree,
+// so optimistic references constantly race frame recycling: every
+// validation failure must restart or fall back, never return stale data.
+func TestOLCEvictionChurn(t *testing.T) {
+	tr, _, stats := newOLCTree(t, 32) // tree below will span hundreds of pages
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(1, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := rand.New(rand.NewSource(7))
+	for probe := 0; probe < 5000; probe++ {
+		i := r.Intn(n)
+		v, ok, err := tr.Search(key(i))
+		if err != nil || !ok {
+			t.Fatalf("Search(%s) = %v, %v", key(i), ok, err)
+		}
+		if !bytes.Equal(v, val(i)) {
+			t.Fatalf("Search(%s) = %q, want %q", key(i), v, val(i))
+		}
+	}
+	s := stats.Snapshot()
+	t.Logf("olc under churn: %d optimistic, %d restarts, %d fallbacks", s.OptDescents, s.Restarts, s.Fallbacks)
+}
+
+// TestOLCConcurrentSplitProbe hammers inserts (splitting constantly)
+// against optimistic searches and scans; run with -race this exercises
+// the degraded pinned path, without it the true speculative path.
+func TestOLCConcurrentSplitProbe(t *testing.T) {
+	tr, _, stats := newOLCTree(t, 512)
+	const (
+		writers = 4
+		readers = 4
+		perW    = 800
+	)
+	// Seed enough keys that readers have something to find immediately.
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(1, seqKey(99, i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perW; i++ {
+				if err := tr.Insert(1, seqKey(w, i), val(i)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func(r int) {
+			defer readWG.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := rng.Intn(100)
+				v, ok, err := tr.Search(seqKey(99, i))
+				if err != nil || !ok || !bytes.Equal(v, val(i)) {
+					t.Errorf("reader %d: Search(%s) = %q, %v, %v", r, seqKey(99, i), v, ok, err)
+					return
+				}
+				if rng.Intn(64) == 0 {
+					if err := tr.Scan(seqKey(99, 0), seqKey(99, 100), func(k, v []byte) bool { return true }); err != nil {
+						t.Errorf("reader %d: Scan: %v", r, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+
+	// Every inserted key must be findable and the structure sound.
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perW; i++ {
+			if _, ok, err := tr.Search(seqKey(w, i)); err != nil || !ok {
+				t.Fatalf("lost key %s: %v %v", seqKey(w, i), ok, err)
+			}
+		}
+	}
+	want := writers*perW + 100
+	if count, err := tr.Verify(); err != nil || count != want {
+		t.Fatalf("Verify = %d, %v; want %d", count, err, want)
+	}
+	s := stats.Snapshot()
+	t.Logf("olc concurrent: %d optimistic, %d restarts, %d fallbacks", s.OptDescents, s.Restarts, s.Fallbacks)
+}
+
+func seqKey(w, i int) []byte { return []byte(fmt.Sprintf("w%02d-%08d", w, i)) }
+
+// flakyOpt wraps an OptEnv and fails the first failN validations,
+// deterministically driving the restart and fallback paths.
+type flakyOpt struct {
+	OptEnv
+	mu    sync.Mutex
+	failN int
+}
+
+func (f *flakyOpt) Validate(r buffer.OptRef) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failN > 0 {
+		f.failN--
+		return false
+	}
+	return f.OptEnv.Validate(r)
+}
+
+func TestOLCRestartAndFallback(t *testing.T) {
+	tr, env := newTestTree(t, 256)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(1, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := new(OLCStats)
+	flaky := &flakyOpt{OptEnv: env.pool, failN: 1 << 30} // every validation fails
+	tr.EnableOLC(flaky, stats)
+
+	// With validation always failing, every descent must exhaust its
+	// restarts, fall back to the latched path, and still answer correctly.
+	for i := 0; i < 50; i++ {
+		v, ok, err := tr.Search(key(i))
+		if err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("Search(%s) under permanent validation failure = %q, %v, %v", key(i), v, ok, err)
+		}
+	}
+	s := stats.Snapshot()
+	if s.Fallbacks != 50 {
+		t.Fatalf("Fallbacks = %d, want 50", s.Fallbacks)
+	}
+	if s.Restarts != 50*maxOptRestarts {
+		t.Fatalf("Restarts = %d, want %d", s.Restarts, 50*maxOptRestarts)
+	}
+	if s.OptDescents != 0 {
+		t.Fatalf("OptDescents = %d, want 0", s.OptDescents)
+	}
+
+	// A single transient failure restarts once and then completes
+	// optimistically.
+	flaky.mu.Lock()
+	flaky.failN = 1
+	flaky.mu.Unlock()
+	if _, ok, err := tr.Search(key(60)); err != nil || !ok {
+		t.Fatalf("Search after transient failure: %v, %v", ok, err)
+	}
+	s2 := stats.Snapshot()
+	if s2.Restarts != s.Restarts+1 {
+		t.Fatalf("transient failure: Restarts = %d, want %d", s2.Restarts, s.Restarts+1)
+	}
+	if s2.OptDescents != 1 {
+		t.Fatalf("transient failure: OptDescents = %d, want 1", s2.OptDescents)
+	}
+	if s2.Fallbacks != s.Fallbacks {
+		t.Fatalf("transient failure: Fallbacks = %d, want %d", s2.Fallbacks, s.Fallbacks)
+	}
+}
+
+// BenchmarkIndexProbeParallel measures point probes through the real
+// buffer pool with and without optimistic latch coupling. The latched
+// variant pays pin + latch RMWs on the root and every inner node, so all
+// cores ping-pong the same frame cache lines; the OLC variant's inner
+// descent writes no shared memory at all. Run with -cpu=8 to see the
+// contention difference.
+func BenchmarkIndexProbeParallel(b *testing.B) {
+	for _, olc := range []bool{false, true} {
+		name := "latched"
+		if olc {
+			name = "olc"
+		}
+		b.Run(name, func(b *testing.B) {
+			env := newFakeEnv(b, 4096)
+			store := env.sm.CreateStore(space.KindBTree)
+			tr, err := Create(env, 1, store)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stats := new(OLCStats)
+			if olc {
+				tr.EnableOLC(env.pool, stats)
+			}
+			const n = 20000
+			for i := 0; i < n; i++ {
+				if err := tr.Insert(1, key(i), val(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(rand.Int63()))
+				for pb.Next() {
+					i := rng.Intn(n)
+					_, ok, err := tr.Search(key(i))
+					if err != nil || !ok {
+						b.Fatalf("Search(%s) = %v, %v", key(i), ok, err)
+					}
+				}
+			})
+			b.StopTimer()
+			if olc {
+				s := stats.Snapshot()
+				b.ReportMetric(float64(s.OptDescents), "optDescents")
+				b.ReportMetric(float64(s.Restarts), "restarts")
+				b.ReportMetric(float64(s.Fallbacks), "fallbacks")
+			}
+		})
+	}
+}

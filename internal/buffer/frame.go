@@ -17,12 +17,20 @@ import (
 
 // Frame is one buffer-pool slot: a page image plus its control state.
 type Frame struct {
-	buf   []byte
-	pg    *page.Page
-	pid   atomic.Uint64 // current page id, 0 if free
-	pin   pinCount
-	latch sync2.RWLatch
-	dirty atomic.Bool
+	buf []byte
+	pg  *page.Page
+	pid atomic.Uint64 // current page id, 0 if free
+	pin pinCount
+	// latch is versioned so optimistic readers (FixOpt) can validate that
+	// neither a writer nor a recycle touched the frame: every EX
+	// acquisition bumps the version, and the pool EX-latches frames while
+	// loading, evicting, and dropping their contents.
+	latch sync2.VersionedLatch
+	// slotHint is the heap layer's free-slot low-water mark: no slot below
+	// it is a reusable tombstone. It is advisory — too low merely rescans,
+	// and the pool resets it whenever the frame changes pages.
+	slotHint atomic.Uint32
+	dirty    atomic.Bool
 	// recLSN is the LSN of the first update since the page was last clean
 	// (the ARIES dirty-page-table entry).
 	recLSN atomic.Uint64
@@ -73,6 +81,24 @@ func (f *Frame) RecLSN() wal.LSN {
 
 // LatchStats exposes the frame latch's contention counters.
 func (f *Frame) LatchStats() sync2.Stats { return f.latch.Stats() }
+
+// SlotHint returns the heap free-slot hint: every slot below it is known
+// occupied, so tombstone scans may start there.
+func (f *Frame) SlotHint() uint16 { return uint16(f.slotHint.Load()) }
+
+// SetSlotHint raises the hint after an insert claimed the slot below it.
+func (f *Frame) SetSlotHint(s uint16) { f.slotHint.Store(uint32(s)) }
+
+// LowerSlotHint drops the hint to s when a delete tombstones a slot below
+// the current mark, restoring reuse of the freed slot.
+func (f *Frame) LowerSlotHint(s uint16) {
+	for {
+		old := f.slotHint.Load()
+		if uint32(s) >= old || f.slotHint.CompareAndSwap(old, uint32(s)) {
+			return
+		}
+	}
+}
 
 // pinCount extends sync2.PinCount semantics with the transitions the
 // buffer pool needs: pins from zero race against eviction freezes.

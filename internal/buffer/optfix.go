@@ -1,0 +1,75 @@
+package buffer
+
+import (
+	"repro/internal/page"
+)
+
+// Optimistic fixing: FixOpt returns a pin-free, latch-free reference to a
+// cached page. The caller performs speculative reads through OptRef.Page
+// — copying out everything it needs, tolerating torn data — and then
+// calls Validate; only on true were the reads consistent. ReleaseOpt must
+// always be called (it is a no-op on the fast path and exists for the
+// race-detector degradation, which holds a real SH latch + pin).
+//
+// Safety relies on three invariants the pool maintains:
+//
+//  1. Every in-place page write happens under the frame's EX latch, and
+//     the latch version bumps on each EX acquire and release.
+//  2. A frame changes pages (load, eviction, drop) only while EX-latched,
+//     so recycling is indistinguishable from writing to a validator.
+//  3. Page accessors bounds-check everything against the page size, so a
+//     torn image yields errors, never panics.
+//
+// Under `go test -race`, speculative reads concurrent with writer
+// mutations would be flagged as the data races they technically are, so
+// race-instrumented builds degrade FixOpt to a conditional pinned SH fix:
+// the optimistic control flow (descents, validation, restart, fallback)
+// still executes, but reads are truly synchronized. See optfix_race.go.
+
+// OptRef is an optimistic reference to a buffer frame. The zero value is
+// invalid; obtain one from Pool.FixOpt.
+type OptRef struct {
+	f      *Frame
+	ver    uint64
+	pinned bool // race-build degradation: SH latch + pin held
+}
+
+// Page exposes the (speculatively readable) page image. Every value read
+// through it must be treated as garbage until Validate returns true.
+func (r OptRef) Page() *page.Page { return r.f.pg }
+
+// Frame returns the underlying frame (advisory, e.g. for slot hints).
+func (r OptRef) Frame() *Frame { return r.f }
+
+// Validate reports whether all reads since FixOpt saw a consistent,
+// current image of the page: no writer held the frame latch, no EX
+// acquisition happened in between, and the frame still holds the same
+// page. It may be called repeatedly; the reference stays usable until
+// ReleaseOpt.
+func (p *Pool) Validate(r OptRef) bool {
+	if r.pinned {
+		return true // degraded mode reads under a real SH latch
+	}
+	return r.f.latch.Validate(r.ver)
+}
+
+// ReleaseOpt ends an optimistic reference. On the fast path it is free;
+// in degraded (race-build) mode it releases the SH latch and pin.
+func (p *Pool) ReleaseOpt(r OptRef) {
+	if r.pinned {
+		r.f.latch.UnlatchSH()
+		r.f.pin.unpin()
+	}
+}
+
+// lookupFrame finds the frame index caching pid without pinning: hot
+// array first, then the page table. Misses return false — FixOpt never
+// triggers I/O; the caller falls back to a pinned Fix to load the page.
+func (p *Pool) lookupFrame(pid page.ID) (uint32, bool) {
+	if idx, ok := p.hotLookup(pid); ok {
+		if p.frames[idx].PID() == pid {
+			return idx, true
+		}
+	}
+	return p.table.get(pid)
+}

@@ -1,0 +1,34 @@
+//go:build !race
+
+package buffer
+
+import "repro/internal/page"
+
+// FixOpt returns an optimistic reference to pid if it is cached and not
+// currently write-latched. It performs no shared-memory writes at all —
+// no pin-count RMW, no latch RMW — which is the whole point: read-mostly
+// inner-node traffic stops ping-ponging the frame's cache line.
+//
+// ok=false means "take the pinned path": the page is absent, mid-load,
+// mid-eviction, or write-latched.
+func (p *Pool) FixOpt(pid page.ID) (OptRef, bool) {
+	if p.closed.Load() || pid == page.InvalidID {
+		return OptRef{}, false
+	}
+	idx, ok := p.lookupFrame(pid)
+	if !ok {
+		return OptRef{}, false
+	}
+	f := p.frames[idx]
+	ver, ok := f.latch.OptRead()
+	if !ok {
+		return OptRef{}, false
+	}
+	// The identity check runs after the version sample: if the frame is
+	// recycled from here on, the EX latch the pool holds while recycling
+	// bumps the version and Validate fails.
+	if f.PID() != pid {
+		return OptRef{}, false
+	}
+	return OptRef{f: f, ver: ver}, true
+}

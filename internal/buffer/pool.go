@@ -347,7 +347,9 @@ func (p *Pool) miss(pid page.ID, mode sync2.LatchMode) (*Frame, error) {
 // load claims a victim frame, maps it to pid, and reads the page. With
 // TransitBypass the mapping becomes visible before the read and the EX
 // latch blocks other fixers; otherwise the mapping appears only after the
-// read completes (transit waiters handle the rest).
+// read completes (transit waiters handle the rest). The frame arrives
+// from allocFrame already EX-latched, so optimistic readers of the
+// recycled frame fail validation for the whole load.
 func (p *Pool) load(pid page.ID, mode sync2.LatchMode, transitIn *transitEntry) (*Frame, error) {
 	f, idx, err := p.allocFrame()
 	if err != nil {
@@ -357,13 +359,15 @@ func (p *Pool) load(pid page.ID, mode sync2.LatchMode, transitIn *transitEntry) 
 		// Publish first; hold EX during the read.
 		f.pid.Store(uint64(pid))
 		f.pin.unfreezeTo(1)
-		f.latch.LatchEX()
 		got, inserted, err := p.table.getOrInsert(pid, idx)
 		if err != nil || !inserted {
 			// Lost the race (or table error): return the frame to free.
+			// The identity must clear before the latch drops — a frame's
+			// pid may only change under the EX latch, or an optimistic
+			// reader could validate against the stale claim.
+			f.pid.Store(0)
 			f.latch.UnlatchEX()
 			f.pin.unfreezeTo(0)
-			f.pid.Store(0)
 			_ = got
 			if err != nil {
 				return nil, err
@@ -372,9 +376,9 @@ func (p *Pool) load(pid page.ID, mode sync2.LatchMode, transitIn *transitEntry) 
 		}
 		if err := p.vol.Read(pid, f.buf); err != nil {
 			p.table.delete(pid)
+			f.pid.Store(0)
 			f.latch.UnlatchEX()
 			f.pin.unfreezeTo(0)
-			f.pid.Store(0)
 			return nil, err
 		}
 		// Never-written pages read back zeroed; stamp the true id so the
@@ -387,8 +391,11 @@ func (p *Pool) load(pid page.ID, mode sync2.LatchMode, transitIn *transitEntry) 
 		p.hotRecord(pid, idx)
 		return f, nil
 	}
-	// Non-bypass: read first, publish after.
+	// Non-bypass: read first, publish after (still under the EX latch from
+	// allocFrame, so optimistic readers cannot validate against the
+	// half-loaded image).
 	if err := p.vol.Read(pid, f.buf); err != nil {
+		f.latch.UnlatchEX()
 		f.pin.unfreezeTo(0)
 		return nil, err
 	}
@@ -399,13 +406,17 @@ func (p *Pool) load(pid page.ID, mode sync2.LatchMode, transitIn *transitEntry) 
 	if err != nil || !inserted {
 		f.pin.unpin()
 		// Another loader won despite the transit list (possible only if
-		// callers raced begin/end); fall back to retry.
+		// callers raced begin/end); fall back to retry. Clear the identity
+		// before the latch drops (see the bypass path above).
 		f.pid.Store(0)
+		f.latch.UnlatchEX()
 		f.pin.unfreezeTo(0)
 		_ = got
 		return nil, err
 	}
-	f.Latch(mode)
+	if mode == sync2.LatchSH {
+		f.latch.Downgrade()
+	}
 	p.misses.Add(1)
 	p.hotRecord(pid, idx)
 	return f, nil
@@ -423,12 +434,12 @@ func (p *Pool) FixNew(pid page.ID) (*Frame, error) {
 	}
 	f.pid.Store(uint64(pid))
 	f.pin.unfreezeTo(1)
-	f.latch.LatchEX()
 	_, inserted, err := p.table.getOrInsert(pid, idx)
 	if err != nil || !inserted {
+		// Identity clears before the latch drops (see load).
+		f.pid.Store(0)
 		f.latch.UnlatchEX()
 		f.pin.unfreezeTo(0)
-		f.pid.Store(0)
 		if err != nil {
 			return nil, err
 		}
@@ -445,7 +456,10 @@ func (p *Pool) Unfix(f *Frame, mode sync2.LatchMode) {
 }
 
 // allocFrame runs the CLOCK hand to claim a victim frame. The returned
-// frame is frozen (pin == -1), unmapped, and clean.
+// frame is frozen (pin == -1), EX-latched, unmapped, and clean. The EX
+// latch never blocks — a frozen frame has no pin holders and latch
+// holders always pin first — but taking it bumps the frame's version so
+// optimistic readers that sampled the previous occupant fail validation.
 func (p *Pool) allocFrame() (*Frame, uint32, error) {
 	p.clockMu.Lock()
 	released := false
@@ -469,6 +483,8 @@ func (p *Pool) allocFrame() (*Frame, uint32, error) {
 		if !f.pin.tryFreeze() {
 			continue
 		}
+		f.latch.LatchEX()
+		f.slotHint.Store(0)
 		idx := uint32(p.hand)
 		if p.opts.ClockHandRelease {
 			// §7.6: release the clock hand before the (possibly slow)
@@ -476,6 +492,7 @@ func (p *Pool) allocFrame() (*Frame, uint32, error) {
 			unlock()
 		}
 		if err := p.evictContents(f); err != nil {
+			f.latch.UnlatchEX()
 			f.pin.unfreezeTo(0)
 			return nil, 0, err
 		}
@@ -547,12 +564,15 @@ func (p *Pool) dropOrphan(pid page.ID, idx uint32) {
 		return // already recycled
 	}
 	if f.pin.tryFreeze() {
+		f.latch.LatchEX() // never blocks (frozen); bumps the version for optimistic readers
 		if f.PID() == pid {
 			if f.Dirty() {
 				_ = p.writeBack(f)
 			}
 			f.pid.Store(0)
+			f.slotHint.Store(0)
 		}
+		f.latch.UnlatchEX()
 		f.pin.unfreezeTo(0)
 		return
 	}
@@ -572,11 +592,14 @@ func (p *Pool) Drop(pid page.ID) {
 	if !f.pin.tryFreeze() {
 		return // someone is using it; the clock will get it eventually
 	}
+	f.latch.LatchEX() // never blocks (frozen); bumps the version for optimistic readers
 	if f.PID() == pid {
 		p.table.delete(pid)
 		f.dirty.Store(false)
 		f.pid.Store(0)
+		f.slotHint.Store(0)
 	}
+	f.latch.UnlatchEX()
 	f.pin.unfreezeTo(0)
 }
 

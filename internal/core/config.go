@@ -100,8 +100,21 @@ type Config struct {
 	// store granularity the revocation round trips can outweigh the
 	// savings; leave it off there. The transaction-private lock cache
 	// is always on and needs no knob.
-	SLI  bool
-	Seed int64
+	SLI bool
+	// OLC enables optimistic latch coupling on B-tree descents: inner
+	// nodes are read speculatively against the frame latch's version
+	// (no pin-count or latch RMWs on the read path), restarting from the
+	// root on validation failure and falling back to the classic latched
+	// descent after bounded retries. Leaves keep SH/EX latching and the
+	// Lehman-Yao move-right rules, so crash consistency and key-lock
+	// semantics are unchanged. Observability: EngineStats.Btree
+	// (OptDescents / Restarts / Fallbacks).
+	OLC bool
+	// CheckpointEvery, when positive, runs a background fuzzy checkpoint
+	// whenever that many log bytes have accumulated since the last one,
+	// bounding restart-recovery work without manual Checkpoint calls.
+	CheckpointEvery int64
+	Seed            int64
 }
 
 // StageConfig returns the paper's preset for stage.

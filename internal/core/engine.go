@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/btree"
 	"repro/internal/buffer"
 	"repro/internal/disk"
 	"repro/internal/lock"
@@ -59,6 +60,16 @@ type Engine struct {
 	// worker set claiming its own locks back.
 	agentMu sync.Mutex
 	agents  []*lock.Agent
+
+	// olc aggregates optimistic-descent outcomes across every tree this
+	// engine opens (Config.OLC).
+	olc btree.OLCStats
+
+	// Auto-checkpoint daemon state (Config.CheckpointEvery): lastCkpt is
+	// the begin LSN of the most recent checkpoint, manual or automatic.
+	lastCkpt atomic.Uint64
+	ckptStop chan struct{}
+	ckptDone chan struct{}
 }
 
 // Open builds an engine over vol and logStore per cfg, running ARIES
@@ -86,7 +97,63 @@ func Open(vol disk.Volume, logStore wal.Store, cfg Config) (*Engine, error) {
 	if cfg.CommitPipeline {
 		e.flushd = wal.NewFlushDaemon(e.log, wal.DaemonOptions{Interval: cfg.PipelineInterval})
 	}
+	if cfg.CheckpointEvery > 0 {
+		e.lastCkpt.Store(uint64(e.log.CurLSN()))
+		e.ckptStop = make(chan struct{})
+		e.ckptDone = make(chan struct{})
+		go e.checkpointLoop()
+	}
 	return e, nil
+}
+
+// checkpointLoop is the auto-checkpoint daemon: it polls the log's growth
+// and takes a fuzzy checkpoint whenever CheckpointEvery bytes accumulated
+// since the last one (manual Checkpoint calls reset the meter too).
+// Polling beats hooking the insert path — the hot path stays free of
+// checkpoint bookkeeping, and a checkpoint's cost dwarfs a few dozen
+// milliseconds of trigger latency.
+func (e *Engine) checkpointLoop() {
+	defer close(e.ckptDone)
+	ticker := time.NewTicker(25 * time.Millisecond)
+	defer ticker.Stop()
+	skip := 0 // ticks to sit out after a failure (exponential, capped)
+	fails := 0
+	for {
+		select {
+		case <-e.ckptStop:
+			return
+		case <-ticker.C:
+			if skip > 0 {
+				skip--
+				continue
+			}
+			if int64(uint64(e.log.CurLSN())-e.lastCkpt.Load()) >= e.cfg.CheckpointEvery {
+				// A failed checkpoint (engine closing, log store trouble)
+				// leaves lastCkpt in place so the attempt is retried — but
+				// with exponential backoff, because each attempt itself
+				// appends log records and sweeps the pool; hammering a
+				// persistently failing store at tick rate would grow the
+				// very log this daemon exists to bound.
+				if err := e.Checkpoint(); err != nil {
+					fails++
+					skip = 1 << min(fails, 9) // caps at ~12.8s between attempts
+				} else {
+					fails = 0
+				}
+			}
+		}
+	}
+}
+
+// stopCheckpointLoop stops the auto-checkpoint daemon, waiting for any
+// in-flight checkpoint to finish.
+func (e *Engine) stopCheckpointLoop() {
+	if e.ckptStop == nil {
+		return
+	}
+	close(e.ckptStop)
+	<-e.ckptDone
+	e.ckptStop = nil
 }
 
 // Config returns the engine's resolved configuration.
@@ -110,6 +177,7 @@ func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		return nil
 	}
+	e.stopCheckpointLoop()
 	if e.flushd != nil {
 		_ = e.flushd.Close() // final flush of queued commit LSNs
 	}
@@ -640,7 +708,13 @@ func (e *Engine) Checkpoint() error {
 	if err := e.log.Flush(endLSN + 1); err != nil {
 		return err
 	}
-	return e.logStore.SetMaster(beginLSN)
+	if err := e.logStore.SetMaster(beginLSN); err != nil {
+		return err
+	}
+	// Reset the auto-checkpoint meter only once the checkpoint fully
+	// landed, so a failed attempt is retried on the daemon's next tick.
+	e.lastCkpt.Store(uint64(beginLSN))
+	return nil
 }
 
 // Crash simulates power failure for recovery testing: background work
@@ -649,6 +723,7 @@ func (e *Engine) Crash() {
 	if e.closed.Swap(true) {
 		return
 	}
+	e.stopCheckpointLoop()
 	if e.flushd != nil {
 		e.flushd.Kill() // queued hardens are abandoned, not flushed
 	}
@@ -664,6 +739,7 @@ func (e *Engine) CrashHard() {
 	if e.closed.Swap(true) {
 		return
 	}
+	e.stopCheckpointLoop()
 	if e.flushd != nil {
 		e.flushd.Kill()
 	}
@@ -678,7 +754,8 @@ type EngineStats struct {
 	Lock     lock.Stats
 	Space    space.Stats
 	Tx       tx.Stats
-	Pipeline wal.DaemonStats // zero unless CommitPipeline is enabled
+	Pipeline wal.DaemonStats   // zero unless CommitPipeline is enabled
+	Btree    btree.OLCSnapshot // zero unless OLC is enabled
 }
 
 // Stats snapshots all component counters.
@@ -689,6 +766,7 @@ func (e *Engine) Stats() EngineStats {
 		Lock:   e.locks.Stats(),
 		Space:  e.sm.Stats(),
 		Tx:     e.txns.Stats(),
+		Btree:  e.olc.Snapshot(),
 	}
 	if e.flushd != nil {
 		s.Pipeline = e.flushd.Stats()

@@ -37,6 +37,16 @@ func (v btreeEnv) Log(txID uint64, f *buffer.Frame, op pageop.Op, undo []byte) e
 	return v.e.logPhysical(txID, t, f, op, undo, undo == nil)
 }
 
+// newTree wraps btree.Open, enabling optimistic descents per Config.OLC.
+// The buffer pool itself is the OptEnv; stats aggregate engine-wide.
+func (e *Engine) newTree(store uint32, root page.ID) *btree.Tree {
+	tr := btree.Open(btreeEnv{e}, store, root)
+	if e.cfg.OLC {
+		tr.EnableOLC(e.pool, &e.olc)
+	}
+	return tr
+}
+
 // Index is a B-tree index handle.
 type Index struct {
 	tree  *btree.Tree
@@ -67,6 +77,9 @@ func (e *Engine) CreateIndex(t *tx.Tx) (*Index, error) {
 	if err := e.sm.SetRoot(store, tr.Root()); err != nil {
 		return nil, err
 	}
+	if e.cfg.OLC {
+		tr.EnableOLC(e.pool, &e.olc)
+	}
 	return &Index{tree: tr, store: store}, nil
 }
 
@@ -79,7 +92,7 @@ func (e *Engine) OpenIndex(store uint32) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{tree: btree.Open(btreeEnv{e}, store, root), store: store}, nil
+	return &Index{tree: e.newTree(store, root), store: store}, nil
 }
 
 // keyLockName maps an index key to its lock name (key-value locking).
@@ -230,5 +243,5 @@ func (e *Engine) openTreeByStore(store uint32) (*btree.Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	return btree.Open(btreeEnv{e}, store, root), nil
+	return e.newTree(store, root), nil
 }

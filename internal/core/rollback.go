@@ -100,6 +100,11 @@ func (e *Engine) undoPhysical(t interface {
 	if err := pageop.Apply(f.Page(), op); err != nil {
 		return fmt.Errorf("core: physical undo %v on %v: %w", op.Kind, rec.Page, err)
 	}
+	if op.Kind == pageop.KindHeapDelete {
+		// Undoing an insert tombstones the slot; keep the frame's
+		// free-slot hint honest so the slot stays reusable.
+		f.LowerSlotHint(op.Slot)
+	}
 	f.Page().SetLSN(uint64(lsn))
 	f.MarkDirty(lsn)
 	t.RecordLog(lsn)

@@ -315,12 +315,20 @@ func (p *Page) InsertAt(i int, data []byte) error {
 }
 
 // Record returns the record stored in slot i (aliased, not copied).
+// Every bound is checked against the page size rather than trusted:
+// optimistic (latch-free) readers may call Record on a page image that a
+// concurrent writer is mutating, so a torn slot directory must surface
+// as ErrBadSlot — never as an out-of-range panic. Callers validate their
+// latch version afterwards and discard the result on mismatch.
 func (p *Page) Record(i int) ([]byte, error) {
 	if i < 0 || i >= p.NumSlots() {
 		return nil, ErrBadSlot
 	}
+	if p.slotPos(i)+slotSize > len(p.b) {
+		return nil, ErrBadSlot
+	}
 	off, length := p.slot(i)
-	if off == 0 {
+	if off < headerSize || off+length > len(p.b) {
 		return nil, ErrBadSlot
 	}
 	return p.b[off : off+length], nil

@@ -1,0 +1,127 @@
+package sync2
+
+import "sync/atomic"
+
+// VersionedLatch is an RWLatch extended with an epoch counter for
+// optimistic latch coupling (Cha et al.'s OLFIT / LeanStore-style
+// versioned latches): every exclusive acquisition and release bumps the
+// version, so a reader can sample the version, perform speculative reads
+// with no shared-memory writes at all, and then Validate that no writer
+// ran in between. Shared acquisitions do not bump the version — SH
+// holders never modify the protected data, so optimistic readers may
+// overlap them freely.
+//
+// Protocol:
+//
+//	v, ok := l.OptRead()        // sample; ok=false while a writer holds
+//	... speculative reads ...   // must tolerate torn data (copy out,
+//	                            // bounds-check, never dereference)
+//	if !l.Validate(v) { retry or fall back to LatchSH }
+//
+// The EX path bumps the version once on acquire and once on release, so
+// a sample taken at any point relative to a writer either observes the
+// writer bit (acquire precedes release's clearing of it) or a version
+// change; in both cases Validate fails. Callers must route every
+// exclusive acquisition through this type's methods — taking the
+// embedded RWLatch's EX path directly would skip the bump and break
+// optimistic readers.
+type VersionedLatch struct {
+	RWLatch
+	ver atomic.Uint64
+}
+
+// LatchEX acquires exclusively and bumps the version so that optimistic
+// readers sampled before the acquisition fail validation.
+func (l *VersionedLatch) LatchEX() {
+	l.RWLatch.LatchEX()
+	l.ver.Add(1)
+}
+
+// TryLatchEX attempts an exclusive acquisition without waiting.
+func (l *VersionedLatch) TryLatchEX() bool {
+	if l.RWLatch.TryLatchEX() {
+		l.ver.Add(1)
+		return true
+	}
+	return false
+}
+
+// UnlatchEX bumps the version, then releases: a reader sampling between
+// the two steps still sees the writer bit and fails.
+func (l *VersionedLatch) UnlatchEX() {
+	l.ver.Add(1)
+	l.RWLatch.UnlatchEX()
+}
+
+// TryUpgrade converts SH to EX (sole-reader only), bumping the version.
+func (l *VersionedLatch) TryUpgrade() bool {
+	if l.RWLatch.TryUpgrade() {
+		l.ver.Add(1)
+		return true
+	}
+	return false
+}
+
+// Downgrade converts EX to SH. The version bumps first: the writer's
+// modifications are complete, but readers that sampled during the EX
+// hold must still fail validation.
+func (l *VersionedLatch) Downgrade() {
+	l.ver.Add(1)
+	l.RWLatch.Downgrade()
+}
+
+// Latch acquires in mode, routing EX through the versioned path.
+func (l *VersionedLatch) Latch(m LatchMode) {
+	switch m {
+	case LatchSH:
+		l.LatchSH()
+	case LatchEX:
+		l.LatchEX()
+	}
+}
+
+// TryLatch attempts acquisition in mode without waiting.
+func (l *VersionedLatch) TryLatch(m LatchMode) bool {
+	switch m {
+	case LatchSH:
+		return l.TryLatchSH()
+	case LatchEX:
+		return l.TryLatchEX()
+	default:
+		return true
+	}
+}
+
+// Unlatch releases a hold taken in mode.
+func (l *VersionedLatch) Unlatch(m LatchMode) {
+	switch m {
+	case LatchSH:
+		l.UnlatchSH()
+	case LatchEX:
+		l.UnlatchEX()
+	}
+}
+
+// OptRead begins an optimistic read: it samples the version and reports
+// ok=false when a writer currently holds the latch. No shared cache line
+// is written.
+func (l *VersionedLatch) OptRead() (uint64, bool) {
+	v := l.ver.Load()
+	if l.HeldEX() {
+		return 0, false
+	}
+	return v, true
+}
+
+// Validate ends an optimistic read begun at version v: it reports whether
+// no writer held or acquired the latch since the sample, i.e. whether the
+// speculative reads in between observed a consistent snapshot.
+func (l *VersionedLatch) Validate(v uint64) bool {
+	if l.HeldEX() {
+		return false
+	}
+	return l.ver.Load() == v
+}
+
+// Version returns the current version (advisory; for tests and stats).
+func (l *VersionedLatch) Version() uint64 { return l.ver.Load() }

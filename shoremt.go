@@ -145,6 +145,22 @@ type Options struct {
 	// scans) the revocation traffic can outweigh the savings; leave it
 	// off there. See the README's "Lock hierarchy" section.
 	SLI bool
+	// OLC enables optimistic latch coupling on B-tree descents: probes
+	// and the inner levels of every index operation read nodes
+	// speculatively and validate against a per-frame latch version
+	// instead of pinning and latching them, removing all shared-memory
+	// writes from read-mostly index traffic. Validation failures restart
+	// from the root and, after bounded retries, fall back to the classic
+	// latched descent; leaves are always latched, so locking and crash
+	// consistency are unchanged. Observability: Stats().Btree
+	// (OptDescents / Restarts / Fallbacks). See the README's "Latch
+	// hierarchy" section.
+	OLC bool
+	// CheckpointEvery, when positive, takes a background fuzzy checkpoint
+	// every time that many log bytes accumulate, so long-running
+	// workloads bound their restart-recovery work without calling
+	// DB.Checkpoint manually. Zero disables automatic checkpoints.
+	CheckpointEvery int64
 	// Retry governs Update/View's automatic deadlock/timeout retry; the
 	// zero value selects the defaults (see RetryPolicy).
 	Retry RetryPolicy
@@ -185,6 +201,12 @@ func Open(opts Options) (*DB, error) {
 	}
 	if opts.SLI {
 		cfg.SLI = true
+	}
+	if opts.OLC {
+		cfg.OLC = true
+	}
+	if opts.CheckpointEvery > 0 {
+		cfg.CheckpointEvery = opts.CheckpointEvery
 	}
 
 	var vol disk.Volume

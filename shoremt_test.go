@@ -414,3 +414,115 @@ func TestOptionsSLI(t *testing.T) {
 		t.Fatalf("scan saw %d rows, want 11", n)
 	}
 }
+
+// TestPublicOLCOption drives index traffic with optimistic latch
+// coupling on through the managed API and checks the new stats surface.
+func TestPublicOLCOption(t *testing.T) {
+	db := openTest(t, Options{OLC: true})
+	ctx := context.Background()
+	var ix *Index
+	err := db.Update(ctx, func(tx *Tx) error {
+		var err error
+		ix, err = db.CreateIndex(tx)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 1500; i++ {
+			if err := ix.Insert(tx, []byte(fmt.Sprintf("key%06d", i)), []byte("v")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.View(ctx, func(tx *Tx) error {
+		for i := 0; i < 1500; i += 7 {
+			k := []byte(fmt.Sprintf("key%06d", i))
+			v, ok, err := ix.Get(tx, k)
+			if err != nil || !ok || string(v) != "v" {
+				return fmt.Errorf("Get(%s) = %q, %v, %v", k, v, ok, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats().Btree
+	if s.OptDescents == 0 {
+		t.Fatal("OLC enabled but no optimistic descents recorded")
+	}
+	if s.OptDescents < 10*(s.Restarts+s.Fallbacks) {
+		t.Fatalf("optimistic descents (%d) should dwarf restarts (%d) + fallbacks (%d) on this mix",
+			s.OptDescents, s.Restarts, s.Fallbacks)
+	}
+}
+
+// TestPublicAutoCheckpoint checks that Options.CheckpointEvery bounds
+// recovery without any manual DB.Checkpoint call: the log's master
+// record advances on its own as committed work accumulates.
+func TestPublicAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir, CleanerInterval: -1, CheckpointEvery: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+	var tb *Table
+	var rid RID
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := db.Update(ctx, func(tx *Tx) error {
+			if tb == nil {
+				var err error
+				if tb, err = db.CreateTable(tx); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < 16; i++ {
+				var err error
+				if rid, err = tb.Insert(tx, make([]byte, 200)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		master, err := db.logStore.Master()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if master > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("auto-checkpoint never ran")
+		}
+	}
+	// Reopen (clean close flushes; the point is the master moved on its
+	// own) and confirm the data is there.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{Dir: dir, CleanerInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tb2 := db2.OpenTable(tb.ID())
+	err = db2.View(ctx, func(tx *Tx) error {
+		got, err := tb2.Get(tx, rid)
+		if err != nil || len(got) != 200 {
+			return fmt.Errorf("Get(%v) = %d bytes, %v", rid, len(got), err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
