@@ -41,6 +41,7 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "run duration")
 	stageName := flag.String("stage", "final", "engine optimization stage (baseline|bpool1|caching|log|lock mgr|bpool2|final|pipeline)")
 	frames := flag.Int("frames", 8192, "buffer pool frames")
+	shards := flag.Int("shards", 0, "buffer replacement shards (0 = stage default: GOMAXPROCS-scaled from bpool2 up, 1 = single clock hand)")
 	payPct := flag.Int("payment", 50, "percent of transactions that are Payment (rest New Order)")
 	sli := flag.Bool("sli", false, "speculative lock inheritance: park intent locks on the worker agent across transactions")
 	olc := flag.Bool("olc", false, "optimistic latch coupling: validate B-tree inner nodes against latch versions instead of pinning them")
@@ -55,6 +56,10 @@ func main() {
 	cfg.Frames = *frames
 	cfg.SLI = *sli
 	cfg.OLC = *olc
+	if *shards > 0 {
+		cfg.Buffer.Shards = *shards
+	}
+	cfg.CleanerInterval = 10 * time.Millisecond
 
 	engine, err := core.Open(disk.NewMem(0), wal.NewMemStore(), cfg)
 	if err != nil {
@@ -130,6 +135,14 @@ func main() {
 	fmt.Printf("\nengine statistics:\n")
 	fmt.Printf("  buffer pool: %d hits, %d hot-array hits, %d misses, %d evictions\n",
 		st.Buffer.Hits, st.Buffer.HotHits, st.Buffer.Misses, st.Buffer.Evictions)
+	fmt.Printf("  bpool repl.: %d shards, %d free-list allocs, %d steals, %d cleaner-supplied, %d clock scans\n",
+		len(st.Buffer.Shards), st.Buffer.FreeListHits, st.Buffer.Steals, st.Buffer.CleanerFrees, st.Buffer.ScanFrames)
+	if len(st.Buffer.Shards) > 1 {
+		for i, sh := range st.Buffer.Shards {
+			fmt.Printf("    shard %2d:  %8d evictions, %8d scans, %6d steals, %6d cleaner-supplied, %4d free\n",
+				i, sh.Evictions, sh.Scans, sh.Steals, sh.CleanerFrees, sh.FreeFrames)
+		}
+	}
 	fmt.Printf("  log:         %d inserts (%.1f MiB), %d flushes\n",
 		st.Log.Inserts, float64(st.Log.InsertedBytes)/(1<<20), st.Log.Flushes)
 	fmt.Printf("  locks:       %d acquires, %d waits, %d deadlocks, %d timeouts, %d canceled\n",

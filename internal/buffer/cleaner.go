@@ -7,21 +7,38 @@ import (
 	"repro/internal/wal"
 )
 
-// cleanerState holds the background dirty-page cleaner. Beyond keeping
-// evictions cheap (clean victims need no write-back), the cleaner
-// implements the paper's final checkpoint optimization (§7.7): because it
-// already sweeps the whole pool asynchronously, it tracks the log position
-// each sweep started at; once a sweep completes, every page dirtied before
-// that position has been written, so the checkpoint can use the published
-// value instead of serially scanning the buffer pool while blocking all
-// transactions.
+// cleanerState holds the background dirty-page cleaner. It has three
+// jobs. First, replacement pacing: it keeps every shard's free list of
+// pre-evicted frames above its low watermark, so a miss almost never
+// performs eviction I/O itself — dirty victims are written back here,
+// off the miss path. Second, keeping evictions cheap even when a clock
+// must run (clean victims need no write-back). Third, the paper's final
+// checkpoint optimization (§7.7): because it already sweeps the whole
+// pool asynchronously, it tracks the log position each sweep started at;
+// once a sweep completes, every page dirtied before that position has
+// been written, so the checkpoint can use the published value instead of
+// serially scanning the buffer pool while blocking all transactions.
 type cleanerState struct {
 	stop    chan struct{}
 	done    chan struct{}
 	running atomic.Bool
+	// kick is the miss path's demand signal: a shard's free list ran low
+	// (or dry), so refill ahead of the next ticker beat. Buffered to one
+	// token; created at pool construction so kickCleaner never races
+	// StartCleaner.
+	kick chan struct{}
 	// ckptLSN is the published "oldest possible recLSN" from the last
 	// completed sweep; NullLSN until one completes.
 	ckptLSN atomic.Uint64
+}
+
+// kickCleaner nudges the cleaner to refill shard free lists now. A no-op
+// (one pending token at most) when the cleaner is busy or not running.
+func (p *Pool) kickCleaner() {
+	select {
+	case p.cleaner.kick <- struct{}{}:
+	default:
+	}
 }
 
 // StartCleaner launches the background cleaner sweeping every interval.
@@ -51,8 +68,36 @@ func (p *Pool) cleanerLoop(interval time.Duration) {
 		select {
 		case <-p.cleaner.stop:
 			return
+		case <-p.cleaner.kick:
+			p.RefillFreeLists()
 		case <-ticker.C:
 			p.CleanerSweep()
+			p.RefillFreeLists()
+		}
+	}
+}
+
+// RefillFreeLists tops up every shard free list that fell under its low
+// watermark, evicting clock victims (clean ones preferred; dirty ones
+// are written back here, off the miss path) until the high watermark is
+// restored. Exported so tests and benchmarks can prime the lists
+// synchronously; the background cleaner calls it on every kick and tick.
+func (p *Pool) RefillFreeLists() {
+	if !p.freeLists {
+		return // single-hand mode: the clock is the only allocator
+	}
+	for _, s := range p.shards {
+		if int(s.nfree.Load()) >= s.lowWater {
+			continue
+		}
+		for int(s.nfree.Load()) < s.highWater {
+			f, idx, err := p.claimVictim(s)
+			if err != nil {
+				break // region exhausted (all pinned) or I/O error; retry next pass
+			}
+			f.latch.UnlatchEX()
+			s.pushFree(idx)
+			s.cleanerFrees.Add(1)
 		}
 	}
 }

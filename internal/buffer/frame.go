@@ -1,13 +1,16 @@
 // Package buffer implements the buffer pool manager whose step-by-step
 // de-bottlenecking is the spine of the Shore-MT paper: pluggable hash
 // index (global-mutex chain, per-bucket chain, 3-ary cuckoo), atomic
-// pin-if-pinned, a hot-page array, CLOCK replacement with early hand
-// release, partitioned in-transit lists with the transit-bypass
-// optimization, and background dirty-page cleaning that doubles as the
-// checkpoint's oldest-dirty-LSN tracker.
+// pin-if-pinned, a hot-page array, CLOCK replacement sharded into
+// independent per-region hands with free lists of pre-evicted frames
+// (early hand release carried over per shard), partitioned in-transit
+// lists with the transit-bypass optimization, and a shard-aware
+// background cleaner that keeps the free lists ahead of demand and
+// doubles as the checkpoint's oldest-dirty-LSN tracker.
 package buffer
 
 import (
+	"runtime"
 	"sync/atomic"
 
 	"repro/internal/page"
@@ -19,6 +22,7 @@ import (
 type Frame struct {
 	buf []byte
 	pg  *page.Page
+	idx uint32        // position in the pool's frame array (immutable)
 	pid atomic.Uint64 // current page id, 0 if free
 	pin pinCount
 	// latch is versioned so optimistic readers (FixOpt) can validate that
@@ -37,14 +41,14 @@ type Frame struct {
 	refbit atomic.Bool // CLOCK reference bit
 }
 
-// newFrame allocates a frame and its page buffer.
-func newFrame() *Frame {
+// newFrame allocates frame idx and its page buffer.
+func newFrame(idx uint32) *Frame {
 	buf := make([]byte, page.Size)
 	pg, err := page.Wrap(buf)
 	if err != nil {
 		panic(err) // buffer is page.Size by construction
 	}
-	return &Frame{buf: buf, pg: pg}
+	return &Frame{buf: buf, pg: pg, idx: idx}
 }
 
 // Page returns the page image. Callers must hold the frame's latch.
@@ -144,6 +148,19 @@ func (p *pinCount) tryFreeze() bool { return p.n.CompareAndSwap(0, -1) }
 // unfreezeTo releases a frozen frame directly into the pinned state (the
 // evictor hands the frame to the fixer) or back to free (count 0).
 func (p *pinCount) unfreezeTo(count int32) { p.n.Store(count) }
+
+// freezeFromOne retires a loader's single pin straight into the frozen
+// state (1 → -1), waiting out transient pin-then-check visitors (stale
+// hot-array entries, table lookups that raced the load's failure); they
+// unpin as soon as an ID check fails. Only the pin's sole legitimate
+// holder may call it, and NEVER while holding the frame's latch: a
+// visitor that passed its pre-latch ID check parks its pin behind that
+// latch, and waiting for the unpin would deadlock (see retireFailedLoad).
+func (p *pinCount) freezeFromOne() {
+	for !p.n.CompareAndSwap(1, -1) {
+		runtime.Gosched()
+	}
+}
 
 // get returns the raw count.
 func (p *pinCount) get() int32 { return p.n.Load() }

@@ -32,5 +32,12 @@ func (p *Pool) FixOpt(pid page.ID) (OptRef, bool) {
 		f.pin.unpin()
 		return OptRef{}, false
 	}
+	if f.PID() != pid {
+		// Dumped by a failed load between the pinned ID check and the
+		// latch; the fast path catches this via version validation.
+		f.latch.UnlatchSH()
+		f.pin.unpin()
+		return OptRef{}, false
+	}
 	return OptRef{f: f, ver: f.latch.Version(), pinned: true}, true
 }

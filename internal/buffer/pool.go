@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/disk"
 	"repro/internal/hash"
@@ -49,7 +50,13 @@ type Options struct {
 	HotArray          int       // entries in the hot-page array (§7.3), 0 = off
 	TransitPartitions int       // in-transit list partitions (1 = original, 128 = §6.2.3)
 	TransitBypass     bool      // in-transit-in pages visible in the table (§6.2.3)
-	ClockHandRelease  bool      // release clock mutex before eviction I/O (§7.6)
+	ClockHandRelease  bool      // release clock mutex before eviction I/O (§7.6); per shard
+	// Shards partitions page replacement into independent clock regions,
+	// each with its own hand, lock, and free list of pre-evicted frames.
+	// 0 (AutoShards) scales with GOMAXPROCS; 1 restores the single global
+	// clock hand of the original design exactly — no free lists, every
+	// miss runs the clock, dirty victims write back inline.
+	Shards int
 	// FlushLog enforces the WAL rule before a dirty page is written; nil
 	// disables (for tests without a log).
 	FlushLog func(wal.LSN) error
@@ -59,25 +66,45 @@ type Options struct {
 	Seed   int64
 }
 
+// ShardStats counts one replacement shard's activity.
+type ShardStats struct {
+	Evictions    uint64 // victims evicted from this shard's region
+	Scans        uint64 // frames the shard's clock hand examined
+	Steals       uint64 // misses homed here that took a frame from another shard
+	CleanerFrees uint64 // free-list frames supplied by the cleaner
+	FreeListHits uint64 // misses served straight from the free list
+	FreeFrames   int    // current free-list length
+}
+
 // Stats counts pool activity.
 type Stats struct {
-	Hits        uint64
-	HotHits     uint64
-	Misses      uint64
-	Evictions   uint64
-	Writebacks  uint64 // eviction write-backs
-	CleanerIO   uint64 // cleaner write-backs
-	TransitWait uint64
-	PinRetries  uint64
-	TableLock   sync2.Stats // chain-table latch contention (zero for cuckoo)
-	ClockLock   sync2.Stats
-	GlobalLock  sync2.Stats // pin-discipline mutex (baseline only)
+	Hits             uint64
+	HotHits          uint64
+	Misses           uint64
+	Evictions        uint64
+	Writebacks       uint64 // eviction write-backs
+	CleanerIO        uint64 // cleaner write-backs
+	TransitWait      uint64
+	TransitConflicts uint64 // eviction retries against an in-flight transit
+	PinRetries       uint64
+	FreeListHits     uint64 // misses that allocated from a shard free list
+	Steals           uint64 // misses that crossed into another shard
+	CleanerFrees     uint64 // free frames the cleaner pre-evicted
+	ScanFrames       uint64 // total frames examined by all clock hands
+	Shards           []ShardStats
+	TableLock        sync2.Stats // chain-table latch contention (zero for cuckoo)
+	ClockLock        sync2.Stats // aggregated over every shard's hand lock
+	GlobalLock       sync2.Stats // pin-discipline mutex (baseline only)
 }
 
 // Errors returned by the pool.
 var (
 	ErrNoFreeFrames = errors.New("buffer: no evictable frames")
 	ErrPoolClosed   = errors.New("buffer: pool closed")
+
+	// errShardExhausted is the internal "this region had no victim"
+	// signal that drives stealing and the cleaner-kick retry loop.
+	errShardExhausted = errors.New("buffer: shard exhausted")
 )
 
 // pageTable abstracts the pid → frame-index map.
@@ -127,21 +154,29 @@ type Pool struct {
 	table  pageTable
 	// pinMu is the baseline pin discipline: without AtomicPin, every
 	// lookup+pin holds this single mutex (the original Shore global lock).
-	pinMu   sync2.Locker
-	clockMu sync2.Locker
-	hand    int // guarded by clockMu
-	transit *transitSet
-	hot     []atomic.Uint64 // packed pid<<24|idx hot-page array
-	closed  atomic.Bool
+	pinMu sync2.Locker
+	// shards partitions replacement into independent clock regions (see
+	// shard.go); shardBase is the region size for index→shard mapping.
+	// freeLists gates the pre-evicted free lists and cleaner refilling:
+	// off with a single shard, which then reproduces the original global
+	// clock hand (misses always run the clock, dirty victims write back
+	// inline) for the paper's pre-bpool2 stages and benchmark baselines.
+	shards    []*shard
+	shardBase int
+	freeLists bool
+	transit   *transitSet
+	hot       []atomic.Uint64 // packed pid<<24|idx hot-page array
+	closed    atomic.Bool
 
-	hits        atomic.Uint64
-	hotHits     atomic.Uint64
-	misses      atomic.Uint64
-	evictions   atomic.Uint64
-	writebacks  atomic.Uint64
-	cleanerIO   atomic.Uint64
-	transitWait atomic.Uint64
-	pinRetries  atomic.Uint64
+	hits             atomic.Uint64
+	hotHits          atomic.Uint64
+	misses           atomic.Uint64
+	evictions        atomic.Uint64
+	writebacks       atomic.Uint64
+	cleanerIO        atomic.Uint64
+	transitWait      atomic.Uint64
+	transitConflicts atomic.Uint64
+	pinRetries       atomic.Uint64
 
 	cleaner cleanerState
 }
@@ -159,11 +194,15 @@ func New(vol disk.Volume, opts Options) *Pool {
 		vol:     vol,
 		frames:  make([]*Frame, opts.Frames),
 		transit: newTransitSet(opts.TransitPartitions),
-		clockMu: new(sync2.HybridLock),
 	}
+	p.cleaner.kick = make(chan struct{}, 1)
 	for i := range p.frames {
-		p.frames[i] = newFrame()
+		p.frames[i] = newFrame(uint32(i))
 	}
+	n := shardCount(opts.Frames, opts.Shards)
+	p.freeLists = n > 1
+	p.shards = newShards(p.frames, n, p.freeLists)
+	p.shardBase = opts.Frames / n
 	switch opts.Table {
 	case TableCuckoo:
 		p.table = cuckooAdapter{t: hash.NewCuckoo(opts.Frames*4, opts.Seed), pool: p}
@@ -222,15 +261,21 @@ func (p *Pool) Fix(pid page.ID, mode sync2.LatchMode) (*Frame, error) {
 		// Hot-page array: pin first, check the ID after (§7.3 — "we changed
 		// the search to pin the page, then check its ID before acquiring
 		// the latch; if a page eviction occurs before the pin completes the
-		// IDs would not match").
+		// IDs would not match"). The ID is re-checked after the latch too:
+		// a failed load dumps its frame by clearing the pid under the EX
+		// latch, so a visitor that pinned and passed the first check while
+		// the load was in flight must not treat the dumped frame as pid.
 		if idx, ok := p.hotLookup(pid); ok {
 			f := p.frames[idx]
 			if f.pin.pinIfPinned() {
 				if f.PID() == pid {
 					f.refbit.Store(true)
 					f.Latch(mode)
-					p.hotHits.Add(1)
-					return f, nil
+					if f.PID() == pid {
+						p.hotHits.Add(1)
+						return f, nil
+					}
+					f.Unlatch(mode)
 				}
 				f.pin.unpin()
 			}
@@ -238,9 +283,15 @@ func (p *Pool) Fix(pid page.ID, mode sync2.LatchMode) (*Frame, error) {
 		if f := p.lookupAndPin(pid); f != nil {
 			f.refbit.Store(true)
 			f.Latch(mode)
-			p.hits.Add(1)
-			p.hotRecord(pid, p.frameIndex(f))
-			return f, nil
+			if f.PID() == pid {
+				p.hits.Add(1)
+				p.hotRecord(pid, p.frameIndex(f))
+				return f, nil
+			}
+			// Dumped by a failed load between the pin's ID check and the
+			// latch; fall through to miss (the mapping is gone).
+			f.Unlatch(mode)
+			f.pin.unpin()
 		}
 		f, err := p.miss(pid, mode)
 		if err != nil {
@@ -297,14 +348,7 @@ func (p *Pool) lookupAndPin(pid page.ID) *Frame {
 	}
 }
 
-func (p *Pool) frameIndex(f *Frame) uint32 {
-	for i := range p.frames {
-		if p.frames[i] == f {
-			return uint32(i)
-		}
-	}
-	return 0
-}
+func (p *Pool) frameIndex(f *Frame) uint32 { return f.idx }
 
 // miss loads pid from disk. It returns a pinned, latched frame; nil frame
 // (no error) means "retry Fix".
@@ -351,7 +395,7 @@ func (p *Pool) miss(pid page.ID, mode sync2.LatchMode) (*Frame, error) {
 // from allocFrame already EX-latched, so optimistic readers of the
 // recycled frame fail validation for the whole load.
 func (p *Pool) load(pid page.ID, mode sync2.LatchMode, transitIn *transitEntry) (*Frame, error) {
-	f, idx, err := p.allocFrame()
+	f, idx, err := p.allocFrame(pid)
 	if err != nil {
 		return nil, err
 	}
@@ -361,13 +405,11 @@ func (p *Pool) load(pid page.ID, mode sync2.LatchMode, transitIn *transitEntry) 
 		f.pin.unfreezeTo(1)
 		got, inserted, err := p.table.getOrInsert(pid, idx)
 		if err != nil || !inserted {
-			// Lost the race (or table error): return the frame to free.
-			// The identity must clear before the latch drops — a frame's
-			// pid may only change under the EX latch, or an optimistic
-			// reader could validate against the stale claim.
-			f.pid.Store(0)
-			f.latch.UnlatchEX()
-			f.pin.unfreezeTo(0)
+			// Lost the race (or table error): dump the claim. The identity
+			// clears before the latch drops — a frame's pid may only change
+			// under the EX latch, or an optimistic reader could validate
+			// against the stale claim.
+			p.retireFailedLoad(f, idx)
 			_ = got
 			if err != nil {
 				return nil, err
@@ -376,9 +418,7 @@ func (p *Pool) load(pid page.ID, mode sync2.LatchMode, transitIn *transitEntry) 
 		}
 		if err := p.vol.Read(pid, f.buf); err != nil {
 			p.table.delete(pid)
-			f.pid.Store(0)
-			f.latch.UnlatchEX()
-			f.pin.unfreezeTo(0)
+			p.retireFailedLoad(f, idx)
 			return nil, err
 		}
 		// Never-written pages read back zeroed; stamp the true id so the
@@ -395,8 +435,8 @@ func (p *Pool) load(pid page.ID, mode sync2.LatchMode, transitIn *transitEntry) 
 	// allocFrame, so optimistic readers cannot validate against the
 	// half-loaded image).
 	if err := p.vol.Read(pid, f.buf); err != nil {
-		f.latch.UnlatchEX()
-		f.pin.unfreezeTo(0)
+		// Still frozen and unmapped: straight back to circulation.
+		p.releaseFreeFrame(f, idx)
 		return nil, err
 	}
 	f.pg.SetPID(pid)
@@ -404,13 +444,9 @@ func (p *Pool) load(pid page.ID, mode sync2.LatchMode, transitIn *transitEntry) 
 	f.pin.unfreezeTo(1)
 	got, inserted, err := p.table.getOrInsert(pid, idx)
 	if err != nil || !inserted {
-		f.pin.unpin()
 		// Another loader won despite the transit list (possible only if
-		// callers raced begin/end); fall back to retry. Clear the identity
-		// before the latch drops (see the bypass path above).
-		f.pid.Store(0)
-		f.latch.UnlatchEX()
-		f.pin.unfreezeTo(0)
+		// callers raced begin/end); fall back to retry.
+		p.retireFailedLoad(f, idx)
 		_ = got
 		return nil, err
 	}
@@ -428,7 +464,7 @@ func (p *Pool) FixNew(pid page.ID) (*Frame, error) {
 	if p.closed.Load() {
 		return nil, ErrPoolClosed
 	}
-	f, idx, err := p.allocFrame()
+	f, idx, err := p.allocFrame(pid)
 	if err != nil {
 		return nil, err
 	}
@@ -436,10 +472,7 @@ func (p *Pool) FixNew(pid page.ID) (*Frame, error) {
 	f.pin.unfreezeTo(1)
 	_, inserted, err := p.table.getOrInsert(pid, idx)
 	if err != nil || !inserted {
-		// Identity clears before the latch drops (see load).
-		f.pid.Store(0)
-		f.latch.UnlatchEX()
-		f.pin.unfreezeTo(0)
+		p.retireFailedLoad(f, idx)
 		if err != nil {
 			return nil, err
 		}
@@ -455,73 +488,132 @@ func (p *Pool) Unfix(f *Frame, mode sync2.LatchMode) {
 	f.pin.unpin()
 }
 
-// allocFrame runs the CLOCK hand to claim a victim frame. The returned
-// frame is frozen (pin == -1), EX-latched, unmapped, and clean. The EX
-// latch never blocks — a frozen frame has no pin holders and latch
-// holders always pin first — but taking it bumps the frame's version so
-// optimistic readers that sampled the previous occupant fail validation.
-func (p *Pool) allocFrame() (*Frame, uint32, error) {
-	p.clockMu.Lock()
-	released := false
-	unlock := func() {
-		if !released {
-			p.clockMu.Unlock()
-			released = true
+// Miss-path recovery bounds: a fully pinned pool kicks the cleaner and
+// retries with backoff before ErrNoFreeFrames surfaces, and an eviction
+// that keeps colliding with in-flight transits of its victim's pid gives
+// up after a bounded number of waits.
+const (
+	allocRetries    = 5
+	allocBackoff    = 50 * time.Microsecond
+	maxTransitWaits = 8
+)
+
+// allocFrame claims a frame for pid: its home shard's free list first
+// (no eviction work at all), then the home clock region, and only when
+// that region is exhausted the other shards — free lists, then clocks
+// (counted as steals). The returned frame is frozen (pin == -1),
+// EX-latched, unmapped, and clean. The EX latch never blocks — a frozen
+// frame has no pin holders and latch holders always pin first — but
+// taking it bumps the frame's version so optimistic readers that sampled
+// the previous occupant fail validation.
+//
+// When every shard is exhausted (all frames pinned), allocFrame kicks
+// the cleaner and retries with backoff; only then does it surface
+// ErrNoFreeFrames, decorated with the pool's occupancy.
+func (p *Pool) allocFrame(pid page.ID) (*Frame, uint32, error) {
+	home := p.homeShard(pid)
+	for attempt := 0; ; attempt++ {
+		f, idx, err := p.allocOnce(home)
+		if err == nil {
+			return f, idx, nil
 		}
-	}
-	defer unlock()
-	limit := 3 * len(p.frames)
-	for i := 0; i < limit; i++ {
-		p.hand = (p.hand + 1) % len(p.frames)
-		f := p.frames[p.hand]
-		if f.refbit.Swap(false) {
-			continue // second chance
-		}
-		if f.pin.get() != 0 {
-			continue
-		}
-		if !f.pin.tryFreeze() {
-			continue
-		}
-		f.latch.LatchEX()
-		f.slotHint.Store(0)
-		idx := uint32(p.hand)
-		if p.opts.ClockHandRelease {
-			// §7.6: release the clock hand before the (possibly slow)
-			// eviction I/O so other misses can proceed.
-			unlock()
-		}
-		if err := p.evictContents(f); err != nil {
-			f.latch.UnlatchEX()
-			f.pin.unfreezeTo(0)
+		if err != errShardExhausted {
 			return nil, 0, err
 		}
-		unlock()
+		if attempt >= allocRetries {
+			pinned, free := p.occupancy()
+			return nil, 0, fmt.Errorf("%w (%d/%d frames pinned, %d free-listed; %d retries)",
+				ErrNoFreeFrames, pinned, len(p.frames), free, attempt)
+		}
+		p.kickCleaner()
+		if attempt == 0 {
+			runtime.Gosched() // a pin is often released within a scheduling quantum
+		} else {
+			time.Sleep(allocBackoff << attempt)
+		}
+	}
+}
+
+// allocOnce is one sweep of the allocation ladder for home.
+func (p *Pool) allocOnce(home *shard) (*Frame, uint32, error) {
+	if f, idx, ok := p.claimFree(home); ok {
+		home.freeHits.Add(1)
+		if int(home.nfree.Load()) < home.lowWater {
+			p.kickCleaner() // demand is eating into the buffer: refill ahead
+		}
 		return f, idx, nil
 	}
-	return nil, 0, ErrNoFreeFrames
+	if p.freeLists {
+		p.kickCleaner() // the free list ran dry: replacement fell behind
+	}
+	f, idx, err := p.claimVictim(home)
+	if err == nil || err != errShardExhausted {
+		return f, idx, err
+	}
+	// Home region exhausted: steal. Neighbors' free lists first (cheap),
+	// then their clock regions.
+	n := len(p.shards)
+	for off := 1; off < n; off++ {
+		s := p.shards[(home.id+off)%n]
+		if f, idx, ok := p.claimFree(s); ok {
+			home.steals.Add(1)
+			return f, idx, nil
+		}
+	}
+	for off := 1; off < n; off++ {
+		s := p.shards[(home.id+off)%n]
+		f, idx, err := p.claimVictim(s)
+		if err == nil {
+			home.steals.Add(1)
+			return f, idx, nil
+		}
+		if err != errShardExhausted {
+			return nil, 0, err
+		}
+	}
+	return nil, 0, errShardExhausted
+}
+
+// occupancy reports how many frames are pinned and how many sit on free
+// lists (error-path diagnostics only; the scan is racy but indicative).
+func (p *Pool) occupancy() (pinned, free int) {
+	for _, f := range p.frames {
+		if f.pin.get() > 0 {
+			pinned++
+		}
+	}
+	for _, s := range p.shards {
+		free += int(s.nfree.Load())
+	}
+	return pinned, free
 }
 
 // evictContents writes back and unmaps whatever page the frozen frame
-// holds.
-func (p *Pool) evictContents(f *Frame) error {
+// holds. s, when non-nil, is the shard charged for the eviction.
+func (p *Pool) evictContents(f *Frame, s *shard) error {
 	oldPid := f.PID()
 	if oldPid == 0 {
 		return nil
 	}
 	p.evictions.Add(1)
+	if s != nil {
+		s.evictions.Add(1)
+	}
 	if f.Dirty() {
 		// Register in-transit-out before unmapping so that concurrent
 		// misses on oldPid wait for the write instead of reading a stale
 		// disk image.
 		e, fresh := p.transit.begin(oldPid)
-		if !fresh {
-			// Another transit in flight for this pid; wait and retry once.
+		for tries := 1; !fresh; tries++ {
+			// Another transit in flight for this pid (e.g. a cleaner
+			// write-back or a cuckoo orphan drop). Wait it out — bounded,
+			// so a wedged transit cannot hang the miss path forever.
+			p.transitConflicts.Add(1)
+			if tries > maxTransitWaits {
+				return fmt.Errorf("buffer: persistent transit conflict on %v (%d waits)", oldPid, tries-1)
+			}
 			e.wait()
 			e, fresh = p.transit.begin(oldPid)
-			if !fresh {
-				return fmt.Errorf("buffer: persistent transit conflict on %v", oldPid)
-			}
 		}
 		p.table.delete(oldPid)
 		err := p.writeBack(f)
@@ -565,15 +657,23 @@ func (p *Pool) dropOrphan(pid page.ID, idx uint32) {
 	}
 	if f.pin.tryFreeze() {
 		f.latch.LatchEX() // never blocks (frozen); bumps the version for optimistic readers
+		freed := false
 		if f.PID() == pid {
 			if f.Dirty() {
 				_ = p.writeBack(f)
 			}
 			f.pid.Store(0)
 			f.slotHint.Store(0)
+			freed = !f.Dirty() // write-back failure keeps the frame out of reuse
 		}
 		f.latch.UnlatchEX()
-		f.pin.unfreezeTo(0)
+		if freed {
+			// Clean and unmapped: straight back to circulation (the shard
+			// free list, still frozen) instead of waiting for the clock.
+			p.freeFrozen(f, idx)
+		} else {
+			f.pin.unfreezeTo(0)
+		}
 		return
 	}
 	// Pinned: the page must stay reachable. Re-insert (may cascade again,
@@ -593,14 +693,22 @@ func (p *Pool) Drop(pid page.ID) {
 		return // someone is using it; the clock will get it eventually
 	}
 	f.latch.LatchEX() // never blocks (frozen); bumps the version for optimistic readers
+	freed := false
 	if f.PID() == pid {
 		p.table.delete(pid)
 		f.dirty.Store(false)
 		f.pid.Store(0)
 		f.slotHint.Store(0)
+		freed = true
 	}
 	f.latch.UnlatchEX()
-	f.pin.unfreezeTo(0)
+	if freed {
+		// The dropped page's frame is clean and unmapped: recycle it via
+		// the shard free list (still frozen) rather than the clock.
+		p.freeFrozen(f, idx)
+	} else {
+		f.pin.unfreezeTo(0)
+	}
 }
 
 // FlushAll writes every dirty page to the volume (e.g. at clean shutdown).
@@ -655,19 +763,40 @@ func (p *Pool) DirtyPageTable(beginLSN wal.LSN) []wal.DirtyInfo {
 	return out
 }
 
-// Stats returns a snapshot of pool counters.
+// Stats returns a snapshot of pool counters, including one ShardStats
+// entry per replacement shard and their aggregates.
 func (p *Pool) Stats() Stats {
 	s := Stats{
-		Hits:        p.hits.Load(),
-		HotHits:     p.hotHits.Load(),
-		Misses:      p.misses.Load(),
-		Evictions:   p.evictions.Load(),
-		Writebacks:  p.writebacks.Load(),
-		CleanerIO:   p.cleanerIO.Load(),
-		TransitWait: p.transitWait.Load(),
-		PinRetries:  p.pinRetries.Load(),
-		TableLock:   p.table.lockStats(),
-		ClockLock:   p.clockMu.Stats(),
+		Hits:             p.hits.Load(),
+		HotHits:          p.hotHits.Load(),
+		Misses:           p.misses.Load(),
+		Evictions:        p.evictions.Load(),
+		Writebacks:       p.writebacks.Load(),
+		CleanerIO:        p.cleanerIO.Load(),
+		TransitWait:      p.transitWait.Load(),
+		TransitConflicts: p.transitConflicts.Load(),
+		PinRetries:       p.pinRetries.Load(),
+		TableLock:        p.table.lockStats(),
+	}
+	s.Shards = make([]ShardStats, len(p.shards))
+	for i, sh := range p.shards {
+		ss := ShardStats{
+			Evictions:    sh.evictions.Load(),
+			Scans:        sh.scans.Load(),
+			Steals:       sh.steals.Load(),
+			CleanerFrees: sh.cleanerFrees.Load(),
+			FreeListHits: sh.freeHits.Load(),
+			FreeFrames:   int(sh.nfree.Load()),
+		}
+		s.Shards[i] = ss
+		s.FreeListHits += ss.FreeListHits
+		s.Steals += ss.Steals
+		s.CleanerFrees += ss.CleanerFrees
+		s.ScanFrames += ss.Scans
+		cs := sh.mu.Stats()
+		s.ClockLock.Acquisitions += cs.Acquisitions
+		s.ClockLock.Contended += cs.Contended
+		s.ClockLock.SpinIters += cs.SpinIters
 	}
 	if p.pinMu != nil {
 		s.GlobalLock = p.pinMu.Stats()

@@ -32,7 +32,7 @@ func variants() map[string]Options {
 }
 
 // newVol creates a volume with n initialized heap pages.
-func newVol(t *testing.T, n int) *disk.MemVolume {
+func newVol(t testing.TB, n int) *disk.MemVolume {
 	t.Helper()
 	v := disk.NewMem(0)
 	if _, err := v.Grow(n); err != nil {

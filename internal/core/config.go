@@ -126,11 +126,13 @@ func StageConfig(stage Stage) Config {
 		LockTimeout:   500 * time.Millisecond,
 		EscalateAfter: 1024,
 	}
-	// Baseline defaults (original Shore): global mutexes, coupled log.
+	// Baseline defaults (original Shore): global mutexes, coupled log,
+	// one global clock hand.
 	c.Buffer = buffer.Options{
 		Table:             buffer.TableGlobalChain,
 		AtomicPin:         false,
 		TransitPartitions: 1,
+		Shards:            1,
 	}
 	c.LogDesign = wal.DesignCoupled
 	c.Lock = lock.Options{Table: lock.TableGlobal, Pool: lock.PoolMutex, DetectDeadlock: true}
@@ -161,6 +163,10 @@ func StageConfig(stage Stage) Config {
 		c.Buffer.ClockHandRelease = true
 		c.Buffer.TransitPartitions = 128
 		c.Buffer.TransitBypass = true
+		// Beyond the paper's §7.6 (which only shortened the clock critical
+		// section): shard replacement into GOMAXPROCS-scaled clock regions
+		// with per-shard free lists kept full by the cleaner.
+		c.Buffer.Shards = buffer.AutoShards
 	}
 	if stage >= StageFinal {
 		c.LogDesign = wal.DesignConsolidated

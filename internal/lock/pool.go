@@ -113,7 +113,7 @@ func (p *lockFreePool) get() *request {
 func (p *lockFreePool) put(r *request) {
 	n := &r.node
 	if n.Value() == nil {
-		*n = *sync2.NewStackNode(r)
+		n.Init(r)
 	}
 	p.stack.Push(n)
 }

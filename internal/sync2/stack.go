@@ -3,14 +3,24 @@ package sync2
 import "sync/atomic"
 
 // StackNode is embedded (or pointed to) by values stored in a Stack.
-// Callers own allocation of nodes; the stack only links them.
+// Callers own allocation of nodes; the stack only links them. The link is
+// atomic because a losing Pop reads a node's next pointer concurrently
+// with the winning Pop clearing it (and with the owner re-Pushing it).
 type StackNode struct {
-	next *StackNode
+	next atomic.Pointer[StackNode]
 	val  any
 }
 
 // NewStackNode returns a node carrying val.
-func NewStackNode(val any) *StackNode { return &StackNode{val: val} }
+func NewStackNode(val any) *StackNode {
+	n := &StackNode{}
+	n.val = val
+	return n
+}
+
+// Init sets the payload of an embedded zero-value node. It must happen
+// before the node's first Push and never again afterwards.
+func (n *StackNode) Init(val any) { n.val = val }
 
 // Value returns the payload the node carries.
 func (n *StackNode) Value() any { return n.val }
@@ -34,7 +44,7 @@ type Stack struct {
 func (s *Stack) Push(n *StackNode) {
 	for {
 		old := s.head.Load()
-		n.next = old
+		n.next.Store(old)
 		if s.head.CompareAndSwap(old, n) {
 			s.size.Add(1)
 			return
@@ -49,9 +59,10 @@ func (s *Stack) Pop() *StackNode {
 		if old == nil {
 			return nil
 		}
-		if s.head.CompareAndSwap(old, old.next) {
+		next := old.next.Load()
+		if s.head.CompareAndSwap(old, next) {
 			s.size.Add(-1)
-			old.next = nil
+			old.next.Store(nil)
 			return old
 		}
 	}

@@ -228,6 +228,49 @@ func TestStagesAllFunctional(t *testing.T) {
 	}
 }
 
+func TestBufferShardsOption(t *testing.T) {
+	// An explicit shard count survives plumbing into the engine, and the
+	// pre-bpool2 stages keep the original single clock hand by default.
+	db := openTest(t, Options{BufferShards: 2, BufferFrames: 128})
+	if got := len(db.Stats().Buffer.Shards); got != 2 {
+		t.Fatalf("shard count = %d, want 2", got)
+	}
+	ctx := context.Background()
+	var rid RID
+	tb := (*Table)(nil)
+	err := db.Update(ctx, func(tx *Tx) error {
+		var err error
+		tb, err = db.CreateTable(tx)
+		if err != nil {
+			return err
+		}
+		rid, err = tb.Insert(tx, []byte("sharded"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.View(ctx, func(tx *Tx) error {
+		got, err := tb.Get(tx, rid)
+		if err != nil || string(got) != "sharded" {
+			return fmt.Errorf("Get = %q, %v", got, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh pool serves its first misses from the free lists.
+	if st := db.Stats().Buffer; st.FreeListHits == 0 {
+		t.Errorf("no free-list allocations recorded: %+v", st)
+	}
+
+	base := openTest(t, Options{Stage: StageBaseline, BufferFrames: 128})
+	if got := len(base.Stats().Buffer.Shards); got != 1 {
+		t.Errorf("baseline shard count = %d, want 1", got)
+	}
+}
+
 func TestDefaultStageIsFinal(t *testing.T) {
 	// The zero Options must open the finished Shore-MT, not the baseline.
 	db := openTest(t, Options{})
