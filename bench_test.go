@@ -294,6 +294,74 @@ func BenchmarkFigure5_NewOrderParallel(b *testing.B) {
 	}
 }
 
+// benchDoraParallel drives one TPC-C transaction type from concurrent
+// workers (run with -cpu=8), comparing the engine's best shared-lock
+// configuration (SLI, PR 3's baseline) against data-oriented execution
+// on the same mix. One iteration is one committed transaction.
+func benchDoraParallel(b *testing.B, dora bool, run func(db *tpcc.DB, r *tpcc.Rand, home uint32) error) {
+	const warehouses = 8
+	cfg := core.StageConfig(core.StageFinal)
+	cfg.Frames = 4096
+	if dora {
+		cfg.DORA = true
+		cfg.DoraKeys = warehouses
+	} else {
+		cfg.SLI = true
+	}
+	e := newBenchEngineCfg(b, cfg)
+	db, err := tpcc.Load(e, tpcc.Scale{Warehouses: warehouses, Districts: 4, Customers: 50, Items: 100, StockPerItem: true}, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seq, giveUps atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := seq.Add(1)
+		r := tpcc.NewRand(id)
+		home := uint32(id%warehouses + 1)
+		for pb.Next() {
+			err := run(db, r, home)
+			switch {
+			case err == nil, errors.Is(err, tpcc.ErrUserAbort):
+			case core.IsRetryable(err):
+				giveUps.Add(1) // retry budget exhausted under contention
+			default:
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(giveUps.Load())/float64(b.N), "giveups/op")
+	if dora {
+		st := e.Stats().Dora
+		b.ReportMetric(float64(st.CrossTx)/float64(b.N), "crosstx/op")
+		b.ReportMetric(float64(st.LocalAcquires)/float64(b.N), "localacq/op")
+	}
+}
+
+// BenchmarkDoraParallel is the PR's headline comparison: the SLI
+// configuration versus DORA-style partitioned execution, per
+// transaction type. CI captures it as BENCH_dora.json.
+func BenchmarkDoraParallel(b *testing.B) {
+	payment := func(db *tpcc.DB, r *tpcc.Rand, home uint32) error {
+		return db.PaymentWithRetry(tpcc.GenPayment(r, db.Scale, home), 100)
+	}
+	newOrder := func(db *tpcc.DB, r *tpcc.Rand, home uint32) error {
+		return db.NewOrderWithRetry(tpcc.GenNewOrder(r, db.Scale, home), 100)
+	}
+	doraPayment := func(db *tpcc.DB, r *tpcc.Rand, home uint32) error {
+		return db.DoraPayment(context.Background(), tpcc.GenPayment(r, db.Scale, home))
+	}
+	doraNewOrder := func(db *tpcc.DB, r *tpcc.Rand, home uint32) error {
+		return db.DoraNewOrder(context.Background(), tpcc.GenNewOrder(r, db.Scale, home))
+	}
+	b.Run("payment/sli", func(b *testing.B) { benchDoraParallel(b, false, payment) })
+	b.Run("payment/dora", func(b *testing.B) { benchDoraParallel(b, true, doraPayment) })
+	b.Run("neworder/sli", func(b *testing.B) { benchDoraParallel(b, false, newOrder) })
+	b.Run("neworder/dora", func(b *testing.B) { benchDoraParallel(b, true, doraNewOrder) })
+}
+
 func BenchmarkFigure6_FreeSpaceMutex(b *testing.B) {
 	// The Figure 6 variants on the real free-space manager.
 	variants := []struct {

@@ -45,6 +45,8 @@ func main() {
 	payPct := flag.Int("payment", 50, "percent of transactions that are Payment (rest New Order)")
 	sli := flag.Bool("sli", false, "speculative lock inheritance: park intent locks on the worker agent across transactions")
 	olc := flag.Bool("olc", false, "optimistic latch coupling: validate B-tree inner nodes against latch versions instead of pinning them")
+	dorafl := flag.Bool("dora", false, "data-oriented execution: route decomposed actions to partition owners with thread-local lock tables")
+	partitions := flag.Int("partitions", 0, "DORA partitions (0 = GOMAXPROCS; clamped to -warehouses)")
 	flag.Parse()
 
 	stage, ok := stageByName(*stageName)
@@ -56,6 +58,9 @@ func main() {
 	cfg.Frames = *frames
 	cfg.SLI = *sli
 	cfg.OLC = *olc
+	cfg.DORA = *dorafl
+	cfg.DoraPartitions = *partitions
+	cfg.DoraKeys = *warehouses
 	if *shards > 0 {
 		cfg.Buffer.Shards = *shards
 	}
@@ -84,7 +89,7 @@ func main() {
 	// under the engine's managed deadlock retry.
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
-	var payments, newOrders, userAborts, failures atomic.Uint64
+	var payments, newOrders, userAborts, payFailures, noFailures atomic.Uint64
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
@@ -94,17 +99,29 @@ func main() {
 			home := uint32(c%*warehouses + 1)
 			for ctx.Err() == nil {
 				if r.Int(1, 100) <= *payPct {
-					err := db.PaymentCtx(ctx, tpcc.GenPayment(r, scale, home))
+					in := tpcc.GenPayment(r, scale, home)
+					var err error
+					if *dorafl {
+						err = db.DoraPayment(ctx, in)
+					} else {
+						err = db.PaymentCtx(ctx, in)
+					}
 					switch {
 					case err == nil:
 						payments.Add(1)
 					case errors.Is(err, lock.ErrCanceled):
 						return // deadline: drain
 					default:
-						failures.Add(1)
+						payFailures.Add(1)
 					}
 				} else {
-					err := db.NewOrderCtx(ctx, tpcc.GenNewOrder(r, scale, home))
+					in := tpcc.GenNewOrder(r, scale, home)
+					var err error
+					if *dorafl {
+						err = db.DoraNewOrder(ctx, in)
+					} else {
+						err = db.NewOrderCtx(ctx, in)
+					}
 					switch {
 					case err == nil:
 						newOrders.Add(1)
@@ -113,7 +130,7 @@ func main() {
 					case errors.Is(err, lock.ErrCanceled):
 						return // deadline: drain
 					default:
-						failures.Add(1)
+						noFailures.Add(1)
 					}
 				}
 			}
@@ -124,11 +141,10 @@ func main() {
 
 	secs := duration.Seconds()
 	total := payments.Load() + newOrders.Load()
-	fmt.Printf("\nresults:\n")
-	fmt.Printf("  payments:    %8d (%8.1f tps)\n", payments.Load(), float64(payments.Load())/secs)
-	fmt.Printf("  new orders:  %8d (%8.1f tps)\n", newOrders.Load(), float64(newOrders.Load())/secs)
+	fmt.Printf("\nresults (tps by transaction type):\n")
+	fmt.Printf("  payments:    %8d (%8.1f tps, %d failed)\n", payments.Load(), float64(payments.Load())/secs, payFailures.Load())
+	fmt.Printf("  new orders:  %8d (%8.1f tps, %d failed)\n", newOrders.Load(), float64(newOrders.Load())/secs, noFailures.Load())
 	fmt.Printf("  user aborts: %8d (the spec's 1%% intentional rollbacks)\n", userAborts.Load())
-	fmt.Printf("  failures:    %8d\n", failures.Load())
 	fmt.Printf("  total:       %8d committed (%8.1f tps)\n", total, float64(total)/secs)
 
 	st := engine.Stats()
@@ -152,6 +168,17 @@ func main() {
 	if *olc {
 		fmt.Printf("  btree OLC:   %d optimistic descents, %d restarts, %d fallbacks\n",
 			st.Btree.OptDescents, st.Btree.Restarts, st.Btree.Fallbacks)
+	}
+	if *dorafl {
+		d := st.Dora
+		fmt.Printf("  dora:        %d partitions, %d actions routed, %d local tx, %d cross-partition tx, %d aborted\n",
+			d.Partitions, d.Routed, d.LocalTx, d.CrossTx, d.Aborts)
+		fmt.Printf("               %d local acquires, %d local waits, %d rendezvous waits, queue high-water %d\n",
+			d.LocalAcquires, d.LocalWaits, d.RendezvousWaits, d.QueueHighWater)
+		for i, p := range d.Parts {
+			fmt.Printf("    part %2d:   %8d actions, %8d acquires, %6d waits, %8d commits, %6d aborts, queue hw %d\n",
+				i, p.Routed, p.Acquires, p.LockWaits, p.Commits, p.Aborts, p.QueueHighWater)
+		}
 	}
 	fmt.Printf("  space:       %d page allocations, %d extent grows\n",
 		st.Space.Allocs, st.Space.ExtentsGrown)

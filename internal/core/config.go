@@ -110,6 +110,21 @@ type Config struct {
 	// semantics are unchanged. Observability: EngineStats.Btree
 	// (OptDescents / Restarts / Fallbacks).
 	OLC bool
+	// DORA enables data-oriented execution (the Shore-MT authors' VLDB
+	// 2010 follow-up): the engine owns a partition executor that routes
+	// decomposed transaction actions to dedicated partition-owner
+	// goroutines, each with a thread-local lock table. Sub-transactions
+	// begun through the executor bypass the shared lock manager
+	// entirely (EngineStats.Dora.LocalAcquires counts the grants that
+	// never touched it). Orthogonal to Stage, like SLI and OLC.
+	DORA bool
+	// DoraPartitions fixes the executor's partition count; 0 auto-scales
+	// to GOMAXPROCS (mirroring buffer.AutoShards).
+	DoraPartitions int
+	// DoraKeys, when positive, is the routing keyspace size (TPC-C: the
+	// warehouse count); a larger partition count is clamped to it with a
+	// logged warning.
+	DoraKeys int
 	// CheckpointEvery, when positive, runs a background fuzzy checkpoint
 	// whenever that many log bytes have accumulated since the last one,
 	// bounding restart-recovery work without manual Checkpoint calls.

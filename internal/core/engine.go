@@ -11,6 +11,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/buffer"
 	"repro/internal/disk"
+	"repro/internal/dora"
 	"repro/internal/lock"
 	"repro/internal/page"
 	"repro/internal/pageop"
@@ -43,6 +44,7 @@ type Engine struct {
 	txns     *tx.Manager
 	sm       *space.Manager
 	flushd   *wal.FlushDaemon // harden stage of the commit pipeline (nil unless CommitPipeline)
+	dora     *dora.Executor   // partition executor (nil unless Config.DORA)
 
 	// ckptMu orders commit-point publication against checkpoint snapshots:
 	// committers hold it shared for the instant between inserting the
@@ -96,6 +98,12 @@ func Open(vol disk.Volume, logStore wal.Store, cfg Config) (*Engine, error) {
 	}
 	if cfg.CommitPipeline {
 		e.flushd = wal.NewFlushDaemon(e.log, wal.DaemonOptions{Interval: cfg.PipelineInterval})
+	}
+	if cfg.DORA {
+		e.dora = dora.NewExecutor(doraEnv{e}, dora.Options{
+			Partitions: cfg.DoraPartitions,
+			Keys:       cfg.DoraKeys,
+		})
 	}
 	if cfg.CheckpointEvery > 0 {
 		e.lastCkpt.Store(uint64(e.log.CurLSN()))
@@ -178,6 +186,9 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.stopCheckpointLoop()
+	if e.dora != nil {
+		e.dora.Close() // partition owners drain their queues
+	}
 	if e.flushd != nil {
 		_ = e.flushd.Close() // final flush of queued commit LSNs
 	}
@@ -213,6 +224,49 @@ func (e *Engine) BeginCtx(ctx context.Context) (*tx.Tx, error) {
 	if e.cfg.SLI {
 		t.SetAgent(e.grabAgent())
 	}
+	lsn, err := e.log.Insert(&wal.Record{Type: wal.RecTxBegin, TxID: t.ID()})
+	if err != nil {
+		return nil, err
+	}
+	t.RecordLog(lsn)
+	return t, nil
+}
+
+// Dora returns the partition executor (nil unless Config.DORA). Build
+// transactions with its NewTxn/Submit; action bodies receive
+// partition-local sub-transactions that never touch the lock manager.
+func (e *Engine) Dora() *dora.Executor { return e.dora }
+
+// doraEnv adapts the engine to dora.Env: partition-local sub-
+// transactions are ordinary engine transactions marked NoLock — they
+// log, latch, and roll back exactly like any other transaction, but
+// every lock-manager trip is skipped because the owning partition's
+// thread-local table already serialized conflicting actions.
+type doraEnv struct{ e *Engine }
+
+func (v doraEnv) Begin(ctx context.Context) (*tx.Tx, error) { return v.e.beginDora(ctx) }
+
+func (v doraEnv) Commit(t *tx.Tx, readonly bool) error {
+	if readonly {
+		return v.e.CommitReadOnly(context.Background(), t)
+	}
+	return v.e.CommitCtx(context.Background(), t)
+}
+
+func (v doraEnv) Abort(t *tx.Tx) error { return v.e.Abort(t) }
+
+// beginDora is BeginCtx for a partition-local sub-transaction: same
+// begin record, but marked NoLock and never bound to an SLI agent (it
+// will not acquire anything an agent could park).
+func (e *Engine) beginDora(ctx context.Context) (*tx.Tx, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	t := e.txns.Begin()
+	t.SetNoLock()
 	lsn, err := e.log.Insert(&wal.Record{Type: wal.RecTxBegin, TxID: t.ID()})
 	if err != nil {
 		return nil, err
@@ -571,6 +625,11 @@ func (e *Engine) releaseLocks(t *tx.Tx) {
 // every data access under them still takes a row/key/store lock through
 // the manager first.
 func (e *Engine) acquire(ctx context.Context, t *tx.Tx, n lock.Name, m lock.Mode) error {
+	if t.NoLock() {
+		// DORA sub-transaction: the partition owner already serialized
+		// every conflicting action through its thread-local table.
+		return nil
+	}
 	if held := t.HeldMode(n); held != lock.NL && lock.StrongerOrEqual(held, m) {
 		t.HitLockCache()
 		return nil
@@ -600,6 +659,9 @@ func (e *Engine) acquire(ctx context.Context, t *tx.Tx, n lock.Name, m lock.Mode
 // private cache probe — the manager, and even the per-level cache
 // probes, are skipped entirely.
 func (e *Engine) lockRow(ctx context.Context, t *tx.Tx, store uint32, rid page.RID, m lock.Mode) error {
+	if t.NoLock() {
+		return nil
+	}
 	// If already escalated to a covering store lock, nothing to do.
 	if held, ok := t.Escalated(store); ok && lock.StrongerOrEqual(held, m) {
 		return nil
@@ -724,6 +786,9 @@ func (e *Engine) Crash() {
 		return
 	}
 	e.stopCheckpointLoop()
+	if e.dora != nil {
+		e.dora.Close()
+	}
 	if e.flushd != nil {
 		e.flushd.Kill() // queued hardens are abandoned, not flushed
 	}
@@ -740,6 +805,9 @@ func (e *Engine) CrashHard() {
 		return
 	}
 	e.stopCheckpointLoop()
+	if e.dora != nil {
+		e.dora.Close()
+	}
 	if e.flushd != nil {
 		e.flushd.Kill()
 	}
@@ -756,6 +824,7 @@ type EngineStats struct {
 	Tx       tx.Stats
 	Pipeline wal.DaemonStats   // zero unless CommitPipeline is enabled
 	Btree    btree.OLCSnapshot // zero unless OLC is enabled
+	Dora     dora.Stats        // zero unless DORA is enabled
 }
 
 // Stats snapshots all component counters.
@@ -770,6 +839,9 @@ func (e *Engine) Stats() EngineStats {
 	}
 	if e.flushd != nil {
 		s.Pipeline = e.flushd.Stats()
+	}
+	if e.dora != nil {
+		s.Dora = e.dora.Stats()
 	}
 	return s
 }

@@ -110,6 +110,11 @@ func keyLockName(store uint32, key []byte) lock.Name {
 // ancestry, so a re-probe of the same key is a single private cache
 // probe with no lock-table traffic.
 func (e *Engine) lockKey(ctx context.Context, t *tx.Tx, store uint32, key []byte, m lock.Mode) error {
+	if t.NoLock() {
+		// DORA sub-transaction: conflicting key accesses were already
+		// serialized by the owning partition's thread-local table.
+		return nil
+	}
 	if held, ok := t.Escalated(store); ok && lock.StrongerOrEqual(held, m) {
 		return nil
 	}

@@ -1,0 +1,350 @@
+// Package dora implements data-oriented transaction execution (Pandis,
+// Johnson, Hardavellas, Ailamaki: "Data-Oriented Transaction Execution",
+// VLDB 2010 — the Shore-MT authors' follow-up): instead of assigning
+// threads to transactions and letting them contend on a shared lock
+// table, the keyspace is split into logical partitions, each owned by a
+// dedicated worker goroutine, and transactions are decomposed into
+// per-partition actions routed to the owners' input queues. Because only
+// the owner touches a partition's data, its lock table is thread-local —
+// a plain map with no CAS, no latches, and no interaction with the
+// shared lock manager.
+//
+// Cross-partition transactions rendezvous at commit: every action
+// decrements a shared countdown when its body finishes, the last one
+// decides commit-or-abort from the transaction's failure flag, and each
+// partition applies the decision to its own sub-transaction locally.
+//
+// # Deadlock freedom
+//
+// Partition-local waits cannot deadlock because four rules keep the
+// waits-for relation acyclic:
+//
+//  1. All-or-nothing granting: an action acquires all of its partition's
+//     locks at once or holds none (a parked action holds nothing
+//     locally), declared up front in its ActionSpec.
+//  2. FIFO conflict granting: within a partition, an action never barges
+//     past an earlier-parked action it conflicts with.
+//  3. Canonical atomic submission: a multi-partition transaction
+//     enqueues all of its actions, sorted by partition id, under one
+//     global submit mutex — every partition therefore observes
+//     cross-partition transactions in the same global order, so two
+//     transactions can never block each other in opposite orders on two
+//     partitions.
+//  4. Owners never block: a dependent action whose cross-partition
+//     input has not arrived parks *granted* (holding its locks) and is
+//     resumed by the producer's input message; the owner goroutine moves
+//     on to other work, so no owner ever waits on another owner.
+//
+// Single-partition transactions skip the submit mutex entirely — the
+// common case pays one queue append and no shared synchronization
+// beyond it.
+package dora
+
+import (
+	"context"
+	"errors"
+	"log"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lock"
+	"repro/internal/tx"
+)
+
+// Errors returned by the executor.
+var (
+	ErrClosed     = errors.New("dora: executor closed")
+	ErrNoActions  = errors.New("dora: transaction has no actions")
+	ErrNoProducer = errors.New("dora: dependent action without a producer")
+)
+
+// Env is the storage engine seen by partition owners: each action runs
+// inside its own engine sub-transaction, begun when the action's locks
+// are granted and committed or rolled back when the transaction's
+// rendezvous decides.
+type Env interface {
+	Begin(ctx context.Context) (*tx.Tx, error)
+	Commit(t *tx.Tx, readonly bool) error
+	Abort(t *tx.Tx) error
+}
+
+// Options configures an Executor.
+type Options struct {
+	// Partitions is the number of logical partitions (= owner
+	// goroutines). 0 auto-scales to GOMAXPROCS, mirroring the buffer
+	// pool's AutoShards.
+	Partitions int
+	// Keys, when positive, is the size of the routing keyspace (TPC-C:
+	// the warehouse count). A partition count above it is clamped with a
+	// logged warning — extra owners would never receive an action.
+	Keys int
+	// Logf receives warnings (nil means the standard logger).
+	Logf func(format string, args ...any)
+}
+
+// LockReq names one partition-local lock an action needs. Keys are
+// opaque to the executor; the workload layer defines the encoding.
+type LockReq struct {
+	Key  uint64
+	Mode lock.Mode
+}
+
+// RunFunc is an action body. It runs on the owning partition's
+// goroutine inside sub-transaction sub; input carries the transaction's
+// cross-partition rendezvous value (zero until published).
+type RunFunc func(ctx context.Context, sub *tx.Tx, input uint64) error
+
+// ActionSpec declares one per-partition action of a transaction: the
+// partition it routes to, every partition-local lock it will touch
+// (all-or-nothing granting requires the full set up front), and its
+// body.
+type ActionSpec struct {
+	Partition int
+	Locks     []LockReq
+	Run       RunFunc
+	// Produces marks the action whose body publishes the transaction's
+	// input value (Txn.PublishInput); dependents are released when it
+	// completes.
+	Produces bool
+	// Dependent parks the action — granted, holding its locks — until
+	// the producer's partition posts the input message.
+	Dependent bool
+	// ReadOnly commits the sub-transaction through the engine's
+	// read-only path (no durability wait).
+	ReadOnly bool
+}
+
+// action is an ActionSpec bound to a transaction. The mutable fields
+// (sub, err, parkedOnce) are owned by the partition's goroutine.
+type action struct {
+	txn       *Txn
+	part      *partition
+	locks     []LockReq
+	run       RunFunc
+	produces  bool
+	dependent bool
+	readonly  bool
+
+	parkedOnce bool
+	sub        *tx.Tx
+	err        error
+}
+
+// Txn is a decomposed transaction: a set of actions plus the rendezvous
+// state they synchronize on. Build it with NewTxn/Add, then Submit.
+type Txn struct {
+	exec    *Executor
+	ctx     context.Context
+	actions []*action
+	multi   bool
+
+	// pending counts actions whose bodies have not finished; the last
+	// decrementer decides commit-or-abort. finishPending counts actions
+	// not yet committed/rolled back; the last finisher resolves done.
+	pending       atomic.Int32
+	finishPending atomic.Int32
+	failed        atomic.Bool
+	input         atomic.Uint64
+	inputReady    atomic.Bool
+	done          chan error
+}
+
+// NewTxn starts building a transaction bound to ctx (bodies receive it).
+func (x *Executor) NewTxn(ctx context.Context) *Txn {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Txn{exec: x, ctx: ctx, done: make(chan error, 1)}
+}
+
+// Add appends one action.
+func (t *Txn) Add(spec ActionSpec) {
+	t.actions = append(t.actions, &action{
+		txn:       t,
+		part:      t.exec.parts[spec.Partition],
+		locks:     spec.Locks,
+		run:       spec.Run,
+		produces:  spec.Produces,
+		dependent: spec.Dependent,
+		readonly:  spec.ReadOnly,
+	})
+}
+
+// PublishInput stores the transaction's rendezvous value. Call it from
+// the producing action's body before it returns; dependent actions read
+// it as their input argument.
+func (t *Txn) PublishInput(v uint64) { t.input.Store(v) }
+
+// result is the transaction's outcome: the first action error in
+// canonical order (nil on a clean commit).
+func (t *Txn) result() error {
+	for _, a := range t.actions {
+		if a.err != nil {
+			return a.err
+		}
+	}
+	return nil
+}
+
+// Executor routes decomposed transactions to partition owners.
+type Executor struct {
+	env   Env
+	parts []*partition
+
+	// submitMu makes a multi-partition enqueue atomic: all partitions
+	// observe cross-partition transactions in one global submission
+	// order (deadlock-freedom rule 3). Single-partition transactions
+	// never take it.
+	submitMu sync.Mutex
+	closed   atomic.Bool
+
+	localTx   atomic.Uint64
+	crossTx   atomic.Uint64
+	abortedTx atomic.Uint64
+}
+
+// NewExecutor builds an executor over env and starts its partition
+// owners. Close must be called after all Submits returned.
+func NewExecutor(env Env, opts Options) *Executor {
+	n := opts.Partitions
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if opts.Keys > 0 && n > opts.Keys {
+		logf := opts.Logf
+		if logf == nil {
+			logf = log.Printf
+		}
+		logf("dora: clamping %d partitions to %d routing keys (extra owners would idle)", n, opts.Keys)
+		n = opts.Keys
+	}
+	x := &Executor{env: env, parts: make([]*partition, n)}
+	for i := range x.parts {
+		p := &partition{x: x, id: i, locks: make(map[uint64]*lockEntry), exited: make(chan struct{})}
+		p.cond = sync.NewCond(&p.mu)
+		x.parts[i] = p
+		go p.loop()
+	}
+	return x
+}
+
+// Partitions returns the resolved partition count.
+func (x *Executor) Partitions() int { return len(x.parts) }
+
+// Route maps a 1-based routing key (TPC-C: warehouse id) to its
+// partition.
+func (x *Executor) Route(key uint32) int {
+	return int((key - 1) % uint32(len(x.parts)))
+}
+
+// Submit enqueues t's actions and blocks until every partition applied
+// the rendezvous decision, returning the transaction's outcome. A
+// multi-partition transaction is enqueued atomically in canonical
+// partition order; see the package comment's deadlock-freedom argument.
+func (x *Executor) Submit(t *Txn) error {
+	if x.closed.Load() {
+		return ErrClosed
+	}
+	n := len(t.actions)
+	if n == 0 {
+		return ErrNoActions
+	}
+	hasProducer := false
+	hasDependent := false
+	for _, a := range t.actions {
+		hasProducer = hasProducer || a.produces
+		hasDependent = hasDependent || a.dependent
+	}
+	if hasDependent && !hasProducer {
+		return ErrNoProducer
+	}
+	t.pending.Store(int32(n))
+	t.finishPending.Store(int32(n))
+	for _, a := range t.actions {
+		a.part.routed.Add(1)
+	}
+	if n == 1 {
+		x.localTx.Add(1)
+		t.actions[0].part.enqueue(message{kind: msgAction, a: t.actions[0]})
+	} else {
+		t.multi = true
+		x.crossTx.Add(1)
+		sort.SliceStable(t.actions, func(i, j int) bool {
+			return t.actions[i].part.id < t.actions[j].part.id
+		})
+		x.submitMu.Lock()
+		for _, a := range t.actions {
+			a.part.enqueue(message{kind: msgAction, a: a})
+		}
+		x.submitMu.Unlock()
+	}
+	return <-t.done
+}
+
+// Close stops the partition owners after they drain their queues. The
+// caller must have quiesced: no Submit may be in flight or issued
+// afterwards.
+func (x *Executor) Close() {
+	if x.closed.Swap(true) {
+		return
+	}
+	for _, p := range x.parts {
+		p.mu.Lock()
+		p.closed = true
+		p.mu.Unlock()
+		p.cond.Signal()
+	}
+	for _, p := range x.parts {
+		<-p.exited
+	}
+}
+
+// PartitionStats reports one partition owner's activity.
+type PartitionStats struct {
+	Routed         uint64 // actions routed to this partition
+	Acquires       uint64 // thread-local lock grants (never the shared manager)
+	LockWaits      uint64 // actions parked behind a local conflict
+	InputWaits     uint64 // dependent actions parked for a cross-partition input
+	Commits        uint64 // sub-transactions committed
+	Aborts         uint64 // sub-transactions rolled back
+	QueueHighWater int64  // deepest observed input-queue backlog
+}
+
+// Stats aggregates executor counters.
+type Stats struct {
+	Partitions      int
+	Routed          uint64 // actions routed, all partitions
+	LocalTx         uint64 // single-partition transactions
+	CrossTx         uint64 // multi-partition transactions
+	LocalAcquires   uint64 // thread-local lock grants, all partitions
+	LocalWaits      uint64 // actions parked behind a local conflict
+	RendezvousWaits uint64 // dependent actions parked for a cross-partition input
+	Aborts          uint64 // transactions rolled back
+	QueueHighWater  int64  // max over partitions
+	Parts           []PartitionStats
+}
+
+// Stats snapshots the executor's counters.
+func (x *Executor) Stats() Stats {
+	s := Stats{
+		Partitions: len(x.parts),
+		LocalTx:    x.localTx.Load(),
+		CrossTx:    x.crossTx.Load(),
+		Aborts:     x.abortedTx.Load(),
+		Parts:      make([]PartitionStats, len(x.parts)),
+	}
+	for i, p := range x.parts {
+		ps := p.stats()
+		s.Parts[i] = ps
+		s.Routed += ps.Routed
+		s.LocalAcquires += ps.Acquires
+		s.LocalWaits += ps.LockWaits
+		s.RendezvousWaits += ps.InputWaits
+		if ps.QueueHighWater > s.QueueHighWater {
+			s.QueueHighWater = ps.QueueHighWater
+		}
+	}
+	return s
+}

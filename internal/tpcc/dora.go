@@ -1,0 +1,415 @@
+package tpcc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dora"
+	"repro/internal/lock"
+	"repro/internal/tx"
+)
+
+// Data-oriented decompositions of the five TPC-C transactions. The
+// keyspace is partitioned by warehouse (Executor.Route), and each
+// transaction becomes one action per partition it touches. Partition-
+// local lock keys form a small hierarchy anchored on the warehouse:
+// fine-grained actions take an intent mode on the warehouse anchor plus
+// absolute modes on the rows they touch; coarse transactions (Delivery,
+// Stock-Level) take an absolute mode on the anchor alone. The ITEM
+// table is read-only after load and needs no lock at all.
+//
+// Cross-partition writes stay logically consistent without cross-
+// partition lock names: a remote New Order action inserts ORDER_LINE
+// rows keyed by the home district, but the same transaction's home
+// action holds that district's X lock until the rendezvous releases
+// both actions together, so no reader can observe a torn order.
+// Physical safety is the B-tree latches', as everywhere else.
+//
+// Commit visibility across partitions follows the engine's early-lock-
+// release precedent (StagePipeline): each partition commits its sub-
+// transaction independently after the unanimous decision, so a reader
+// on one partition can see a decided transaction's writes a moment
+// before a sibling partition's commit record lands. A crash inside
+// that window rolls the laggard back — the same contract CommitAsync
+// already documents.
+
+// ErrDoraDisabled is returned by the Dora* entrypoints when the engine
+// was opened without Config.DORA.
+var ErrDoraDisabled = errors.New("tpcc: engine has no DORA executor")
+
+// Partition-local lock key encoding: kind in the top byte, warehouse /
+// district / row ids packed below (districts < 2^8, customers < 2^24,
+// items and warehouses < 2^32).
+const (
+	dkWarehouse = uint64(iota+1) << 56 // per-warehouse hierarchy anchor
+	dkWRow                             // the warehouse row itself
+	dkDistrict
+	dkCustomer
+	dkStock
+)
+
+func kWh(w uint32) uint64            { return dkWarehouse | uint64(w) }
+func kWRow(w uint32) uint64          { return dkWRow | uint64(w) }
+func kDist(w uint32, d uint8) uint64 { return dkDistrict | uint64(w)<<8 | uint64(d) }
+func kCust(w uint32, d uint8, c uint32) uint64 {
+	return dkCustomer | uint64(w)<<32 | uint64(d)<<24 | uint64(c)
+}
+func kStock(w, i uint32) uint64 { return dkStock | uint64(w)<<32 | uint64(i) }
+
+// lockList builds a deduplicated lock set (same key twice folds modes
+// via Supremum, like the lock manager's conversion rule).
+type lockList []dora.LockReq
+
+func (l *lockList) add(key uint64, m lock.Mode) {
+	for i := range *l {
+		if (*l)[i].Key == key {
+			(*l)[i].Mode = lock.Supremum((*l)[i].Mode, m)
+			return
+		}
+	}
+	*l = append(*l, dora.LockReq{Key: key, Mode: m})
+}
+
+// DoraPayment runs one Payment through the partition executor: a single
+// home-partition action for local customers; for remote customers, the
+// home (warehouse + district + history) and customer updates run as
+// independent actions on their partitions and rendezvous at commit.
+func (db *DB) DoraPayment(ctx context.Context, in PaymentInput) error {
+	x := db.Engine.Dora()
+	if x == nil {
+		return ErrDoraDisabled
+	}
+	t := x.NewTxn(ctx)
+	var home lockList
+	home.add(kWh(in.WID), lock.IX)
+	home.add(kWRow(in.WID), lock.X)
+	home.add(kDist(in.WID, in.DID), lock.X)
+	homeP := x.Route(in.WID)
+	custP := x.Route(in.CWID)
+	if custP == homeP {
+		// One partition owns both sides (local customer, or a remote
+		// one that routes home): a single action, no rendezvous.
+		home.add(kWh(in.CWID), lock.IX)
+		home.add(kCust(in.CWID, in.CDID, in.CID), lock.X)
+		t.Add(dora.ActionSpec{
+			Partition: homeP,
+			Locks:     home,
+			Run: func(ctx context.Context, sub *tx.Tx, _ uint64) error {
+				if err := db.paymentHome(ctx, sub, in); err != nil {
+					return err
+				}
+				return db.paymentCustomer(ctx, sub, in)
+			},
+		})
+	} else {
+		t.Add(dora.ActionSpec{
+			Partition: homeP,
+			Locks:     home,
+			Run: func(ctx context.Context, sub *tx.Tx, _ uint64) error {
+				return db.paymentHome(ctx, sub, in)
+			},
+		})
+		var cust lockList
+		cust.add(kWh(in.CWID), lock.IX)
+		cust.add(kCust(in.CWID, in.CDID, in.CID), lock.X)
+		t.Add(dora.ActionSpec{
+			Partition: custP,
+			Locks:     cust,
+			Run: func(ctx context.Context, sub *tx.Tx, _ uint64) error {
+				return db.paymentCustomer(ctx, sub, in)
+			},
+		})
+	}
+	return x.Submit(t)
+}
+
+// paymentHome is Payment's home-partition half: warehouse and district
+// YTD plus the history append (which needs both names).
+func (db *DB) paymentHome(ctx context.Context, t *tx.Tx, in PaymentInput) error {
+	e := db.Engine
+	wh, err := db.readWarehouse(ctx, t, in.WID)
+	if err != nil {
+		return err
+	}
+	wh.YTD += in.Amount
+	if err := e.IndexUpdateCtx(ctx, t, db.Warehouse, wKey(in.WID), wh.encode()); err != nil {
+		return err
+	}
+	dist, err := db.readDistrict(ctx, t, in.WID, in.DID)
+	if err != nil {
+		return err
+	}
+	dist.YTD += in.Amount
+	if err := e.IndexUpdateCtx(ctx, t, db.District, dKey(in.WID, in.DID), dist.encode()); err != nil {
+		return err
+	}
+	h := History{
+		CID: in.CID, CDID: in.CDID, CWID: in.CWID,
+		DID: in.DID, WID: in.WID,
+		Date: time.Now().UnixNano(), Amount: in.Amount,
+		Data: wh.Name + "    " + dist.Name,
+	}
+	_, err = e.HeapInsertCtx(ctx, t, db.History, h.encode())
+	return err
+}
+
+// paymentCustomer is Payment's customer half: balance and payment stats
+// on the (possibly remote) customer warehouse.
+func (db *DB) paymentCustomer(ctx context.Context, t *tx.Tx, in PaymentInput) error {
+	cust, err := db.readCustomer(ctx, t, in.CWID, in.CDID, in.CID)
+	if err != nil {
+		return err
+	}
+	cust.Balance -= in.Amount
+	cust.YTDPayment += in.Amount
+	cust.PaymentCnt++
+	if cust.Credit == "BC" {
+		info := fmt.Sprintf("%d %d %d %d %d %.2f|", in.CID, in.CDID, in.CWID, in.DID, in.WID, in.Amount)
+		cust.Data = info + cust.Data
+		if len(cust.Data) > 500 {
+			cust.Data = cust.Data[:500]
+		}
+	}
+	return db.Engine.IndexUpdateCtx(ctx, t, db.Customer, cKey(in.CWID, in.CDID, in.CID), cust.encode())
+}
+
+// DoraNewOrder runs one New Order through the partition executor. The
+// home action allocates the order id (publishing it as the rendezvous
+// input), inserts the ORDERS/NEW_ORDER rows, and processes every line
+// whose supply warehouse routes to the home partition; lines for other
+// partitions become dependent actions that park until the order id
+// arrives. The spec's 1% rollback surfaces as ErrUserAbort with every
+// partition rolled back.
+func (db *DB) DoraNewOrder(ctx context.Context, in NewOrderInput) error {
+	x := db.Engine.Dora()
+	if x == nil {
+		return ErrDoraDisabled
+	}
+	homeP := x.Route(in.WID)
+
+	type lineRef struct {
+		idx  int
+		line NewOrderLine
+	}
+	var homeLines []lineRef
+	remote := make(map[int][]lineRef)
+	for i, l := range in.Lines {
+		ref := lineRef{idx: i, line: l}
+		if p := x.Route(l.SupplyWID); p == homeP {
+			homeLines = append(homeLines, ref)
+		} else {
+			remote[p] = append(remote[p], ref)
+		}
+	}
+
+	t := x.NewTxn(ctx)
+	var home lockList
+	home.add(kWh(in.WID), lock.IX)
+	home.add(kWRow(in.WID), lock.S)
+	home.add(kDist(in.WID, in.DID), lock.X)
+	home.add(kCust(in.WID, in.DID, in.CID), lock.S)
+	for _, ref := range homeLines {
+		home.add(kWh(ref.line.SupplyWID), lock.IX)
+		home.add(kStock(ref.line.SupplyWID, ref.line.ItemID), lock.X)
+	}
+	t.Add(dora.ActionSpec{
+		Partition: homeP,
+		Locks:     home,
+		Produces:  len(remote) > 0,
+		Run: func(ctx context.Context, sub *tx.Tx, _ uint64) error {
+			e := db.Engine
+			if _, err := db.readWarehouse(ctx, sub, in.WID); err != nil {
+				return err
+			}
+			if _, err := db.readCustomer(ctx, sub, in.WID, in.DID, in.CID); err != nil {
+				return err
+			}
+			dist, err := db.readDistrict(ctx, sub, in.WID, in.DID)
+			if err != nil {
+				return err
+			}
+			oid := dist.NextOID
+			dist.NextOID++
+			if err := e.IndexUpdateCtx(ctx, sub, db.District, dKey(in.WID, in.DID), dist.encode()); err != nil {
+				return err
+			}
+			t.PublishInput(uint64(oid))
+			allLocal := true
+			for _, l := range in.Lines {
+				if l.SupplyWID != in.WID {
+					allLocal = false
+				}
+			}
+			ord := Order{
+				WID: in.WID, DID: in.DID, ID: oid, CID: in.CID,
+				EntryDate: time.Now().UnixNano(),
+				OLCount:   uint8(len(in.Lines)), AllLocal: allLocal,
+			}
+			if err := e.IndexInsertCtx(ctx, sub, db.Orders, oKey(in.WID, in.DID, oid), ord.encode()); err != nil {
+				return err
+			}
+			no := NewOrderRow{WID: in.WID, DID: in.DID, OID: oid}
+			if err := e.IndexInsertCtx(ctx, sub, db.NewOrderTab, oKey(in.WID, in.DID, oid), no.encode()); err != nil {
+				return err
+			}
+			for _, ref := range homeLines {
+				if err := db.newOrderLine(ctx, sub, in, oid, ref.idx, ref.line); err != nil {
+					return err
+				}
+			}
+			if in.Rollback {
+				// The spec's intentional rollback: the decision flag
+				// aborts every partition's sub-transaction.
+				return ErrUserAbort
+			}
+			return nil
+		},
+	})
+	for p, group := range remote {
+		var locks lockList
+		for _, ref := range group {
+			locks.add(kWh(ref.line.SupplyWID), lock.IX)
+			locks.add(kStock(ref.line.SupplyWID, ref.line.ItemID), lock.X)
+		}
+		t.Add(dora.ActionSpec{
+			Partition: p,
+			Locks:     locks,
+			Dependent: true,
+			Run: func(ctx context.Context, sub *tx.Tx, input uint64) error {
+				oid := uint32(input)
+				for _, ref := range group {
+					if err := db.newOrderLine(ctx, sub, in, oid, ref.idx, ref.line); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		})
+	}
+	return x.Submit(t)
+}
+
+// newOrderLine processes one order line — item probe, stock update,
+// ORDER_LINE insert — inside sub-transaction t. Shared by the home and
+// remote New Order actions.
+func (db *DB) newOrderLine(ctx context.Context, t *tx.Tx, in NewOrderInput, oid uint32, idx int, l NewOrderLine) error {
+	e := db.Engine
+	item, ok, err := db.readItem(ctx, t, l.ItemID)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrUserAbort
+	}
+	st, err := db.readStock(ctx, t, l.SupplyWID, l.ItemID)
+	if err != nil {
+		return err
+	}
+	if st.Quantity >= int32(l.Quantity)+10 {
+		st.Quantity -= int32(l.Quantity)
+	} else {
+		st.Quantity += 91 - int32(l.Quantity)
+	}
+	st.YTD += float64(l.Quantity)
+	st.OrderCnt++
+	if l.SupplyWID != in.WID {
+		st.RemoteCnt++
+	}
+	if err := e.IndexUpdateCtx(ctx, t, db.Stock, sKey(l.SupplyWID, l.ItemID), st.encode()); err != nil {
+		return err
+	}
+	ol := OrderLine{
+		WID: in.WID, DID: in.DID, OID: oid, Number: uint8(idx + 1),
+		ItemID: l.ItemID, SupplyWID: l.SupplyWID, Quantity: l.Quantity,
+		Amount:   float64(l.Quantity) * item.Price,
+		DistInfo: st.DistInfo,
+	}
+	return e.IndexInsertCtx(ctx, t, db.OrderLine, olKey(in.WID, in.DID, oid, uint8(idx+1)), ol.encode())
+}
+
+// DoraDelivery runs one Delivery through the partition executor. It
+// touches every district and unknown customers of its warehouse, so it
+// takes the coarse warehouse X anchor — the partition-local analogue of
+// lock escalation.
+func (db *DB) DoraDelivery(ctx context.Context, in DeliveryInput) (int, error) {
+	x := db.Engine.Dora()
+	if x == nil {
+		return 0, ErrDoraDisabled
+	}
+	t := x.NewTxn(ctx)
+	var delivered int
+	t.Add(dora.ActionSpec{
+		Partition: x.Route(in.WID),
+		Locks:     []dora.LockReq{{Key: kWh(in.WID), Mode: lock.X}},
+		Run: func(ctx context.Context, sub *tx.Tx, _ uint64) error {
+			n, err := db.delivery(ctx, sub, in)
+			delivered = n
+			return err
+		},
+	})
+	if err := x.Submit(t); err != nil {
+		return 0, err
+	}
+	if delivered == 0 {
+		return 0, ErrNothingToDeliver
+	}
+	return delivered, nil
+}
+
+// DoraOrderStatus runs one Order-Status (read-only) through the
+// partition executor: district S covers the order scan against New
+// Order's district X, customer S against Payment's customer X.
+func (db *DB) DoraOrderStatus(ctx context.Context, in OrderStatusInput) (OrderStatusResult, error) {
+	x := db.Engine.Dora()
+	if x == nil {
+		return OrderStatusResult{}, ErrDoraDisabled
+	}
+	t := x.NewTxn(ctx)
+	var locks lockList
+	locks.add(kWh(in.WID), lock.IS)
+	locks.add(kDist(in.WID, in.DID), lock.S)
+	locks.add(kCust(in.WID, in.DID, in.CID), lock.S)
+	var res OrderStatusResult
+	t.Add(dora.ActionSpec{
+		Partition: x.Route(in.WID),
+		Locks:     locks,
+		ReadOnly:  true,
+		Run: func(ctx context.Context, sub *tx.Tx, _ uint64) error {
+			var err error
+			res, err = db.orderStatus(ctx, sub, in)
+			return err
+		},
+	})
+	if err := x.Submit(t); err != nil {
+		return OrderStatusResult{}, err
+	}
+	return res, nil
+}
+
+// DoraStockLevel runs one Stock-Level (read-only) through the partition
+// executor. Its stock read set is unknown until the order-line scan, so
+// it takes the coarse warehouse S anchor against writers' IX.
+func (db *DB) DoraStockLevel(ctx context.Context, in StockLevelInput) (int, error) {
+	x := db.Engine.Dora()
+	if x == nil {
+		return 0, ErrDoraDisabled
+	}
+	t := x.NewTxn(ctx)
+	var low int
+	t.Add(dora.ActionSpec{
+		Partition: x.Route(in.WID),
+		Locks:     []dora.LockReq{{Key: kWh(in.WID), Mode: lock.S}},
+		ReadOnly:  true,
+		Run: func(ctx context.Context, sub *tx.Tx, _ uint64) error {
+			var err error
+			low, err = db.stockLevel(ctx, sub, in)
+			return err
+		},
+	})
+	if err := x.Submit(t); err != nil {
+		return 0, err
+	}
+	return low, nil
+}

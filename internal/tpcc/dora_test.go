@@ -1,0 +1,305 @@
+package tpcc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/wal"
+)
+
+func newDoraDB(t testing.TB, scale Scale, partitions int) *DB {
+	t.Helper()
+	cfg := core.StageConfig(core.StageFinal)
+	cfg.Frames = 2048
+	cfg.DORA = true
+	cfg.DoraPartitions = partitions
+	cfg.DoraKeys = scale.Warehouses
+	e, err := core.Open(disk.NewMem(0), wal.NewMemStore(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	db, err := Load(e, scale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestDoraCrossPartitionStress drives forced-remote Payments and New
+// Orders from many goroutines (run under -race in CI) and then audits
+// the money and order counters: lost updates on either side of a
+// rendezvous would break the per-warehouse YTD sums or the district
+// order sequence.
+func TestDoraCrossPartitionStress(t *testing.T) {
+	scale := Scale{Warehouses: 4, Districts: 2, Customers: 10, Items: 50, StockPerItem: true}
+	db := newDoraDB(t, scale, 2)
+	ctx := context.Background()
+
+	const (
+		workers = 8
+		iters   = 40
+	)
+	// Per-warehouse expected YTD deltas (integer amounts, exact in
+	// float64) and per-(warehouse,district) expected order counts.
+	var whYTD [5]atomic.Int64
+	var orders [5][3]atomic.Int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := NewRand(int64(7000 + w))
+			home := uint32(w%scale.Warehouses + 1)
+			// remote: a warehouse on the other partition (2 partitions,
+			// route = (wid-1)%2, so +1 flips the partition).
+			remote := home%uint32(scale.Warehouses) + 1
+			for i := 0; i < iters; i++ {
+				if i%2 == 0 {
+					amount := float64(r.Int(1, 500))
+					in := PaymentInput{
+						WID: home, DID: uint8(r.Int(1, scale.Districts)),
+						CWID: remote, CDID: uint8(r.Int(1, scale.Districts)),
+						CID: uint32(r.Int(1, scale.Customers)), Amount: amount,
+					}
+					if err := db.DoraPayment(ctx, in); err != nil {
+						t.Error(err)
+						return
+					}
+					whYTD[home].Add(int64(amount))
+				} else {
+					did := uint8(r.Int(1, scale.Districts))
+					in := NewOrderInput{
+						WID: home, DID: did, CID: uint32(r.Int(1, scale.Customers)),
+						Lines: []NewOrderLine{
+							{ItemID: uint32(r.Int(1, scale.Items)), SupplyWID: home, Quantity: 1 + uint8(i%5)},
+							{ItemID: uint32(r.Int(1, scale.Items)), SupplyWID: remote, Quantity: 1 + uint8(w%5)},
+						},
+					}
+					if err := db.DoraNewOrder(ctx, in); err != nil {
+						t.Error(err)
+						return
+					}
+					orders[home][did].Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Audit through a regular locking transaction.
+	rd, err := db.Engine.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Engine.Abort(rd)
+	for w := 1; w <= scale.Warehouses; w++ {
+		wh, err := db.readWarehouse(ctx, rd, uint32(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := float64(whYTD[w].Load()); wh.YTD != want {
+			t.Errorf("warehouse %d YTD = %v, want %v (lost update)", w, wh.YTD, want)
+		}
+		for d := 1; d <= scale.Districts; d++ {
+			dist, err := db.readDistrict(ctx, rd, uint32(w), uint8(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := uint32(scale.InitialOrders) + 1 + uint32(orders[w][d].Load())
+			if dist.NextOID != want {
+				t.Errorf("district (%d,%d) NextOID = %d, want %d", w, d, dist.NextOID, want)
+			}
+		}
+	}
+
+	// Structural integrity plus row counts: one ORDERS and one NEW_ORDER
+	// row per committed New Order, two ORDER_LINE rows each.
+	var totalOrders int64
+	for w := 1; w <= scale.Warehouses; w++ {
+		for d := 1; d <= scale.Districts; d++ {
+			totalOrders += orders[w][d].Load()
+		}
+	}
+	for _, ix := range []struct {
+		name string
+		ix   *core.Index
+		want int
+	}{
+		{"orders", db.Orders, int(totalOrders)},
+		{"neworder", db.NewOrderTab, int(totalOrders)},
+		{"orderline", db.OrderLine, int(2 * totalOrders)},
+	} {
+		n, err := ix.ix.Verify()
+		if err != nil {
+			t.Fatalf("%s: Verify: %v", ix.name, err)
+		}
+		if n != ix.want {
+			t.Errorf("%s: %d rows, want %d", ix.name, n, ix.want)
+		}
+	}
+
+	st := db.Engine.Stats().Dora
+	if st.CrossTx == 0 {
+		t.Error("no cross-partition transactions ran")
+	}
+	if st.LocalAcquires == 0 {
+		t.Error("no thread-local lock acquires recorded")
+	}
+	if st.Aborts != 0 {
+		t.Errorf("unexpected aborts: %d", st.Aborts)
+	}
+}
+
+// TestDoraRendezvousAbort forces a remote action to fail (unknown item
+// on the remote partition) after the home action has already allocated
+// the order id and inserted rows, and checks every partition rolled
+// back: the district sequence, the stock row, and the order tables are
+// untouched.
+func TestDoraRendezvousAbort(t *testing.T) {
+	scale := Scale{Warehouses: 2, Districts: 2, Customers: 10, Items: 50, StockPerItem: true}
+	db := newDoraDB(t, scale, 2)
+	ctx := context.Background()
+
+	rd, err := db.Engine.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	distBefore, err := db.readDistrict(ctx, rd, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stockBefore, err := db.readStock(ctx, rd, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordersBefore, err := db.Orders.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Engine.Commit(rd); err != nil {
+		t.Fatal(err)
+	}
+
+	in := NewOrderInput{
+		WID: 1, DID: 1, CID: 1,
+		Lines: []NewOrderLine{
+			{ItemID: 1, SupplyWID: 1, Quantity: 3},                          // home, valid
+			{ItemID: uint32(scale.Items) + 99, SupplyWID: 2, Quantity: 1}, // remote, unknown item
+		},
+	}
+	if err := db.DoraNewOrder(ctx, in); !errors.Is(err, ErrUserAbort) {
+		t.Fatalf("DoraNewOrder = %v, want ErrUserAbort", err)
+	}
+
+	rd2, err := db.Engine.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Engine.Abort(rd2)
+	distAfter, err := db.readDistrict(ctx, rd2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distAfter.NextOID != distBefore.NextOID {
+		t.Errorf("NextOID %d -> %d: home partition did not roll back", distBefore.NextOID, distAfter.NextOID)
+	}
+	stockAfter, err := db.readStock(ctx, rd2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stockAfter != stockBefore {
+		t.Errorf("stock (1,1) changed across aborted order: %+v -> %+v", stockBefore, stockAfter)
+	}
+	ordersAfter, err := db.Orders.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ordersAfter != ordersBefore {
+		t.Errorf("orders rows %d -> %d: insert survived the abort", ordersBefore, ordersAfter)
+	}
+	if st := db.Engine.Stats().Dora; st.Aborts != 1 {
+		t.Errorf("Dora.Aborts = %d, want 1", st.Aborts)
+	}
+}
+
+// TestDoraRollbackFlag checks the spec's intentional 1% rollback aborts
+// every partition even when all actions succeed operationally.
+func TestDoraRollbackFlag(t *testing.T) {
+	scale := Scale{Warehouses: 2, Districts: 2, Customers: 10, Items: 50, StockPerItem: true}
+	db := newDoraDB(t, scale, 2)
+	ctx := context.Background()
+
+	in := NewOrderInput{
+		WID: 1, DID: 1, CID: 1, Rollback: true,
+		Lines: []NewOrderLine{
+			{ItemID: 1, SupplyWID: 1, Quantity: 1},
+			{ItemID: 2, SupplyWID: 2, Quantity: 1},
+		},
+	}
+	if err := db.DoraNewOrder(ctx, in); !errors.Is(err, ErrUserAbort) {
+		t.Fatalf("DoraNewOrder = %v, want ErrUserAbort", err)
+	}
+	rd, err := db.Engine.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Engine.Abort(rd)
+	dist, err := db.readDistrict(ctx, rd, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint32(scale.InitialOrders) + 1; dist.NextOID != want {
+		t.Errorf("NextOID = %d, want %d after rollback", dist.NextOID, want)
+	}
+}
+
+// TestDoraDisabled checks the entrypoints fail cleanly without DORA.
+func TestDoraDisabled(t *testing.T) {
+	db := newDB(t, TinyScale())
+	if err := db.DoraPayment(context.Background(), PaymentInput{WID: 1, DID: 1, CWID: 1, CDID: 1, CID: 1, Amount: 1}); !errors.Is(err, ErrDoraDisabled) {
+		t.Fatalf("DoraPayment = %v, want ErrDoraDisabled", err)
+	}
+}
+
+// TestDoraReadOnlyTransactions exercises the Order-Status and
+// Stock-Level decompositions against orders created through DORA.
+func TestDoraReadOnlyTransactions(t *testing.T) {
+	scale := Scale{Warehouses: 2, Districts: 2, Customers: 10, Items: 50, StockPerItem: true}
+	db := newDoraDB(t, scale, 2)
+	ctx := context.Background()
+
+	in := NewOrderInput{
+		WID: 1, DID: 1, CID: 3,
+		Lines: []NewOrderLine{
+			{ItemID: 5, SupplyWID: 1, Quantity: 2},
+			{ItemID: 7, SupplyWID: 2, Quantity: 4},
+		},
+	}
+	if err := db.DoraNewOrder(ctx, in); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := db.DoraOrderStatus(ctx, OrderStatusInput{WID: 1, DID: 1, CID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Lines) != 2 {
+		t.Fatalf("order status lines = %d, want 2", len(res.Lines))
+	}
+	if _, err := db.DoraStockLevel(ctx, StockLevelInput{WID: 1, DID: 1, Threshold: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DoraDelivery(ctx, DeliveryInput{WID: 1, CarrierID: 3}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -102,6 +102,11 @@ type Tx struct {
 	rowLocks []rowLockCount
 	// escalated marks stores where the transaction holds a full-store lock.
 	escalated []storeEscalation
+	// noLock marks a DORA partition-local sub-transaction: the owning
+	// partition's thread-local lock table already serialized every
+	// conflicting action, so the engine skips lock-manager acquisition
+	// for it entirely (logging, latching, and rollback are unchanged).
+	noLock bool
 
 	// ExtentCache is the per-transaction (conceptually thread-local)
 	// extent-membership cache of §6.2.2.
@@ -188,6 +193,14 @@ func (t *Tx) HitLockCache() { t.cacheHits++ }
 
 // LockCacheHits returns the number of cache-answered lock requests.
 func (t *Tx) LockCacheHits() uint64 { return t.cacheHits }
+
+// SetNoLock marks t as lock-free: the caller guarantees an external
+// serialization of conflicting accesses (DORA's partition-local lock
+// tables), and the engine skips every lock-manager trip for t.
+func (t *Tx) SetNoLock() { t.noLock = true }
+
+// NoLock reports whether the engine should skip lock acquisition for t.
+func (t *Tx) NoLock() bool { return t.noLock }
 
 // SetAgent binds the worker agent whose inherited locks this
 // transaction may claim (nil detaches it).

@@ -163,6 +163,18 @@ type Options struct {
 	// (OptDescents / Restarts / Fallbacks). See the README's "Latch
 	// hierarchy" section.
 	OLC bool
+	// DORA enables data-oriented execution (the Shore-MT authors' VLDB
+	// 2010 follow-up): the engine owns a partition executor whose
+	// dedicated owner goroutines run decomposed transaction actions
+	// against thread-local lock tables, bypassing the shared lock
+	// manager. Regular Begin/Update transactions are unaffected; work
+	// enters the executor through Engine().Dora() (see the tpcc
+	// package's Dora* transactions and the README's "Data-oriented
+	// execution" section). Observability: Stats().Dora.
+	DORA bool
+	// Partitions fixes the DORA executor's partition count; 0
+	// auto-scales to GOMAXPROCS. Ignored unless DORA is set.
+	Partitions int
 	// CheckpointEvery, when positive, takes a background fuzzy checkpoint
 	// every time that many log bytes accumulate, so long-running
 	// workloads bound their restart-recovery work without calling
@@ -214,6 +226,10 @@ func Open(opts Options) (*DB, error) {
 	}
 	if opts.OLC {
 		cfg.OLC = true
+	}
+	if opts.DORA {
+		cfg.DORA = true
+		cfg.DoraPartitions = opts.Partitions
 	}
 	if opts.CheckpointEvery > 0 {
 		cfg.CheckpointEvery = opts.CheckpointEvery
