@@ -1,0 +1,184 @@
+package client
+
+import "repro/internal/wire"
+
+// Batch records data operations to be shipped in one frame and executed
+// server-side in order — inside a managed transaction (Client.Update /
+// View), or against the session's explicit transaction (Tx.Run /
+// Tx.RunCommit, Client.BeginBatch). Reads return result handles that
+// are populated once the batch executes successfully.
+type Batch struct {
+	ops     []wire.DataOp
+	results []result
+}
+
+// result links a recorded op to its client-side handle.
+type result struct {
+	op     int
+	lookup *Lookup
+	rid    *InsertedRID
+	old    *Deleted
+	scan   *Scanned
+}
+
+// Lookup receives an IndexGet result.
+type Lookup struct {
+	Value []byte
+	Found bool
+}
+
+// InsertedRID receives a HeapInsert result.
+type InsertedRID struct{ RID RID }
+
+// Deleted receives an IndexDelete result (the removed value).
+type Deleted struct{ Old []byte }
+
+// Scanned receives an IndexScan result.
+type Scanned struct{ KVs []KV }
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Len reports the number of recorded ops.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset clears the batch for reuse (result handles from the previous
+// run keep their values).
+func (b *Batch) Reset() {
+	b.ops = b.ops[:0]
+	b.results = b.results[:0]
+}
+
+// IndexInsert records an index insert.
+func (b *Batch) IndexInsert(store uint32, key, value []byte) {
+	b.ops = append(b.ops, wire.DataOp{Kind: wire.OpIdxInsert, Store: store, Key: key, Val: value})
+}
+
+// IndexGet records an index lookup; the handle is filled on execution.
+func (b *Batch) IndexGet(store uint32, key []byte) *Lookup {
+	l := &Lookup{}
+	b.ops = append(b.ops, wire.DataOp{Kind: wire.OpIdxGet, Store: store, Key: key})
+	b.results = append(b.results, result{op: len(b.ops) - 1, lookup: l})
+	return l
+}
+
+// IndexGetForUpdate records an index lookup under an exclusive lock —
+// SELECT FOR UPDATE. Use it for every key the transaction will write
+// back in a later frame: reading under a shared lock and upgrading at
+// write time deadlocks against concurrent readers of the same key, and
+// with the read and the write separated by a client round trip the
+// collision is near-certain under contention.
+func (b *Batch) IndexGetForUpdate(store uint32, key []byte) *Lookup {
+	l := &Lookup{}
+	b.ops = append(b.ops, wire.DataOp{Kind: wire.OpIdxGetU, Store: store, Key: key})
+	b.results = append(b.results, result{op: len(b.ops) - 1, lookup: l})
+	return l
+}
+
+// IndexUpdate records an index value replacement.
+func (b *Batch) IndexUpdate(store uint32, key, value []byte) {
+	b.ops = append(b.ops, wire.DataOp{Kind: wire.OpIdxUpdate, Store: store, Key: key, Val: value})
+}
+
+// IndexDelete records an index delete; the handle receives the old
+// value.
+func (b *Batch) IndexDelete(store uint32, key []byte) *Deleted {
+	d := &Deleted{}
+	b.ops = append(b.ops, wire.DataOp{Kind: wire.OpIdxDelete, Store: store, Key: key})
+	b.results = append(b.results, result{op: len(b.ops) - 1, old: d})
+	return d
+}
+
+// IndexScan records a range scan over [from, to) (nil = unbounded),
+// returning up to limit pairs (0 = server default).
+func (b *Batch) IndexScan(store uint32, from, to []byte, limit int) *Scanned {
+	s := &Scanned{}
+	b.ops = append(b.ops, wire.DataOp{
+		Kind: wire.OpIdxScan, Store: store, Key: from, Val: to, Limit: uint32(limit),
+	})
+	b.results = append(b.results, result{op: len(b.ops) - 1, scan: s})
+	return s
+}
+
+// HeapInsert records a heap append; the handle receives the RID.
+func (b *Batch) HeapInsert(store uint32, data []byte) *InsertedRID {
+	r := &InsertedRID{}
+	b.ops = append(b.ops, wire.DataOp{Kind: wire.OpHeapInsert, Store: store, Val: data})
+	b.results = append(b.results, result{op: len(b.ops) - 1, rid: r})
+	return r
+}
+
+// HeapGet records a heap read; the handle is filled on execution.
+func (b *Batch) HeapGet(store uint32, rid RID) *Lookup {
+	l := &Lookup{}
+	b.ops = append(b.ops, wire.DataOp{Kind: wire.OpHeapGet, Store: store, RID: rid})
+	b.results = append(b.results, result{op: len(b.ops) - 1, lookup: l})
+	return l
+}
+
+// HeapUpdate records a heap record replacement.
+func (b *Batch) HeapUpdate(store uint32, rid RID, data []byte) {
+	b.ops = append(b.ops, wire.DataOp{Kind: wire.OpHeapUpdate, Store: store, RID: rid, Val: data})
+}
+
+// HeapDelete records a heap record delete.
+func (b *Batch) HeapDelete(store uint32, rid RID) {
+	b.ops = append(b.ops, wire.DataOp{Kind: wire.OpHeapDelete, Store: store, RID: rid})
+}
+
+// decodeResults walks the response body in op order, filling handles.
+func (b *Batch) decodeResults(body []byte) error {
+	d := wire.NewDec(body)
+	ri := 0
+	for i := range b.ops {
+		var res *result
+		if ri < len(b.results) && b.results[ri].op == i {
+			res = &b.results[ri]
+			ri++
+		}
+		switch b.ops[i].Kind {
+		case wire.OpIdxGet, wire.OpIdxGetU:
+			found := d.U8() == 1
+			val := append([]byte(nil), d.Bytes()...)
+			if res != nil && res.lookup != nil {
+				res.lookup.Found = found
+				if found {
+					res.lookup.Value = val
+				} else {
+					res.lookup.Value = nil
+				}
+			}
+		case wire.OpHeapGet:
+			val := append([]byte(nil), d.Bytes()...)
+			if res != nil && res.lookup != nil {
+				res.lookup.Found = true
+				res.lookup.Value = val
+			}
+		case wire.OpHeapInsert:
+			rid := RID{Page: d.U64(), Slot: d.U16()}
+			if res != nil && res.rid != nil {
+				res.rid.RID = rid
+			}
+		case wire.OpIdxDelete:
+			old := append([]byte(nil), d.Bytes()...)
+			if res != nil && res.old != nil {
+				res.old.Old = old
+			}
+		case wire.OpIdxScan:
+			n := int(d.U32())
+			var kvs []KV
+			for j := 0; j < n && d.Err == nil; j++ {
+				k := append([]byte(nil), d.Bytes()...)
+				v := append([]byte(nil), d.Bytes()...)
+				kvs = append(kvs, KV{Key: k, Value: v})
+			}
+			if res != nil && res.scan != nil {
+				res.scan.KVs = kvs
+			}
+		}
+		if d.Err != nil {
+			return d.Err
+		}
+	}
+	return d.Done()
+}

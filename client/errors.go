@@ -1,0 +1,131 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Sentinel errors mapped from server response statuses. Test with
+// errors.Is; the concrete error carries the server's message.
+var (
+	// ErrBusy: the admission queue was full and the server shed the
+	// request instead of absorbing it. The unit of work was NOT
+	// started; back off and retry.
+	ErrBusy = errors.New("client: server busy")
+	// ErrDeadlock: the transaction was chosen as a deadlock victim and
+	// rolled back; retry the whole unit of work.
+	ErrDeadlock = errors.New("client: deadlock victim")
+	// ErrTimeout: a lock wait exceeded the server's bound; the
+	// transaction was rolled back. Retryable.
+	ErrTimeout = errors.New("client: lock wait timeout")
+	// ErrCanceled: the operation was abandoned server-side (shutdown or
+	// context cancellation).
+	ErrCanceled = errors.New("client: canceled by server")
+	// ErrDuplicate: index insert on an existing key.
+	ErrDuplicate = errors.New("client: duplicate key")
+	// ErrNotFound: index update/delete on a missing key, or an
+	// unresolvable catalog name.
+	ErrNotFound = errors.New("client: not found")
+	// ErrNoRecord: heap access to a dead RID.
+	ErrNoRecord = errors.New("client: no such record")
+	// ErrReadOnly: write op inside a View batch.
+	ErrReadOnly = errors.New("client: read-only transaction")
+	// ErrTxOpen: Begin (or managed batch) while the session already has
+	// an explicit transaction.
+	ErrTxOpen = errors.New("client: transaction already open")
+	// ErrNoTx: op or Commit/Rollback without an open transaction.
+	ErrNoTx = errors.New("client: no open transaction")
+	// ErrProto: the server rejected the request as malformed.
+	ErrProto = errors.New("client: protocol error")
+	// ErrTooLarge: a frame exceeded the protocol's size cap.
+	ErrTooLarge = errors.New("client: frame too large")
+	// ErrClosing: the server is draining and refuses new transactions.
+	ErrClosing = errors.New("client: server shutting down")
+	// ErrBadSession: session id mismatch (handshake skipped?).
+	ErrBadSession = errors.New("client: bad session")
+	// ErrTxDone: use of a finished Tx handle.
+	ErrTxDone = errors.New("client: transaction already finished")
+	// ErrClosed: use of a closed Client.
+	ErrClosed = errors.New("client: connection closed")
+)
+
+// Error is the concrete error for non-OK responses.
+type Error struct {
+	Status   wire.Status
+	Aborted  bool // server rolled the session transaction back
+	Message  string
+	sentinel error
+}
+
+// Error formats the server's report.
+func (e *Error) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("%v (status %v)", e.sentinel, e.Status)
+	}
+	return fmt.Sprintf("%v: %s", e.sentinel, e.Message)
+}
+
+// Unwrap exposes the sentinel for errors.Is.
+func (e *Error) Unwrap() error { return e.sentinel }
+
+// IsAborted reports whether err carries the server's tx-aborted flag:
+// the session's open transaction was rolled back while producing the
+// error (deadlock victim, timeout, failed commit-bound batch), so the
+// client must not Rollback and can immediately retry the whole unit of
+// work.
+func IsAborted(err error) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Aborted
+}
+
+// Retryable reports errors after which re-running the whole unit of
+// work is the right move: deadlock victims, lock timeouts and shed
+// (busy) requests.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrTimeout) || errors.Is(err, ErrBusy)
+}
+
+// statusError maps a response status onto the sentinel taxonomy.
+func statusError(status wire.Status, flags uint8, msg string) error {
+	var sentinel error
+	switch status {
+	case wire.StatusBusy:
+		sentinel = ErrBusy
+	case wire.StatusDeadlock:
+		sentinel = ErrDeadlock
+	case wire.StatusTimeout:
+		sentinel = ErrTimeout
+	case wire.StatusCanceled:
+		sentinel = ErrCanceled
+	case wire.StatusDuplicate:
+		sentinel = ErrDuplicate
+	case wire.StatusNotFound:
+		sentinel = ErrNotFound
+	case wire.StatusNoRecord:
+		sentinel = ErrNoRecord
+	case wire.StatusReadOnly:
+		sentinel = ErrReadOnly
+	case wire.StatusTxOpen:
+		sentinel = ErrTxOpen
+	case wire.StatusNoTx:
+		sentinel = ErrNoTx
+	case wire.StatusProto:
+		sentinel = ErrProto
+	case wire.StatusTooLarge:
+		sentinel = ErrTooLarge
+	case wire.StatusClosing:
+		sentinel = ErrClosing
+	case wire.StatusBadSession:
+		sentinel = ErrBadSession
+	default:
+		sentinel = errors.New("client: server error")
+	}
+	return &Error{
+		Status:   status,
+		Aborted:  flags&wire.FlagTxAborted != 0,
+		Message:  msg,
+		sentinel: sentinel,
+	}
+}

@@ -7,6 +7,15 @@
 // Usage:
 //
 //	tpcc -warehouses 2 -clients 4 -duration 5s -stage final
+//
+// With -addr the same mix runs remotely against a live shored daemon
+// (started with a -tpcc preload): each client goroutine dials its own
+// connection and drives Payment / New Order over the wire protocol, two
+// round trips per transaction. The engine flags are ignored in that
+// mode — the server picked its stage when it started.
+//
+//	shored -tpcc 2 &
+//	tpcc -addr 127.0.0.1:7070 -clients 64 -duration 10s
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/client"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/lock"
@@ -47,7 +57,13 @@ func main() {
 	olc := flag.Bool("olc", false, "optimistic latch coupling: validate B-tree inner nodes against latch versions instead of pinning them")
 	dorafl := flag.Bool("dora", false, "data-oriented execution: route decomposed actions to partition owners with thread-local lock tables")
 	partitions := flag.Int("partitions", 0, "DORA partitions (0 = GOMAXPROCS; clamped to -warehouses)")
+	addr := flag.String("addr", "", "drive a remote shored server at this address instead of an embedded engine")
 	flag.Parse()
+
+	if *addr != "" {
+		runRemote(*addr, *clients, *duration, *payPct)
+		return
+	}
 
 	stage, ok := stageByName(*stageName)
 	if !ok {
@@ -184,4 +200,130 @@ func main() {
 		st.Space.Allocs, st.Space.ExtentsGrown)
 	fmt.Printf("  tx:          %d begun, %d committed, %d aborted\n",
 		st.Tx.Begins, st.Tx.Commits, st.Tx.Aborts)
+}
+
+// runRemote drives the Payment / New Order mix against a live shored
+// server: one connection per client goroutine, client-side retry on
+// deadlock/timeout/shed, server statistics fetched at the end.
+func runRemote(addr string, clients int, duration time.Duration, payPct int) {
+	probe, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dial:", err)
+		os.Exit(1)
+	}
+	stats := &tpcc.RemoteStats{}
+	rp, err := tpcc.OpenRemote(context.Background(), probe, stats)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resolve catalog (is shored running with -tpcc?):", err)
+		os.Exit(1)
+	}
+	scale := rp.Scale
+	fmt.Printf("remote %s: %d warehouses, %d districts, %d customers/district, %d items\n",
+		addr, scale.Warehouses, scale.Districts, scale.Customers, scale.Items)
+
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+	var payments, newOrders, userAborts, payFailures, noFailures atomic.Uint64
+	var errMu sync.Mutex
+	errSamples := map[string]int{}
+	sample := func(err error) {
+		errMu.Lock()
+		defer errMu.Unlock()
+		if len(errSamples) < 16 || errSamples[err.Error()] > 0 {
+			errSamples[err.Error()]++
+		}
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var cl *client.Client
+			var r *tpcc.Remote
+			// dial (re)establishes the connection; a transport error
+			// poisons the client (the stream is desynchronized), so the
+			// driver reconnects like any real database client would.
+			dial := func() bool {
+				if cl != nil {
+					cl.Close()
+				}
+				for ctx.Err() == nil {
+					var err error
+					if cl, err = client.Dial(addr, client.Options{}); err == nil {
+						if r, err = tpcc.OpenRemote(ctx, cl, stats); err == nil {
+							return true
+						}
+						cl.Close()
+					}
+					select {
+					case <-ctx.Done():
+					case <-time.After(50 * time.Millisecond):
+					}
+				}
+				return false
+			}
+			if !dial() {
+				return
+			}
+			defer func() { cl.Close() }()
+			rnd := tpcc.NewRand(int64(1000 + c))
+			home := uint32(c%scale.Warehouses + 1)
+			for ctx.Err() == nil {
+				if cl.Closed() && !dial() {
+					return
+				}
+				if rnd.Int(1, 100) <= payPct {
+					in := tpcc.GenPayment(rnd, scale, home)
+					switch err := r.Payment(ctx, in); {
+					case err == nil:
+						payments.Add(1)
+					case ctx.Err() != nil:
+						return // deadline: drain
+					default:
+						payFailures.Add(1)
+						sample(err)
+					}
+				} else {
+					in := tpcc.GenNewOrder(rnd, scale, home)
+					switch err := r.NewOrder(ctx, in); {
+					case err == nil:
+						newOrders.Add(1)
+					case errors.Is(err, tpcc.ErrUserAbort):
+						userAborts.Add(1)
+					case ctx.Err() != nil:
+						return // deadline: drain
+					default:
+						noFailures.Add(1)
+						sample(err)
+					}
+				}
+			}
+		}(c)
+	}
+	fmt.Printf("running %d remote clients for %v...\n", clients, duration)
+	wg.Wait()
+
+	secs := duration.Seconds()
+	total := payments.Load() + newOrders.Load()
+	fmt.Printf("\nresults (tps by transaction type):\n")
+	fmt.Printf("  payments:    %8d (%8.1f tps, %d failed)\n", payments.Load(), float64(payments.Load())/secs, payFailures.Load())
+	fmt.Printf("  new orders:  %8d (%8.1f tps, %d failed)\n", newOrders.Load(), float64(newOrders.Load())/secs, noFailures.Load())
+	fmt.Printf("  user aborts: %8d (the spec's 1%% intentional rollbacks)\n", userAborts.Load())
+	fmt.Printf("  total:       %8d committed (%8.1f tps)\n", total, float64(total)/secs)
+	fmt.Printf("  retries:     %d shed (busy), %d deadlock victims, %d lock timeouts\n",
+		stats.Sheds.Load(), stats.Deadlocks.Load(), stats.Timeouts.Load())
+	errMu.Lock()
+	for msg, n := range errSamples {
+		fmt.Printf("  error:       %6d x %s\n", n, msg)
+	}
+	errMu.Unlock()
+
+	if sst, _, err := probe.Stats(context.Background()); err == nil {
+		fmt.Printf("\nserver statistics:\n")
+		fmt.Printf("  sessions:    %d open, %d peak, %d total\n", sst.SessionsOpen, sst.SessionsPeak, sst.SessionsTotal)
+		fmt.Printf("  requests:    %d (%d batches), queue high-water %d\n", sst.Requests, sst.Batches, sst.QueueHighWater)
+		fmt.Printf("  shed:        %d busy refusals\n", sst.Sheds)
+		fmt.Printf("  rollbacks:   %d on disconnect, %d idle closes\n", sst.DisconnectRollbacks, sst.IdleCloses)
+	}
+	probe.Close()
 }

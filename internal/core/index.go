@@ -185,6 +185,24 @@ func (e *Engine) IndexLookupCtx(ctx context.Context, t *tx.Tx, ix *Index, key []
 	return ix.tree.Search(key)
 }
 
+// IndexLookupForUpdateCtx probes the index under an X key lock — SELECT
+// FOR UPDATE. Transactions that read a key intending to write it back
+// later must use this instead of IndexLookupCtx: two transactions that
+// both S-lock a key and then upgrade to X deadlock on each other, and
+// the wider the read-to-write window (a served client's round trip, a
+// user think time) the more certain the collision. Taking X up front
+// serializes read-modify-write cycles on the key instead.
+func (e *Engine) IndexLookupForUpdateCtx(ctx context.Context, t *tx.Tx, ix *Index, key []byte) ([]byte, bool, error) {
+	if e.closed.Load() {
+		return nil, false, ErrClosed
+	}
+	if err := e.lockKey(ctx, t, ix.store, key, lock.X); err != nil {
+		return nil, false, err
+	}
+	e.probeLockTable(t, ix.store, key)
+	return ix.tree.Search(key)
+}
+
 // IndexUpdate replaces the value for key under an X key lock.
 func (e *Engine) IndexUpdate(t *tx.Tx, ix *Index, key, value []byte) error {
 	return e.IndexUpdateCtx(context.Background(), t, ix, key, value)

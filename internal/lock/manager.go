@@ -68,7 +68,13 @@ type Stats struct {
 	Inherits        uint64 // intent locks parked for inheritance at release
 	InheritedGrants uint64 // parked locks claimed latch-free by an agent
 	Revokes         uint64 // parked locks reclaimed by conflicting requesters
-	Latch           sync2.Stats
+	// Live gauges, measured by walking the whole table under its
+	// latches at Stats time: both must drop to zero once every
+	// transaction has finished (leaked locks keep them non-zero, which
+	// is exactly what the server's disconnect tests assert on).
+	LiveHeads    uint64 // lock names with a non-empty request queue
+	LiveRequests uint64 // granted + waiting requests across those queues
+	Latch        sync2.Stats
 }
 
 // lockHead is the per-object lock state: an intrusive FIFO queue of
@@ -831,6 +837,13 @@ func (m *Manager) Stats() Stats {
 	}
 	if m.opts.Table == TableGlobal {
 		s.Latch = m.global.Stats()
+		// One latch guards every chain: a single critical section
+		// snapshots the whole table.
+		m.global.Lock()
+		for i := range m.buckets {
+			countChain(m.buckets[i].heads, &s)
+		}
+		m.global.Unlock()
 	} else {
 		for i := range m.buckets {
 			st := m.buckets[i].latch.Stats()
@@ -838,6 +851,29 @@ func (m *Manager) Stats() Stats {
 			s.Latch.Contended += st.Contended
 			s.Latch.SpinIters += st.SpinIters
 		}
+		// Per-bucket latches: snapshot bucket by bucket. The gauges are
+		// not a single consistent cut across buckets, but they are exact
+		// on a quiescent table — the case the zero assertion cares about.
+		for i := range m.buckets {
+			b := &m.buckets[i]
+			b.latch.Lock()
+			countChain(b.heads, &s)
+			b.latch.Unlock()
+		}
 	}
 	return s
+}
+
+// countChain folds one bucket chain into the live gauges. Empty heads
+// (recycled on the free list, or mid-removal) do not count.
+func countChain(h *lockHead, s *Stats) {
+	for ; h != nil; h = h.next {
+		if h.queue == nil {
+			continue
+		}
+		s.LiveHeads++
+		for r := h.queue; r != nil; r = r.next {
+			s.LiveRequests++
+		}
+	}
 }

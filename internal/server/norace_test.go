@@ -1,0 +1,6 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports a race-instrumented test binary; see race_test.go.
+const raceEnabled = false

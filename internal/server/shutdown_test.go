@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestServerForcedShutdownRollsBack closes the server with no drain
+// window while a transaction is open: the force phase must tear the
+// session down, roll the transaction back and leave no live locks.
+func TestServerForcedShutdownRollsBack(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	ctx := context.Background()
+	c := ts.dial(t)
+
+	store, err := c.CreateIndex(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := c.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.IndexInsert(ctx, store, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ts.srv.Close(); err != nil { // Shutdown with an expired context
+		t.Fatal(err)
+	}
+	if got := ts.db.Stats().Lock.LiveRequests; got != 0 {
+		t.Fatalf("%d live lock requests after forced shutdown", got)
+	}
+	st := ts.db.Stats()
+	if st.Tx.Begins != st.Tx.Commits+st.Tx.Aborts {
+		t.Fatalf("transaction leaked: begins=%d commits=%d aborts=%d",
+			st.Tx.Begins, st.Tx.Commits, st.Tx.Aborts)
+	}
+	// The client's next request fails: the connection is gone.
+	if err := tx.Commit(ctx); err == nil {
+		t.Fatal("commit succeeded after forced shutdown")
+	}
+}
+
+// TestServerServeAfterShutdown verifies Serve refuses listeners once the
+// server is shut down, and that Shutdown is idempotent.
+func TestServerServeAfterShutdown(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ts.srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.srv.Shutdown(sctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.srv.Serve(l); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Serve after shutdown: got %v, want ErrShutdown", err)
+	}
+}

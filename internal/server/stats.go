@@ -1,0 +1,44 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// counters holds the server's atomically-updated statistics.
+type counters struct {
+	sessionsOpen        atomic.Int64
+	sessionsPeak        atomic.Int64
+	sessionsTotal       atomic.Uint64
+	requests            atomic.Uint64
+	batches             atomic.Uint64
+	sheds               atomic.Uint64
+	disconnectRollbacks atomic.Uint64
+	idleCloses          atomic.Uint64
+	queueHighWater      atomic.Int64
+}
+
+// maxInt64 raises a high-water mark.
+func maxInt64(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func (c *counters) snapshot() wire.ServerStats {
+	return wire.ServerStats{
+		SessionsOpen:        c.sessionsOpen.Load(),
+		SessionsPeak:        c.sessionsPeak.Load(),
+		SessionsTotal:       c.sessionsTotal.Load(),
+		Requests:            c.requests.Load(),
+		Batches:             c.batches.Load(),
+		Sheds:               c.sheds.Load(),
+		DisconnectRollbacks: c.disconnectRollbacks.Load(),
+		IdleCloses:          c.idleCloses.Load(),
+		QueueHighWater:      c.queueHighWater.Load(),
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -195,6 +196,7 @@ type DB struct {
 	logStore   wal.Store
 	durability Durability
 	retry      RetryPolicy
+	closed     atomic.Bool
 }
 
 // Open creates or reopens a database. If the log is non-empty, ARIES
@@ -262,8 +264,13 @@ func Open(opts Options) (*DB, error) {
 }
 
 // Close flushes and closes the database. Every resource is closed even
-// when an earlier one fails; the errors are joined.
+// when an earlier one fails; the errors are joined. Close is idempotent:
+// only the first call does the work, every later call returns nil — so
+// a daemon's signal handler and its deferred cleanup can both call it.
 func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
 	return errors.Join(db.engine.Close(), db.vol.Close(), db.logStore.Close())
 }
 
@@ -580,6 +587,21 @@ func (ix *Index) Get(t *Tx, key []byte) ([]byte, bool, error) {
 		return nil, false, ErrTxDone
 	}
 	return ix.db.engine.IndexLookupCtx(t.ctx, t.inner, ix.inner, key)
+}
+
+// GetForUpdate returns the value for key under an exclusive lock —
+// SELECT FOR UPDATE. Use it when the transaction will write the key
+// back later: reading under S and upgrading to X at write time
+// deadlocks against any concurrent reader doing the same, and the
+// longer the read-to-write window the more certain the collision.
+func (ix *Index) GetForUpdate(t *Tx, key []byte) ([]byte, bool, error) {
+	if t.done {
+		return nil, false, ErrTxDone
+	}
+	if t.readonly {
+		return nil, false, ErrReadOnly
+	}
+	return ix.db.engine.IndexLookupForUpdateCtx(t.ctx, t.inner, ix.inner, key)
 }
 
 // Update replaces the value for key; ErrNotFound if absent.

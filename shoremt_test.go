@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -20,6 +21,47 @@ func openTest(t *testing.T, opts Options) *DB {
 	}
 	t.Cleanup(func() { db.Close() })
 	return db
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	db := openTest(t, Options{})
+	ctx := context.Background()
+	err := db.Update(ctx, func(tx *Tx) error {
+		_, err := db.CreateTable(tx)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	// Every later call — a signal handler racing a deferred cleanup, an
+	// error path double close — must be a silent no-op.
+	for i := 0; i < 3; i++ {
+		if err := db.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+2, err)
+		}
+	}
+}
+
+func TestCloseIdempotentConcurrent(t *testing.T) {
+	db := openTest(t, Options{})
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = db.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent Close %d: %v", i, err)
+		}
+	}
 }
 
 func TestPublicTableRoundTrip(t *testing.T) {
