@@ -48,6 +48,8 @@ func main() {
 	idle := flag.Duration("idle", 5*time.Minute, "idle-session timeout (rolls back and closes; <0 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	warehouses := flag.Int("tpcc", 0, "preload a TPC-C database with this many warehouses and publish its catalog")
+	logSegment := flag.Int64("log-segment", 0, "rotate the log into fixed-size segments of this many bytes (0 = single unbounded log)")
+	redoWorkers := flag.Int("redo-workers", 0, "parallel redo workers during restart recovery (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	stage, ok := stageByName(*stageName)
@@ -64,6 +66,9 @@ func main() {
 		OLC:          *olc,
 		DORA:         *dora,
 		Partitions:   *partitions,
+
+		LogSegmentBytes: *logSegment,
+		RedoWorkers:     *redoWorkers,
 	}
 	if *durability == "relaxed" {
 		opts.Durability = shoremt.DurabilityRelaxed
@@ -75,6 +80,11 @@ func main() {
 	db, err := shoremt.Open(opts)
 	if err != nil {
 		log.Fatalf("open: %v", err)
+	}
+	if rs := db.Stats().Recovery; rs.Ran {
+		log.Printf("recovery: analysis %v, redo %v (%d workers, %d/%d records replayed), undo %v (%d losers), %d B torn tail clipped, %d segments archived",
+			rs.Analysis.Round(time.Microsecond), rs.Redo.Round(time.Microsecond), rs.RedoWorkers,
+			rs.RecordsReplayed, rs.RecordsScanned, rs.Undo.Round(time.Microsecond), rs.Losers, rs.TornBytesClipped, rs.SegmentsArchived)
 	}
 	// DB.Close is idempotent: this defer and the shutdown path below can
 	// both call it, whichever runs last is a no-op.

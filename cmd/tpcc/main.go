@@ -58,6 +58,8 @@ func main() {
 	dorafl := flag.Bool("dora", false, "data-oriented execution: route decomposed actions to partition owners with thread-local lock tables")
 	partitions := flag.Int("partitions", 0, "DORA partitions (0 = GOMAXPROCS; clamped to -warehouses)")
 	addr := flag.String("addr", "", "drive a remote shored server at this address instead of an embedded engine")
+	logSegment := flag.Int64("log-segment", 0, "rotate the log into fixed-size segments of this many bytes (0 = single unbounded log)")
+	redoWorkers := flag.Int("redo-workers", 0, "parallel redo workers during restart recovery (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *addr != "" {
@@ -81,8 +83,13 @@ func main() {
 		cfg.Buffer.Shards = *shards
 	}
 	cfg.CleanerInterval = 10 * time.Millisecond
+	cfg.RedoWorkers = *redoWorkers
 
-	engine, err := core.Open(disk.NewMem(0), wal.NewMemStore(), cfg)
+	var logStore wal.Store = wal.NewMemStore()
+	if *logSegment > 0 {
+		logStore = wal.NewMemSegmentStore(*logSegment)
+	}
+	engine, err := core.Open(disk.NewMem(0), logStore, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/buffer"
@@ -129,7 +130,12 @@ type Config struct {
 	// whenever that many log bytes have accumulated since the last one,
 	// bounding restart-recovery work without manual Checkpoint calls.
 	CheckpointEvery int64
-	Seed            int64
+	// RedoWorkers sets the parallelism of the redo pass of restart
+	// recovery: log records fan out to workers hash-partitioned by page
+	// ID, preserving per-page LSN order. 0 auto-scales to GOMAXPROCS;
+	// 1 forces the serial replay path.
+	RedoWorkers int
+	Seed        int64
 }
 
 // StageConfig returns the paper's preset for stage.
@@ -207,6 +213,9 @@ func (c *Config) normalize() {
 	}
 	if c.EscalateAfter == 0 {
 		c.EscalateAfter = 1024
+	}
+	if c.RedoWorkers <= 0 {
+		c.RedoWorkers = runtime.GOMAXPROCS(0)
 	}
 	c.Buffer.Frames = c.Frames
 	c.Buffer.Seed = c.Seed

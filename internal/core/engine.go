@@ -72,6 +72,12 @@ type Engine struct {
 	lastCkpt atomic.Uint64
 	ckptStop chan struct{}
 	ckptDone chan struct{}
+
+	// recovery describes the restart recovery this engine ran at Open
+	// (zero if the log was empty); archived counts log segments dropped
+	// by checkpoint-time archiving over the engine's lifetime.
+	recovery RecoveryStats
+	archived atomic.Uint64
 }
 
 // Open builds an engine over vol and logStore per cfg, running ARIES
@@ -79,6 +85,21 @@ type Engine struct {
 func Open(vol disk.Volume, logStore wal.Store, cfg Config) (*Engine, error) {
 	cfg.normalize()
 	e := &Engine{cfg: cfg, vol: vol, logStore: logStore}
+	// Validate the log tail before any manager captures the store's size:
+	// a torn tail above the durable horizon is clipped here, while damage
+	// below it refuses startup with wal.ErrCorrupt.
+	if logStore.Size() > 8 { // anything beyond the preamble
+		end, torn, err := wal.CheckTail(logStore)
+		if err != nil {
+			return nil, fmt.Errorf("core: recovery: %w", err)
+		}
+		if torn > 0 {
+			if err := logStore.Truncate(end); err != nil {
+				return nil, fmt.Errorf("core: recovery: clipping torn tail: %w", err)
+			}
+			e.recovery.TornBytesClipped = torn
+		}
+	}
 	e.log = wal.New(logStore, wal.Options{Design: cfg.LogDesign, BufferSize: cfg.LogBuffer})
 	bopts := cfg.Buffer
 	bopts.FlushLog = func(l wal.LSN) error { return e.log.Flush(l + 1) }
@@ -776,7 +797,38 @@ func (e *Engine) Checkpoint() error {
 	// Reset the auto-checkpoint meter only once the checkpoint fully
 	// landed, so a failed attempt is retried on the daemon's next tick.
 	e.lastCkpt.Store(uint64(beginLSN))
+	e.archiveSegments(beginLSN, data.Dirty)
 	return nil
+}
+
+// archiveSegments drops log segments wholly below the recovery safe
+// point: recovery never reads below min(checkpoint begin, oldest dirty
+// recLSN, oldest live undo chain), so sealed segments under it are dead
+// weight. Failures are ignored — archiving is opportunistic and the next
+// checkpoint retries.
+func (e *Engine) archiveSegments(beginLSN wal.LSN, dirty []wal.DirtyInfo) {
+	ar, ok := e.logStore.(wal.Archiver)
+	if !ok {
+		return
+	}
+	point := beginLSN
+	for _, d := range dirty {
+		if d.RecLSN != wal.NullLSN && d.RecLSN < point {
+			point = d.RecLSN
+		}
+	}
+	first, ok := e.txns.MinFirstLSN()
+	if !ok {
+		// Some transaction's chain extent is unknown (begin record not
+		// linked yet); skip this round rather than guess.
+		return
+	}
+	if first != wal.NullLSN && first < point {
+		point = first
+	}
+	if n, err := ar.ArchiveBelow(point); err == nil {
+		e.archived.Add(uint64(n))
+	}
 }
 
 // Crash simulates power failure for recovery testing: background work
@@ -825,6 +877,7 @@ type EngineStats struct {
 	Pipeline wal.DaemonStats   // zero unless CommitPipeline is enabled
 	Btree    btree.OLCSnapshot // zero unless OLC is enabled
 	Dora     dora.Stats        // zero unless DORA is enabled
+	Recovery RecoveryStats     // zero unless Open ran restart recovery
 }
 
 // Stats snapshots all component counters.
@@ -843,6 +896,8 @@ func (e *Engine) Stats() EngineStats {
 	if e.dora != nil {
 		s.Dora = e.dora.Stats()
 	}
+	s.Recovery = e.recovery
+	s.Recovery.SegmentsArchived = e.archived.Load()
 	return s
 }
 

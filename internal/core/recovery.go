@@ -3,6 +3,10 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/page"
@@ -11,6 +15,22 @@ import (
 	"repro/internal/sync2"
 	"repro/internal/wal"
 )
+
+// RecoveryStats describes the restart recovery performed at Open.
+type RecoveryStats struct {
+	Ran              bool          // a non-empty log triggered recovery
+	Analysis         time.Duration // log scan rebuilding tx + dirty tables
+	Redo             time.Duration // replay + directory rebuild
+	Undo             time.Duration // loser rollback
+	RecordsScanned   uint64        // records seen by the redo scan
+	RecordsReplayed  uint64        // records applied (survived the page-LSN gate)
+	Losers           int           // in-flight transactions rolled back
+	TornBytesClipped int64         // torn tail bytes discarded before replay
+	SegmentsArchived uint64        // log segments archived since Open
+	RedoWorkers      int           // redo parallelism used
+	RedoStart        wal.LSN       // where the redo scan began
+	LogEnd           wal.LSN       // log extent at recovery time
+}
 
 // ARIES restart recovery: analysis → redo → (directory rebuild) → undo.
 //
@@ -28,20 +48,32 @@ type loserState struct {
 
 // restart runs crash recovery. Called from Open when the log is non-empty.
 func (e *Engine) restart() error {
+	rs := &e.recovery
+	rs.Ran = true
+	rs.RedoWorkers = e.cfg.RedoWorkers
+	rs.LogEnd = wal.LSN(e.logStore.Size())
+	start := time.Now()
 	losers, _, redoStart, maxTxID, err := e.analyze()
 	if err != nil {
 		return fmt.Errorf("analysis: %w", err)
 	}
+	rs.Analysis = time.Since(start)
+	rs.RedoStart = redoStart
+	rs.Losers = len(losers)
+	start = time.Now()
 	if err := e.redo(redoStart); err != nil {
 		return fmt.Errorf("redo: %w", err)
 	}
 	if err := e.rebuildDirectory(); err != nil {
 		return fmt.Errorf("directory rebuild: %w", err)
 	}
+	rs.Redo = time.Since(start)
 	e.txns.NextIDFloor(maxTxID)
+	start = time.Now()
 	if err := e.undoLosers(losers); err != nil {
 		return fmt.Errorf("undo: %w", err)
 	}
+	rs.Undo = time.Since(start)
 	return e.Checkpoint()
 }
 
@@ -160,7 +192,67 @@ func (e *Engine) analyze() (losers map[uint64]*loserState, dpt map[page.ID]wal.L
 }
 
 // redo replays every page update from redoStart, gated by page LSN.
+// With RedoWorkers > 1 the replay fans out hash-partitioned by page ID:
+// every page maps to exactly one worker, so per-page LSN order — the only
+// ordering redo needs — is preserved while distinct pages replay in
+// parallel (the same partitioning argument as the sharded buffer pool).
 func (e *Engine) redo(redoStart wal.LSN) error {
+	if e.cfg.RedoWorkers > 1 {
+		return e.redoParallel(redoStart, e.cfg.RedoWorkers)
+	}
+	return e.redoSerial(redoStart)
+}
+
+// redoApplies reports whether a record carries page redo work.
+func redoApplies(rec *wal.Record) bool {
+	if rec.Page == 0 || len(rec.Redo) == 0 {
+		return false
+	}
+	return rec.Type == wal.RecUpdate || rec.Type == wal.RecCLR
+}
+
+// growFor extends the volume to cover pid: the volume may be shorter than
+// a logged page id if growth raced the crash (fresh pages read zeroed,
+// the redone ops reformat them).
+func (e *Engine) growFor(pid page.ID) error {
+	for uint64(pid) > e.vol.NumPages() {
+		if _, err := e.vol.Grow(space.ExtentSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRedo replays one record, gated by page LSN, reporting whether it
+// was applied.
+//
+// No per-page DPT skip: with cleaner-fed checkpoints the table holds only
+// a low-water mark, and analysis-derived recLSNs can postdate unflushed
+// pre-checkpoint updates. The page-LSN gate is the sound (and sufficient)
+// redo filter.
+func (e *Engine) applyRedo(rec *wal.Record) (bool, error) {
+	f, err := e.fix(rec.Page, sync2.LatchEX)
+	if err != nil {
+		return false, err
+	}
+	defer e.pool.Unfix(f, sync2.LatchEX)
+	if f.Page().LSN() >= uint64(rec.LSN) {
+		return false, nil
+	}
+	op, err := pageop.Decode(rec.Redo)
+	if err != nil {
+		return false, err
+	}
+	if err := pageop.Apply(f.Page(), op); err != nil {
+		return false, fmt.Errorf("redo %v on %v at %v: %w", op.Kind, rec.Page, rec.LSN, err)
+	}
+	f.Page().SetLSN(uint64(rec.LSN))
+	f.MarkDirty(rec.LSN)
+	return true, nil
+}
+
+// redoSerial is the single-threaded replay path (RedoWorkers == 1).
+func (e *Engine) redoSerial(redoStart wal.LSN) error {
 	sc := wal.NewScanner(e.logStore, redoStart)
 	for {
 		rec, err := sc.Next()
@@ -170,42 +262,92 @@ func (e *Engine) redo(redoStart wal.LSN) error {
 		if err != nil {
 			return err
 		}
-		if rec.Page == 0 || len(rec.Redo) == 0 {
+		e.recovery.RecordsScanned++
+		if !redoApplies(rec) {
 			continue
 		}
-		if rec.Type != wal.RecUpdate && rec.Type != wal.RecCLR {
-			continue
+		if err := e.growFor(rec.Page); err != nil {
+			return err
 		}
-		// No per-page DPT skip: with cleaner-fed checkpoints the table
-		// holds only a low-water mark, and analysis-derived recLSNs can
-		// postdate unflushed pre-checkpoint updates. The page-LSN gate
-		// below is the sound (and sufficient) redo filter.
-		// The volume may be shorter than the page id if growth raced the
-		// crash; extend it (fresh pages read zeroed, the ops reformat them).
-		for uint64(rec.Page) > e.vol.NumPages() {
-			if _, err := e.vol.Grow(space.ExtentSize); err != nil {
-				return err
-			}
-		}
-		f, err := e.fix(rec.Page, sync2.LatchEX)
+		applied, err := e.applyRedo(rec)
 		if err != nil {
 			return err
 		}
-		if f.Page().LSN() < uint64(rec.LSN) {
-			op, err := pageop.Decode(rec.Redo)
-			if err != nil {
-				e.pool.Unfix(f, sync2.LatchEX)
-				return err
-			}
-			if err := pageop.Apply(f.Page(), op); err != nil {
-				e.pool.Unfix(f, sync2.LatchEX)
-				return fmt.Errorf("redo %v on %v at %v: %w", op.Kind, rec.Page, rec.LSN, err)
-			}
-			f.Page().SetLSN(uint64(rec.LSN))
-			f.MarkDirty(rec.LSN)
+		if applied {
+			e.recovery.RecordsReplayed++
 		}
-		e.pool.Unfix(f, sync2.LatchEX)
 	}
+}
+
+// redoHash maps a page to its redo worker.
+func redoHash(pid page.ID, workers int) int {
+	return int((uint64(pid) * 0x9e3779b97f4a7c15 >> 33) % uint64(workers))
+}
+
+// redoParallel replays the log with a serial dispatcher (which also owns
+// volume growth) fanning records out to page-partitioned workers.
+func (e *Engine) redoParallel(redoStart wal.LSN, workers int) error {
+	chans := make([]chan *wal.Record, workers)
+	errs := make([]error, workers)
+	var replayed atomic.Uint64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for i := range chans {
+		chans[i] = make(chan *wal.Record, 256)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for rec := range chans[i] {
+				if errs[i] != nil {
+					continue // drain after failure
+				}
+				applied, err := e.applyRedo(rec)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				if applied {
+					replayed.Add(1)
+				}
+			}
+		}(i)
+	}
+	var scanErr error
+	sc := wal.NewScanner(e.logStore, redoStart)
+	for !failed.Load() {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			scanErr = err
+			break
+		}
+		e.recovery.RecordsScanned++
+		if !redoApplies(rec) {
+			continue
+		}
+		if err := e.growFor(rec.Page); err != nil {
+			scanErr = err
+			break
+		}
+		chans[redoHash(rec.Page, workers)] <- rec
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	e.recovery.RecordsReplayed += replayed.Load()
+	if scanErr != nil {
+		return scanErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // rebuildDirectory reconstructs the free-space manager and store directory
@@ -238,9 +380,19 @@ func (e *Engine) rebuildDirectory() error {
 	return nil
 }
 
-// undoLosers rolls back every in-flight transaction found by analysis.
+// undoLosers rolls back every in-flight transaction found by analysis, in
+// ascending ID order. The order is fixed so recovery is deterministic:
+// CLRs land at identical LSNs on every replay of the same log, which is
+// what lets the parallel-redo equivalence test demand byte-identical
+// state.
 func (e *Engine) undoLosers(losers map[uint64]*loserState) error {
-	for id, l := range losers {
+	ids := make([]uint64, 0, len(losers))
+	for id := range losers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		l := losers[id]
 		undoNext := l.undoNext
 		if undoNext == wal.NullLSN {
 			undoNext = l.lastLSN

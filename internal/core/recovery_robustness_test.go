@@ -1,0 +1,386 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+// openOver opens an engine over arbitrary stores with a given log design
+// and redo parallelism.
+func openOver(t *testing.T, vol disk.Volume, logStore wal.Store, design wal.Design, redoWorkers int) (*Engine, error) {
+	t.Helper()
+	cfg := StageConfig(StageFinal)
+	cfg.Frames = 128
+	cfg.LogDesign = design
+	cfg.RedoWorkers = redoWorkers
+	return Open(vol, logStore, cfg)
+}
+
+// buildCrashWorkload drives committed inserts, updates, aborts, an index,
+// a mid-stream checkpoint, and two in-flight losers over the given
+// stores, then pulls the plug. Returns the heap store, index store, and
+// the committed rows a correct recovery must reproduce.
+func buildCrashWorkload(t *testing.T, vol disk.Volume, logStore wal.Store, design wal.Design) (store, ixStore uint32, want map[int]string) {
+	t.Helper()
+	e, err := openOver(t, vol, logStore, design, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store = createTable(t, e)
+	ct, _ := e.Begin()
+	ix, err := e.CreateIndex(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(ct); err != nil {
+		t.Fatal(err)
+	}
+	ixStore = ix.Store()
+
+	want = make(map[int]string)
+	rids := make(map[int]page.RID)
+	for i := 0; i < 80; i++ {
+		tx, _ := e.Begin()
+		v := fmt.Sprintf("row-%04d", i)
+		rid, err := e.HeapInsert(tx, store, []byte(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.IndexInsert(tx, ix, []byte(fmt.Sprintf("k%04d", i)), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+		rids[i], want[i] = rid, v
+		if i == 40 {
+			if err := e.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Committed updates over earlier rows.
+	for i := 0; i < 20; i++ {
+		tx, _ := e.Begin()
+		v := fmt.Sprintf("upd-%04d", i)
+		if err := e.HeapUpdate(tx, store, rids[i], []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+	// An aborted transaction: its updates must stay invisible.
+	ab, _ := e.Begin()
+	if err := e.HeapUpdate(ab, store, rids[30], []byte("aborted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Abort(ab); err != nil {
+		t.Fatal(err)
+	}
+	// Two losers caught mid-flight by the crash, their updates durable in
+	// the log but never committed.
+	l1, _ := e.Begin()
+	l2, _ := e.Begin()
+	if err := e.HeapUpdate(l1, store, rids[50], []byte("loser-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.HeapUpdate(l2, store, rids[51], []byte("loser-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Log().Flush(e.Log().CurLSN()); err != nil {
+		t.Fatal(err)
+	}
+	e.CrashHard()
+	return store, ixStore, want
+}
+
+// verifyWorkload checks every committed row and the index after recovery.
+func verifyWorkload(t *testing.T, e *Engine, store, ixStore uint32, want map[int]string) {
+	t.Helper()
+	tx, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]string)
+	if err := e.HeapScan(tx, store, func(_ page.RID, rec []byte) bool {
+		seen[string(rec)] = string(rec)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("recovered %d rows, want %d", len(seen), len(want))
+	}
+	for _, v := range want {
+		if _, ok := seen[v]; !ok {
+			t.Fatalf("row %q missing after recovery", v)
+		}
+	}
+	ix, err := e.OpenIndex(ixStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ix.Verify(); err != nil || n != 80 {
+		t.Fatalf("index Verify = %d keys, %v; want 80, nil", n, err)
+	}
+	if err := e.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// snapshotVolume reads every page of a closed-over volume.
+func snapshotVolume(t *testing.T, v *disk.MemVolume) [][]byte {
+	t.Helper()
+	n := v.NumPages()
+	out := make([][]byte, n)
+	for i := uint64(0); i < n; i++ {
+		buf := make([]byte, page.Size)
+		if err := v.Read(page.ID(i+1), buf); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = buf
+	}
+	return out
+}
+
+// TestParallelRedoEquivalence recovers the same crash image serially and
+// in parallel, for all three log designs, and demands byte-identical
+// volumes afterwards: partitioned redo and sorted undo must be
+// observationally indistinguishable from the serial pass.
+func TestParallelRedoEquivalence(t *testing.T) {
+	for _, d := range []wal.Design{wal.DesignCoupled, wal.DesignDecoupled, wal.DesignConsolidated} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			vol := disk.NewMem(0)
+			logStore := wal.NewMemSegmentStore(wal.MinSegmentBytes)
+			store, ixStore, want := buildCrashWorkload(t, vol, logStore, d)
+
+			var snaps [][][]byte
+			var scanned, replayed []uint64
+			for _, workers := range []int{1, 8} {
+				v := vol.Clone()
+				ls := logStore.Clone()
+				e, err := openOver(t, v, ls, d, workers)
+				if err != nil {
+					t.Fatalf("recovery with %d workers: %v", workers, err)
+				}
+				rs := e.Stats().Recovery
+				if !rs.Ran {
+					t.Fatalf("workers=%d: recovery did not run", workers)
+				}
+				if rs.RedoWorkers != workers {
+					t.Fatalf("workers=%d: stats report %d", workers, rs.RedoWorkers)
+				}
+				verifyWorkload(t, e, store, ixStore, want)
+				if err := e.Close(); err != nil {
+					t.Fatal(err)
+				}
+				snaps = append(snaps, snapshotVolume(t, v))
+				scanned = append(scanned, rs.RecordsScanned)
+				replayed = append(replayed, rs.RecordsReplayed)
+			}
+			if scanned[0] != scanned[1] || replayed[0] != replayed[1] {
+				t.Fatalf("serial scanned/replayed %d/%d, parallel %d/%d",
+					scanned[0], replayed[0], scanned[1], replayed[1])
+			}
+			if len(snaps[0]) != len(snaps[1]) {
+				t.Fatalf("volume sizes diverged: %d vs %d pages", len(snaps[0]), len(snaps[1]))
+			}
+			for i := range snaps[0] {
+				if !bytes.Equal(snaps[0][i], snaps[1][i]) {
+					t.Fatalf("page %d differs between serial and parallel recovery", i+1)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashDuringCheckpoint leaves a dangling RecCkptBegin (the crash hit
+// between begin and end); recovery must fall back to the last complete
+// checkpoint and still reproduce every committed row.
+func TestCrashDuringCheckpoint(t *testing.T) {
+	vol := disk.NewMem(0)
+	logStore := wal.NewMemSegmentStore(wal.MinSegmentBytes)
+	e, err := openOver(t, vol, logStore, wal.DesignConsolidated, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := createTable(t, e)
+	var rids []page.RID
+	for i := 0; i < 40; i++ {
+		tx, _ := e.Begin()
+		rid, err := e.HeapInsert(tx, store, []byte(fmt.Sprintf("ck-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := e.Begin()
+	rid, err := e.HeapInsert(tx, store, []byte("after-ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// The interrupted checkpoint: begin record durable, end record never
+	// written.
+	if _, err := e.Log().Insert(&wal.Record{Type: wal.RecCkptBegin}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Log().Flush(e.Log().CurLSN()); err != nil {
+		t.Fatal(err)
+	}
+	e.CrashHard()
+
+	e2, err := openOver(t, vol, logStore, wal.DesignConsolidated, 0)
+	if err != nil {
+		t.Fatalf("recovery over dangling checkpoint begin: %v", err)
+	}
+	defer e2.Close()
+	tx2, _ := e2.Begin()
+	for i, r := range rids {
+		if got, err := e2.HeapRead(tx2, store, r); err != nil || string(got) != fmt.Sprintf("ck-%d", i) {
+			t.Fatalf("row %d = %q, %v", i, got, err)
+		}
+	}
+	if got, err := e2.HeapRead(tx2, store, rid); err != nil || string(got) != "after-ckpt" {
+		t.Fatalf("post-checkpoint row = %q, %v", got, err)
+	}
+	if err := e2.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashDuringSegmentRotation models a crash while the log was
+// spilling across a segment boundary: a torn region that starts in one
+// segment and runs into the (header-only) next. Recovery must clip the
+// whole torn span and come up on the durable prefix.
+func TestCrashDuringSegmentRotation(t *testing.T) {
+	vol := disk.NewMem(0)
+	logStore := wal.NewMemSegmentStore(wal.MinSegmentBytes)
+	store, ixStore, want := buildCrashWorkload(t, vol, logStore, wal.DesignConsolidated)
+
+	// Splatter garbage from the durable end across at least one segment
+	// boundary — the in-flight rotation write the crash interrupted.
+	end := logStore.DurableSize()
+	garbage := bytes.Repeat([]byte{0xEE}, int(wal.MinSegmentBytes)+257)
+	if err := logStore.WriteAt(garbage, end); err != nil {
+		t.Fatal(err)
+	}
+	if logStore.Size() <= end {
+		t.Fatal("garbage did not extend the log")
+	}
+
+	e, err := openOver(t, vol, logStore, wal.DesignConsolidated, 0)
+	if err != nil {
+		t.Fatalf("recovery after torn rotation: %v", err)
+	}
+	defer e.Close()
+	rs := e.Stats().Recovery
+	if rs.TornBytesClipped == 0 {
+		t.Fatal("no torn bytes reported clipped")
+	}
+	verifyWorkload(t, e, store, ixStore, want)
+}
+
+// TestDoubleCrashDuringUndo crashes, then crashes again *during* the
+// first recovery's undo pass (injected log-flush failure), and finally
+// recovers for real: the second restart must pick up over the partial
+// CLR trail without double-applying compensations.
+func TestDoubleCrashDuringUndo(t *testing.T) {
+	vol := disk.NewMem(0)
+	logStore := wal.NewMemSegmentStore(wal.MinSegmentBytes)
+	store, ixStore, want := buildCrashWorkload(t, vol, logStore, wal.DesignConsolidated)
+
+	// First recovery attempt: the log device dies mid-restart. Every
+	// flush from here on fails, so the CLRs from undo (and the recovery
+	// checkpoint) can never harden.
+	logStore.FailFlushes(0)
+	if _, err := openOver(t, vol, logStore, wal.DesignConsolidated, 0); err == nil {
+		t.Fatal("recovery succeeded with a dead log device")
+	}
+	// The machine goes down with it; whatever was not durable is gone.
+	logStore.FailFlushes(-1)
+	logStore.Crash()
+
+	e, err := openOver(t, vol, logStore, wal.DesignConsolidated, 0)
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	defer e.Close()
+	verifyWorkload(t, e, store, ixStore, want)
+}
+
+// TestCorruptionBelowHorizonRefusesStartup flips one durable byte in a
+// sealed segment: recovery must refuse to start rather than silently
+// truncate committed history. A torn tail at the same position in the
+// *active* segment is business as usual (covered above) — the difference
+// is provable durability.
+func TestCorruptionBelowHorizonRefusesStartup(t *testing.T) {
+	vol := disk.NewMem(0)
+	logStore := wal.NewMemSegmentStore(wal.MinSegmentBytes)
+	e, err := openOver(t, vol, logStore, wal.DesignConsolidated, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := createTable(t, e)
+	// Checkpoint early: the master LSN stays in segment 0, and the seal
+	// boundary (the horizon) runs well past it.
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		tx, _ := e.Begin()
+		if _, err := e.HeapInsert(tx, store, bytes.Repeat([]byte{byte(i)}, 200)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+		if _, last := logStore.Segments(); last >= 3 {
+			break
+		}
+	}
+	e.CrashHard()
+
+	master, err := logStore.Master()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(master) >= wal.MinSegmentBytes {
+		t.Fatalf("master %v escaped segment 0; test setup broken", master)
+	}
+	if int64(logStore.Horizon()) < 2*wal.MinSegmentBytes {
+		t.Fatalf("horizon %v too low; no sealed territory above master", logStore.Horizon())
+	}
+	// Flip a durable byte in sealed segment 1 — above the master (so the
+	// tail check walks over it) but below the horizon.
+	off := int64(wal.MinSegmentBytes) + 777
+	var b [1]byte
+	if _, err := logStore.ReadAt(b[:], off); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if err := logStore.WriteAt([]byte{b[0] ^ 0xFF}, off); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := openOver(t, vol, logStore, wal.DesignConsolidated, 0); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("startup over corrupt sealed segment = %v, want wal.ErrCorrupt", err)
+	}
+}

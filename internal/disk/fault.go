@@ -2,6 +2,7 @@ package disk
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/page"
@@ -20,14 +21,25 @@ type FaultVolume struct {
 	failWritesAfter atomic.Int64
 	// failReadPID fails reads of one specific page (0 = disabled).
 	failReadPID atomic.Uint64
-	reads       atomic.Uint64
-	writes      atomic.Uint64
+	// tornWritesAfter arms a one-shot torn write: when the counter
+	// reaches zero, the write stores only tornPrefix bytes of the buffer
+	// (the rest of the page keeps its old content) and then fails.
+	tornWritesAfter atomic.Int64
+	tornPrefix      atomic.Int64
+	// failSyncsAfter fails every Sync once the counter reaches zero
+	// (negative = disabled).
+	failSyncsAfter atomic.Int64
+	reads          atomic.Uint64
+	writes         atomic.Uint64
+	torn           atomic.Uint64
 }
 
 // NewFault wraps v with fault injection disabled.
 func NewFault(v Volume) *FaultVolume {
 	f := &FaultVolume{Volume: v}
 	f.failWritesAfter.Store(-1)
+	f.tornWritesAfter.Store(-1)
+	f.failSyncsAfter.Store(-1)
 	return f
 }
 
@@ -42,6 +54,34 @@ func (f *FaultVolume) FailReadsOf(pid page.ID) { f.failReadPID.Store(uint64(pid)
 
 // HealReads disarms read failures.
 func (f *FaultVolume) HealReads() { f.failReadPID.Store(0) }
+
+// TornWritesAfter arms a one-shot torn write after n more successful
+// writes: the victim write persists only the first prefix bytes of its
+// buffer — the partial sector train a dying disk leaves behind — and
+// returns ErrInjected. The caller keeps its dirty in-memory copy, so a
+// later successful full-page write repairs the image.
+func (f *FaultVolume) TornWritesAfter(n, prefix int64) {
+	if prefix < 0 {
+		prefix = 0
+	}
+	if prefix > int64(page.Size) {
+		prefix = int64(page.Size)
+	}
+	f.tornPrefix.Store(prefix)
+	f.tornWritesAfter.Store(n)
+}
+
+// HealTornWrites disarms torn-write injection.
+func (f *FaultVolume) HealTornWrites() { f.tornWritesAfter.Store(-1) }
+
+// FailSyncsAfter arms sync failure after n more successful syncs.
+func (f *FaultVolume) FailSyncsAfter(n int64) { f.failSyncsAfter.Store(n) }
+
+// HealSyncs disarms sync failures.
+func (f *FaultVolume) HealSyncs() { f.failSyncsAfter.Store(-1) }
+
+// TornWrites reports how many torn writes have been injected.
+func (f *FaultVolume) TornWrites() uint64 { return f.torn.Load() }
 
 // Read implements Volume.
 func (f *FaultVolume) Read(pid page.ID, buf []byte) error {
@@ -66,8 +106,48 @@ func (f *FaultVolume) Write(pid page.ID, buf []byte) error {
 			break
 		}
 	}
+	for {
+		n := f.tornWritesAfter.Load()
+		if n < 0 {
+			break
+		}
+		if !f.tornWritesAfter.CompareAndSwap(n, n-1) {
+			continue
+		}
+		if n > 0 {
+			break
+		}
+		// One-shot: persist a prefix of the buffer over the old page
+		// image, then report failure.
+		f.tornWritesAfter.Store(-1)
+		f.torn.Add(1)
+		prefix := f.tornPrefix.Load()
+		old := make([]byte, page.Size)
+		if err := f.Volume.Read(pid, old); err == nil {
+			copy(old[:prefix], buf[:prefix])
+			_ = f.Volume.Write(pid, old)
+		}
+		return fmt.Errorf("%w: torn write of %v (%d of %d bytes)", ErrInjected, pid, prefix, len(buf))
+	}
 	f.writes.Add(1)
 	return f.Volume.Write(pid, buf)
+}
+
+// Sync implements Volume.
+func (f *FaultVolume) Sync() error {
+	for {
+		n := f.failSyncsAfter.Load()
+		if n < 0 {
+			break
+		}
+		if n == 0 {
+			return ErrInjected
+		}
+		if f.failSyncsAfter.CompareAndSwap(n, n-1) {
+			break
+		}
+	}
+	return f.Volume.Sync()
 }
 
 var _ Volume = (*FaultVolume)(nil)

@@ -131,6 +131,18 @@ func (v *MemVolume) Grow(n int) (page.ID, error) {
 // Sync implements Volume (no-op).
 func (v *MemVolume) Sync() error { return nil }
 
+// Clone returns an independent deep copy of the volume (for recovery
+// equivalence tests).
+func (v *MemVolume) Clone() *MemVolume {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	nv := &MemVolume{pages: make([][]byte, len(v.pages))}
+	for i, p := range v.pages {
+		nv.pages[i] = append([]byte(nil), p...)
+	}
+	return nv
+}
+
 // Close implements Volume.
 func (v *MemVolume) Close() error {
 	v.mu.Lock()

@@ -193,7 +193,7 @@ func TestDoraRendezvousAbort(t *testing.T) {
 	in := NewOrderInput{
 		WID: 1, DID: 1, CID: 1,
 		Lines: []NewOrderLine{
-			{ItemID: 1, SupplyWID: 1, Quantity: 3},                          // home, valid
+			{ItemID: 1, SupplyWID: 1, Quantity: 3},                        // home, valid
 			{ItemID: uint32(scale.Items) + 99, SupplyWID: 2, Quantity: 1}, // remote, unknown item
 		},
 	}

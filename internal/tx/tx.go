@@ -62,9 +62,10 @@ type Tx struct {
 	// StateCommitting while checkpoints concurrently inspect it.
 	state atomic.Int32
 
-	// Log chain. lastLSN and undoNext are atomic because checkpoint
-	// snapshots read them concurrently with the owner's RecordLog.
-	firstLSN wal.LSN
+	// Log chain. All three are atomic because checkpoint snapshots (and
+	// the log-archive safe-point computation) read them concurrently with
+	// the owner's RecordLog.
+	firstLSN atomic.Uint64
 	lastLSN  atomic.Uint64
 	undoNext atomic.Uint64
 
@@ -152,10 +153,14 @@ func (t *Tx) LastLSN() wal.LSN { return wal.LSN(t.lastLSN.Load()) }
 // UndoNext returns the next record to undo during rollback.
 func (t *Tx) UndoNext() wal.LSN { return wal.LSN(t.undoNext.Load()) }
 
+// FirstLSN returns the transaction's first log record (NullLSN before
+// anything was logged).
+func (t *Tx) FirstLSN() wal.LSN { return wal.LSN(t.firstLSN.Load()) }
+
 // RecordLog links a freshly inserted log record into the chain.
 func (t *Tx) RecordLog(lsn wal.LSN) {
-	if t.firstLSN == wal.NullLSN {
-		t.firstLSN = lsn
+	if t.firstLSN.Load() == uint64(wal.NullLSN) {
+		t.firstLSN.Store(uint64(lsn))
 	}
 	t.lastLSN.Store(uint64(lsn))
 	t.undoNext.Store(uint64(lsn))
@@ -423,6 +428,31 @@ func (m *Manager) Snapshot() []wal.TxInfo {
 		out = append(out, wal.TxInfo{TxID: t.id, LastLSN: t.LastLSN(), UndoNext: t.UndoNext()})
 	}
 	return out
+}
+
+// MinFirstLSN returns the oldest first-record LSN across every
+// transaction in the table — the floor below which no live undo chain
+// reaches, used to compute the log-archive safe point. ok is false when
+// some transaction's extent is unknown (it registered but has not linked
+// its begin record yet, or was restored by recovery without chain
+// history); callers must then skip archiving rather than guess.
+// Pre-committed transactions are included: should the crash beat their
+// commit record to disk, restart will roll them back through their full
+// chain.
+func (m *Manager) MinFirstLSN() (min wal.LSN, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	min = wal.NullLSN
+	for _, t := range m.active {
+		first := t.FirstLSN()
+		if first == wal.NullLSN {
+			return wal.NullLSN, false
+		}
+		if min == wal.NullLSN || first < min {
+			min = first
+		}
+	}
+	return min, true
 }
 
 // NextIDFloor raises the ID generator above floor (used after recovery so

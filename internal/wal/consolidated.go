@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/sync2"
@@ -108,6 +109,9 @@ func (l *consolidatedLog) insert(rec *Record) (LSN, error) {
 			if l.closed.Load() {
 				return NullLSN, ErrLogClosed
 			}
+			if err := l.gc.failed(); err != nil {
+				return NullLSN, err
+			}
 			continue
 		}
 		if l.head.CompareAndSwap(r, r+size) {
@@ -195,11 +199,16 @@ func (l *consolidatedLog) drain() {
 			chunk = rem
 		}
 		if err := l.store.WriteAt(l.ring[pos:pos+chunk], int64(off)); err != nil {
+			// A log device that cannot take bytes is terminal: fail the
+			// waiters rather than strand them on a boundary that will
+			// never advance.
+			l.gc.fail(fmt.Errorf("wal: log write failed: %w", err))
 			return
 		}
 		off += LSN(chunk)
 	}
 	if err := l.store.Flush(int64(copied)); err != nil {
+		l.gc.fail(fmt.Errorf("wal: log flush failed: %w", err))
 		return
 	}
 	l.flushes.Add(1)
@@ -220,6 +229,9 @@ func (l *consolidatedLog) Flush(upTo LSN) error {
 	l.gc.wait(upTo, func() bool { return l.closed.Load() })
 	l.flushWaiters.Add(-1)
 	if l.gc.get() < upTo {
+		if err := l.gc.failed(); err != nil {
+			return err
+		}
 		return ErrLogClosed
 	}
 	return nil

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/sync2"
@@ -115,6 +116,10 @@ func (l *decoupledLog) insert(rec *Record) (LSN, error) {
 				l.insertMu.Unlock()
 				return NullLSN, ErrLogClosed
 			}
+			if err := l.gc.failed(); err != nil {
+				l.insertMu.Unlock()
+				return NullLSN, err
+			}
 			l.cachedTail = l.gc.get()
 		}
 	}
@@ -182,11 +187,16 @@ func (l *decoupledLog) drain() {
 			chunk = rem
 		}
 		if err := l.store.WriteAt(l.ring[pos:pos+chunk], int64(off)); err != nil {
-			return // store failure: durable boundary stays put
+			// A log device that cannot take bytes is terminal: fail the
+			// waiters rather than strand them on a boundary that will
+			// never advance.
+			l.gc.fail(fmt.Errorf("wal: log write failed: %w", err))
+			return
 		}
 		off += LSN(chunk)
 	}
 	if err := l.store.Flush(int64(copied)); err != nil {
+		l.gc.fail(fmt.Errorf("wal: log flush failed: %w", err))
 		return
 	}
 	l.flushes.Add(1)
@@ -205,6 +215,9 @@ func (l *decoupledLog) Flush(upTo LSN) error {
 	l.kickFlusher()
 	l.gc.wait(upTo, func() bool { return l.closed.Load() })
 	if l.gc.get() < upTo {
+		if err := l.gc.failed(); err != nil {
+			return err
+		}
 		return ErrLogClosed
 	}
 	return nil

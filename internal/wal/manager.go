@@ -173,30 +173,42 @@ func (g *groupCommit) subscribe(upTo LSN) <-chan error {
 }
 
 // fail resolves every outstanding subscription with err and makes future
-// subscriptions fail fast. Called at manager close, after the final drain
-// has resolved everything it could.
+// subscriptions fail fast. Called at manager close (after the final drain
+// has resolved everything it could) and when the flush daemon hits a
+// store failure — a log device that cannot harden bytes must fail
+// waiters, not strand them. The first error wins; close-time ErrLogClosed
+// never masks a real device error.
 func (g *groupCommit) fail(err error) {
 	g.mu.Lock()
-	g.failErr = err
+	if g.failErr == nil {
+		g.failErr = err
+	}
 	for _, s := range g.subs {
-		s.ch <- err
+		s.ch <- g.failErr
 	}
 	g.subs = nil
 	g.cond.Broadcast()
 	g.mu.Unlock()
 }
 
+// failed returns the terminal error, if any.
+func (g *groupCommit) failed() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.failErr
+}
+
 // get returns the durable boundary.
 func (g *groupCommit) get() LSN { return LSN(g.durable.Load()) }
 
-// wait blocks until the durable boundary reaches at least upTo or closed
-// returns true.
+// wait blocks until the durable boundary reaches at least upTo, the
+// manager fails terminally, or closed returns true.
 func (g *groupCommit) wait(upTo LSN, closed func() bool) {
 	if g.get() >= upTo {
 		return
 	}
 	g.mu.Lock()
-	for g.get() < upTo && !closed() {
+	for g.get() < upTo && g.failErr == nil && !closed() {
 		g.cond.Wait()
 	}
 	g.mu.Unlock()

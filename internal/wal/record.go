@@ -118,10 +118,18 @@ const (
 	MaxPayload = 1 << 20
 )
 
-// Errors from encoding/decoding.
+// Errors from encoding/decoding and from the store layer. ErrBadRecord
+// classifies a single undecodable record; the sentinels below classify
+// what that means for the log as a whole: a bad record above the durable
+// horizon is a torn tail (expected after a crash, clipped), while one
+// below it is ErrCorrupt — committed work is damaged and startup must
+// refuse rather than silently truncate.
 var (
 	ErrRecordTooLarge = errors.New("wal: record payload too large")
 	ErrBadRecord      = errors.New("wal: malformed or corrupt record")
+	ErrCorrupt        = errors.New("wal: log corrupt below durable horizon")
+	ErrShortWrite     = errors.New("wal: short write")
+	ErrInvalidLSN     = errors.New("wal: invalid LSN")
 )
 
 // EncodedSize returns the on-log size of r.
@@ -159,7 +167,9 @@ func (r *Record) Encode(buf []byte) (int, error) {
 
 // DecodeRecord parses a record from the front of buf. It returns the
 // record and its encoded length. ErrBadRecord is returned for truncated or
-// corrupt input — recovery uses this to find the end of the log.
+// corrupt input — recovery uses this to find the end of the log. Decoding
+// is strict: any accepted record re-encodes to exactly the input bytes, so
+// the CRC the encoder would produce always agrees with the one on the log.
 func DecodeRecord(buf []byte) (*Record, int, error) {
 	if len(buf) < recHeaderSize+recTrailerSize {
 		return nil, 0, fmt.Errorf("%w: truncated header", ErrBadRecord)
@@ -175,6 +185,12 @@ func DecodeRecord(buf []byte) (*Record, int, error) {
 	want := binary.LittleEndian.Uint32(b[total-recTrailerSize:])
 	if crc32.ChecksumIEEE(b[:total-recTrailerSize]) != want {
 		return nil, 0, fmt.Errorf("%w: crc mismatch", ErrBadRecord)
+	}
+	if t := RecType(b[4]); t == RecInvalid || t > RecFormat {
+		return nil, 0, fmt.Errorf("%w: unknown record type %d", ErrBadRecord, b[4])
+	}
+	if b[5] != 0 || binary.LittleEndian.Uint16(b[6:]) != 0 {
+		return nil, 0, fmt.Errorf("%w: nonzero reserved bytes", ErrBadRecord)
 	}
 	redoLen := int(binary.LittleEndian.Uint32(b[40:]))
 	undoLen := int(binary.LittleEndian.Uint32(b[44:]))

@@ -10,50 +10,90 @@ import (
 )
 
 // Scanner iterates log records in LSN order directly from a Store. It is
-// the read path of recovery: it stops cleanly (io.EOF) at the end of the
-// valid log — whether that end comes from the durable boundary, a zeroed
-// region, or a torn record whose checksum fails.
+// the read path of recovery, and it renders one of two verdicts at the
+// end of the written log:
+//
+//   - A bad record at or above the store's durable horizon is an expected
+//     torn tail — the crash interrupted an in-flight write — so the scan
+//     ends cleanly (io.EOF) and TornBytes reports what must be clipped.
+//   - A bad record *below* the horizon means provably-durable log bytes
+//     were damaged: the scan fails with a wrapped ErrCorrupt carrying
+//     segment/offset context, and startup must refuse rather than
+//     silently truncate committed work.
 type Scanner struct {
-	store Store
-	off   int64
-	limit int64
+	store   Store
+	off     int64
+	limit   int64
+	horizon int64
+	torn    int64
 }
 
-// NewScanner scans from LSN `from` (NullLSN means the start of the log) up
-// to the durable boundary of store.
+// NewScanner scans from LSN `from` (NullLSN means the start of the log)
+// to the end of the written log.
 func NewScanner(store Store, from LSN) *Scanner {
 	off := int64(from)
 	if off < logHeaderSize {
 		off = logHeaderSize
 	}
-	return &Scanner{store: store, off: off, limit: store.DurableSize()}
+	return &Scanner{store: store, off: off, limit: store.Size(), horizon: int64(store.Horizon())}
+}
+
+// End returns the offset where the scan stopped: the end of the valid log
+// once Next has returned io.EOF.
+func (s *Scanner) End() int64 { return s.off }
+
+// TornBytes returns how many trailing bytes were classified as a torn
+// tail (valid only after Next returned io.EOF).
+func (s *Scanner) TornBytes() int64 { return s.torn }
+
+// verdict classifies a bad record at the scan position: torn tail above
+// the horizon (clean EOF), corruption below it.
+func (s *Scanner) verdict(cause error) (*Record, error) {
+	if s.off < s.horizon {
+		return nil, corruptAt(s.store, s.off, cause)
+	}
+	s.torn = s.limit - s.off
+	return nil, io.EOF
+}
+
+// corruptAt wraps cause in ErrCorrupt with segment/offset context.
+func corruptAt(store Store, off int64, cause error) error {
+	if sb, ok := store.(interface{ SegmentBytes() int64 }); ok {
+		segBytes := sb.SegmentBytes()
+		return fmt.Errorf("%w: segment %d offset %d (lsn %d): %v",
+			ErrCorrupt, off/segBytes, off%segBytes, off, cause)
+	}
+	return fmt.Errorf("%w: offset %d: %v", ErrCorrupt, off, cause)
 }
 
 // Next returns the next record and its LSN. It returns io.EOF at the end
-// of the valid log.
+// of the valid log and ErrCorrupt for damage below the durable horizon.
 func (s *Scanner) Next() (*Record, error) {
-	if s.off+recHeaderSize+recTrailerSize > s.limit {
+	if s.off >= s.limit {
 		return nil, io.EOF
+	}
+	if s.off+recHeaderSize+recTrailerSize > s.limit {
+		return s.verdict(fmt.Errorf("%w: truncated header", ErrBadRecord))
 	}
 	var lenBuf [4]byte
 	if _, err := s.store.ReadAt(lenBuf[:], s.off); err != nil {
-		return nil, io.EOF
+		return s.verdict(err)
 	}
 	total := int(binary.LittleEndian.Uint32(lenBuf[:]))
 	if total < recHeaderSize+recTrailerSize || total > recHeaderSize+MaxPayload+recTrailerSize {
-		return nil, io.EOF // zeroed or garbage region: end of log
+		return s.verdict(fmt.Errorf("%w: bad length %d", ErrBadRecord, total))
 	}
 	if s.off+int64(total) > s.limit {
-		return nil, io.EOF // torn tail
+		return s.verdict(fmt.Errorf("%w: truncated body", ErrBadRecord))
 	}
 	buf := make([]byte, total)
 	if _, err := s.store.ReadAt(buf, s.off); err != nil {
-		return nil, io.EOF
+		return s.verdict(err)
 	}
 	rec, n, err := DecodeRecord(buf)
 	if err != nil {
 		if errors.Is(err, ErrBadRecord) {
-			return nil, io.EOF // corrupt tail: end of log
+			return s.verdict(err)
 		}
 		return nil, err
 	}
@@ -62,12 +102,39 @@ func (s *Scanner) Next() (*Record, error) {
 	return rec, nil
 }
 
+// CheckTail validates the log suffix from the last checkpoint and
+// classifies its end: the offset of the last valid record boundary, the
+// number of torn trailing bytes to clip, or an ErrCorrupt if damage lies
+// below the durable horizon. It must run (and the tail be clipped via
+// Truncate) before any log manager captures the store's size.
+func CheckTail(store Store) (end int64, torn int64, err error) {
+	master, err := store.Master()
+	if err != nil {
+		return 0, 0, err
+	}
+	if int64(master) > store.Size() {
+		return 0, 0, fmt.Errorf("%w: master checkpoint %v beyond log end %d — log tail missing",
+			ErrCorrupt, master, store.Size())
+	}
+	sc := NewScanner(store, master)
+	for {
+		_, e := sc.Next()
+		if errors.Is(e, io.EOF) {
+			break
+		}
+		if e != nil {
+			return 0, 0, e
+		}
+	}
+	return sc.End(), sc.TornBytes(), nil
+}
+
 // ReadRecordAt reads the single record at lsn. Unlike Scanner, corruption
 // here is a hard error: undo follows PrevLSN chains and a broken link is
 // unrecoverable.
 func ReadRecordAt(store Store, lsn LSN) (*Record, error) {
 	if lsn < logHeaderSize {
-		return nil, fmt.Errorf("wal: ReadRecordAt(%v): before log start", lsn)
+		return nil, fmt.Errorf("wal: ReadRecordAt(%v): %w: before log start", lsn, ErrInvalidLSN)
 	}
 	var lenBuf [4]byte
 	if _, err := store.ReadAt(lenBuf[:], int64(lsn)); err != nil {

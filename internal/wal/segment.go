@@ -1,0 +1,884 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SegmentStore rotates the log across fixed-size segments while keeping
+// the flat LSN address space every manager and recovery path already
+// speaks: segment k holds logical bytes [k*segBytes, (k+1)*segBytes), at
+// physical offset segHeaderSize past its header. Because it implements
+// Store, all three log-manager designs get segmentation for free.
+//
+// Durability discipline:
+//
+//   - When Flush makes a segment fully durable it is *sealed*: its
+//     successor segment is created and synced first, then the sealed flag
+//     is written into the header and synced. "Sealed ⇒ successor exists
+//     on disk" therefore holds across any crash, which is what lets
+//     reopen distinguish a legitimately short log from one whose tail
+//     segment was deleted.
+//   - Horizon() is max(master LSN, end of the sealed prefix): everything
+//     below is provably durable, so a CRC failure there is corruption,
+//     not a torn tail.
+//   - ArchiveBelow removes sealed segments wholly below the caller's
+//     safe point (checkpoint redo floor and oldest active-transaction
+//     first LSN), bounding both disk usage and restart scan length.
+type SegmentStore struct {
+	mu       sync.Mutex
+	be       segBackend
+	segBytes int64
+	segs     map[uint64]*logSegment
+	first    uint64 // lowest retained segment index
+	last     uint64 // highest segment index
+	size     int64  // logical volatile high-water mark
+	durable  int64  // logical durability boundary
+	sealFrom uint64 // lowest segment that might still need sealing
+	sealed   int64  // logical end of the contiguous sealed prefix
+	master   LSN    // cached copy of the backend's master LSN
+
+	tornKeep   int64 // bytes past durable the next Crash preserves
+	failFlush  int64 // <0: disabled; else successful flushes remaining
+	archiveCnt uint64
+}
+
+// logSegment is one open segment.
+type logSegment struct {
+	f      segFile
+	base   int64
+	sealed bool
+}
+
+// Archiver is implemented by stores that can discard old log segments.
+// The engine type-asserts for it at checkpoint time.
+type Archiver interface {
+	// ArchiveBelow removes sealed segments wholly below lsn and returns
+	// how many were removed.
+	ArchiveBelow(lsn LSN) (int, error)
+}
+
+// ErrInjectedFlush is returned by Flush after FailFlushes arms fsync
+// failure injection.
+var ErrInjectedFlush = errors.New("wal: injected flush failure")
+
+// Segment header layout (48 bytes at the front of every segment file):
+//
+//	[0:8)   magic "SHORESEG"
+//	[8:12)  u32 format version
+//	[12:16) u32 flags (bit 0: sealed)
+//	[16:24) u64 segment index
+//	[24:32) u64 base LSN (index * segment size)
+//	[32:40) u64 sealed end LSN (0 while the segment is active)
+//	[40:44) u32 crc32 over bytes [0:40)
+//	[44:48) padding
+const (
+	segHeaderSize = 48
+	segVersion    = 1
+	segFlagSealed = 1 << 0
+	// MinSegmentBytes floors the configurable segment size.
+	MinSegmentBytes = 4096
+	// DefaultSegmentBytes is a sensible production segment size.
+	DefaultSegmentBytes = 64 << 20
+)
+
+var segMagic = [8]byte{'S', 'H', 'O', 'R', 'E', 'S', 'E', 'G'}
+
+func encodeSegHeader(idx uint64, base int64, sealed bool, end int64) [segHeaderSize]byte {
+	var b [segHeaderSize]byte
+	copy(b[0:8], segMagic[:])
+	binary.LittleEndian.PutUint32(b[8:], segVersion)
+	var flags uint32
+	if sealed {
+		flags |= segFlagSealed
+	}
+	binary.LittleEndian.PutUint32(b[12:], flags)
+	binary.LittleEndian.PutUint64(b[16:], idx)
+	binary.LittleEndian.PutUint64(b[24:], uint64(base))
+	binary.LittleEndian.PutUint64(b[32:], uint64(end))
+	binary.LittleEndian.PutUint32(b[40:], crc32.ChecksumIEEE(b[:40]))
+	return b
+}
+
+func decodeSegHeader(b []byte) (idx uint64, base int64, sealed bool, end int64, err error) {
+	if len(b) < segHeaderSize {
+		return 0, 0, false, 0, fmt.Errorf("%w: segment header truncated", ErrCorrupt)
+	}
+	if [8]byte(b[0:8]) != segMagic {
+		return 0, 0, false, 0, fmt.Errorf("%w: bad segment magic", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(b[:40]) != binary.LittleEndian.Uint32(b[40:]) {
+		return 0, 0, false, 0, fmt.Errorf("%w: segment header crc mismatch", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(b[8:]); v != segVersion {
+		return 0, 0, false, 0, fmt.Errorf("%w: segment version %d (want %d)", ErrCorrupt, v, segVersion)
+	}
+	flags := binary.LittleEndian.Uint32(b[12:])
+	idx = binary.LittleEndian.Uint64(b[16:])
+	base = int64(binary.LittleEndian.Uint64(b[24:]))
+	end = int64(binary.LittleEndian.Uint64(b[32:]))
+	return idx, base, flags&segFlagSealed != 0, end, nil
+}
+
+// NewMemSegmentStore returns an empty memory-backed segmented log store.
+func NewMemSegmentStore(segBytes int64) *SegmentStore {
+	s, err := newSegmentStore(newMemSegBackend(), segBytes)
+	if err != nil {
+		// A fresh memory backend cannot fail validation.
+		panic(err)
+	}
+	return s
+}
+
+// OpenSegmentStore opens (or creates) a file-backed segmented log in dir.
+// Reopening validates every segment header and the chain structure; any
+// inconsistency below the durable horizon refuses with ErrCorrupt.
+func OpenSegmentStore(dir string, segBytes int64) (*SegmentStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	be, err := newFileSegBackend(dir)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSegmentStore(be, segBytes)
+	if err != nil {
+		be.close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func newSegmentStore(be segBackend, segBytes int64) (*SegmentStore, error) {
+	if segBytes < MinSegmentBytes {
+		segBytes = MinSegmentBytes
+	}
+	s := &SegmentStore{
+		be:        be,
+		segBytes:  segBytes,
+		segs:      make(map[uint64]*logSegment),
+		failFlush: -1,
+	}
+	idxs, err := be.list()
+	if err != nil {
+		return nil, err
+	}
+	if len(idxs) == 0 {
+		if _, err := s.createLocked(0); err != nil {
+			return nil, err
+		}
+		if err := s.writeAtLocked(logMagic[:], 0); err != nil {
+			return nil, err
+		}
+		if err := s.segs[0].f.sync(); err != nil {
+			return nil, err
+		}
+		s.durable = logHeaderSize
+		return s, nil
+	}
+	if err := s.loadLocked(idxs); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// loadLocked opens and validates an existing segment chain.
+func (s *SegmentStore) loadLocked(idxs []uint64) error {
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	s.first, s.last = idxs[0], idxs[len(idxs)-1]
+	for i, k := range idxs {
+		if k != s.first+uint64(i) {
+			return fmt.Errorf("%w: log segment %d missing (have %v)", ErrCorrupt, s.first+uint64(i), idxs)
+		}
+	}
+	// A segment file too short to hold a header can only be the one being
+	// created when the crash hit: its creation was never made durable, so
+	// nothing in it (or after it) was either. Drop it. Anywhere else it is
+	// corruption, caught by the contiguity and seal checks below.
+	for i := len(idxs) - 1; i >= 0; i-- {
+		k := idxs[i]
+		f, err := s.be.open(k)
+		if err != nil {
+			return err
+		}
+		if f.size() < segHeaderSize && k == s.last && k > s.first {
+			f.close()
+			if err := s.be.remove(k); err != nil {
+				return err
+			}
+			s.last--
+			idxs = idxs[:i]
+			continue
+		}
+		hdr := make([]byte, segHeaderSize)
+		if _, err := f.readAt(hdr, 0); err != nil {
+			f.close()
+			return fmt.Errorf("%w: segment %d header unreadable: %v", ErrCorrupt, k, err)
+		}
+		idx, base, sealed, _, err := decodeSegHeader(hdr)
+		if err != nil {
+			f.close()
+			return fmt.Errorf("segment %d: %w", k, err)
+		}
+		if idx != k || base != int64(k)*s.segBytes {
+			f.close()
+			return fmt.Errorf("%w: segment %d header claims index %d base %d (segment size mismatch?)",
+				ErrCorrupt, k, idx, base)
+		}
+		s.segs[k] = &logSegment{f: f, base: base, sealed: sealed}
+	}
+	// Seals happen strictly in order, and a sealed segment always has a
+	// durable successor. Violations mean the tail (or a middle piece) of
+	// the log was lost.
+	s.sealFrom = s.first
+	for k := s.first; k <= s.last; k++ {
+		seg := s.segs[k]
+		if seg.sealed {
+			if k != s.sealFrom {
+				return fmt.Errorf("%w: segment %d sealed after unsealed segment %d", ErrCorrupt, k, s.sealFrom)
+			}
+			s.sealFrom = k + 1
+			s.sealed = seg.base + s.segBytes
+		}
+	}
+	if s.segs[s.last].sealed {
+		return fmt.Errorf("%w: tail segment %d is sealed — later log segment(s) are missing", ErrCorrupt, s.last)
+	}
+	tail := s.segs[s.last]
+	s.size = tail.base + (tail.f.size() - segHeaderSize)
+	m, err := s.be.master()
+	if err != nil {
+		return err
+	}
+	s.master = m
+	if int64(m) > s.size {
+		return fmt.Errorf("%w: master checkpoint %v beyond log end %d — log tail missing", ErrCorrupt, m, s.size)
+	}
+	if first := s.segs[s.first]; first.base > 0 && int64(m) < first.base {
+		return fmt.Errorf("%w: master checkpoint %v below first retained segment (base %d)", ErrCorrupt, m, first.base)
+	}
+	if s.first == 0 {
+		var pre [logHeaderSize]byte
+		if _, err := s.readAtLocked(pre[:], 0); err != nil || pre != logMagic {
+			return fmt.Errorf("%w: bad log preamble", ErrCorrupt)
+		}
+	}
+	// Like a reopened flat file, optimistically treat the whole extent as
+	// durable; CheckTail + Truncate clip whatever fails validation above
+	// the horizon.
+	s.durable = s.size
+	return nil
+}
+
+// createLocked creates segment k (header written and synced immediately,
+// so a crash can never leave a durable successor without its own header).
+func (s *SegmentStore) createLocked(k uint64) (*logSegment, error) {
+	f, err := s.be.create(k)
+	if err != nil {
+		return nil, err
+	}
+	base := int64(k) * s.segBytes
+	hdr := encodeSegHeader(k, base, false, 0)
+	if err := f.writeAt(hdr[:], 0); err != nil {
+		f.close()
+		return nil, err
+	}
+	if err := f.sync(); err != nil {
+		f.close()
+		return nil, err
+	}
+	seg := &logSegment{f: f, base: base}
+	if len(s.segs) == 0 {
+		s.first, s.last = k, k
+	} else if k > s.last {
+		s.last = k
+	}
+	s.segs[k] = seg
+	return seg, nil
+}
+
+// WriteAt implements Store, chunking across segment boundaries and
+// creating tail segments on demand.
+func (s *SegmentStore) WriteAt(b []byte, off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeAtLocked(b, off)
+}
+
+func (s *SegmentStore) writeAtLocked(b []byte, off int64) error {
+	for len(b) > 0 {
+		k := uint64(off / s.segBytes)
+		if k < s.first {
+			return fmt.Errorf("%w: write at %d below archived log boundary", ErrInvalidLSN, off)
+		}
+		seg := s.segs[k]
+		for seg == nil {
+			ns, err := s.createLocked(s.last + 1)
+			if err != nil {
+				return err
+			}
+			if ns.base == int64(k)*s.segBytes {
+				seg = ns
+			}
+		}
+		n := int64(len(b))
+		if room := seg.base + s.segBytes - off; n > room {
+			n = room
+		}
+		if err := seg.f.writeAt(b[:n], segHeaderSize+off-seg.base); err != nil {
+			return err
+		}
+		off += n
+		b = b[n:]
+		if off > s.size {
+			s.size = off
+		}
+	}
+	return nil
+}
+
+// ReadAt implements Store. Reads past the end of written data (or into a
+// crash-created hole) return io.EOF like io.ReaderAt.
+func (s *SegmentStore) ReadAt(b []byte, off int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readAtLocked(b, off)
+}
+
+func (s *SegmentStore) readAtLocked(b []byte, off int64) (int, error) {
+	total := 0
+	for len(b) > 0 {
+		k := uint64(off / s.segBytes)
+		if k < s.first {
+			return total, fmt.Errorf("%w: read at %d below archived log boundary", ErrInvalidLSN, off)
+		}
+		seg := s.segs[k]
+		if seg == nil {
+			return total, io.EOF
+		}
+		n := int64(len(b))
+		if room := seg.base + s.segBytes - off; n > room {
+			n = room
+		}
+		got, err := seg.f.readAt(b[:n], segHeaderSize+off-seg.base)
+		total += got
+		if err != nil {
+			return total, err
+		}
+		if int64(got) < n {
+			return total, io.EOF
+		}
+		off += n
+		b = b[n:]
+	}
+	return total, nil
+}
+
+// Flush implements Store: sync the segments covering (durable, upTo],
+// advance the boundary, and seal any segment that became fully durable.
+func (s *SegmentStore) Flush(upTo int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failFlush >= 0 {
+		if s.failFlush == 0 {
+			return ErrInjectedFlush
+		}
+		s.failFlush--
+	}
+	if upTo > s.size {
+		upTo = s.size
+	}
+	if upTo > s.durable {
+		for k := uint64(s.durable / s.segBytes); k <= uint64((upTo-1)/s.segBytes); k++ {
+			if seg := s.segs[k]; seg != nil {
+				if err := seg.f.sync(); err != nil {
+					return err
+				}
+			}
+		}
+		s.durable = upTo
+	}
+	for {
+		seg := s.segs[s.sealFrom]
+		if seg == nil || seg.sealed {
+			break
+		}
+		end := seg.base + s.segBytes
+		if end > s.durable {
+			break
+		}
+		if err := s.sealLocked(s.sealFrom, seg); err != nil {
+			return err
+		}
+		s.sealFrom++
+	}
+	return nil
+}
+
+// sealLocked marks a fully-durable segment sealed. The successor is
+// created (and its header synced) first so the sealed⇒successor invariant
+// holds even if the crash lands between the two syncs.
+func (s *SegmentStore) sealLocked(k uint64, seg *logSegment) error {
+	if s.segs[k+1] == nil {
+		if _, err := s.createLocked(k + 1); err != nil {
+			return err
+		}
+	}
+	end := seg.base + s.segBytes
+	hdr := encodeSegHeader(k, seg.base, true, end)
+	if err := seg.f.writeAt(hdr[:], 0); err != nil {
+		return err
+	}
+	if err := seg.f.sync(); err != nil {
+		return err
+	}
+	seg.sealed = true
+	if end > s.sealed {
+		s.sealed = end
+	}
+	return nil
+}
+
+// DurableSize implements Store.
+func (s *SegmentStore) DurableSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durable
+}
+
+// Size implements Store.
+func (s *SegmentStore) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Horizon implements Store: the durable floor provable after a crash is
+// whatever the master checkpoint covers plus every sealed segment.
+func (s *SegmentStore) Horizon() LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := int64(s.master)
+	if s.sealed > h {
+		h = s.sealed
+	}
+	if h < logHeaderSize {
+		h = logHeaderSize
+	}
+	return LSN(h)
+}
+
+// Truncate implements Store: clip a torn tail, dropping any segments that
+// lie entirely beyond the new end.
+func (s *SegmentStore) Truncate(size int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size < logHeaderSize {
+		return fmt.Errorf("%w: truncate to %d inside preamble", ErrInvalidLSN, size)
+	}
+	if size < s.sealed {
+		return fmt.Errorf("%w: refusing to truncate to %d below sealed boundary %d", ErrCorrupt, size, s.sealed)
+	}
+	for s.last > s.first && s.segs[s.last].base >= size {
+		if s.segs[s.last-1].sealed {
+			break // sealed predecessor keeps its (now empty) successor
+		}
+		seg := s.segs[s.last]
+		seg.f.close()
+		if err := s.be.remove(s.last); err != nil {
+			return err
+		}
+		delete(s.segs, s.last)
+		s.last--
+	}
+	tail := s.segs[s.last]
+	phys := segHeaderSize + size - tail.base
+	if phys < segHeaderSize {
+		phys = segHeaderSize
+	}
+	if err := tail.f.truncate(phys); err != nil {
+		return err
+	}
+	if size < s.size {
+		s.size = size
+	}
+	if s.durable > size {
+		s.durable = size
+	}
+	return nil
+}
+
+// SetMaster implements Store.
+func (s *SegmentStore) SetMaster(l LSN) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.be.setMaster(l); err != nil {
+		return err
+	}
+	s.master = l
+	return nil
+}
+
+// Master implements Store.
+func (s *SegmentStore) Master() (LSN, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.master, nil
+}
+
+// Crash implements Store: everything beyond the durable boundary vanishes
+// — except, after ArmTornCrash, a prefix of the in-flight bytes, modeling
+// a write the disk had partially retired when power failed. Segment
+// headers survive (they are synced at creation and seal).
+func (s *SegmentStore) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	target := s.durable + s.tornKeep
+	s.tornKeep = 0
+	if target > s.size {
+		target = s.size
+	}
+	for k := s.first; k <= s.last; k++ {
+		seg := s.segs[k]
+		phys := segHeaderSize + target - seg.base
+		if phys < segHeaderSize {
+			phys = segHeaderSize
+		}
+		if phys > segHeaderSize+s.segBytes {
+			continue
+		}
+		_ = seg.f.truncate(phys)
+	}
+	s.size = target
+}
+
+// ArmTornCrash makes the next Crash preserve up to keep bytes beyond the
+// durable boundary — a torn tail for recovery to detect and clip.
+func (s *SegmentStore) ArmTornCrash(keep int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tornKeep = keep
+}
+
+// FailFlushes arms fsync-failure injection: after n more successful
+// flushes every Flush returns ErrInjectedFlush. n < 0 disarms.
+func (s *SegmentStore) FailFlushes(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failFlush = n
+}
+
+// ArchiveBelow implements Archiver.
+func (s *SegmentStore) ArchiveBelow(lsn LSN) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for s.first < s.last {
+		seg := s.segs[s.first]
+		if !seg.sealed || seg.base+s.segBytes > int64(lsn) {
+			break
+		}
+		seg.f.close()
+		if err := s.be.remove(s.first); err != nil {
+			return n, err
+		}
+		delete(s.segs, s.first)
+		s.first++
+		n++
+		s.archiveCnt++
+	}
+	return n, nil
+}
+
+// SegmentBytes returns the configured segment size.
+func (s *SegmentStore) SegmentBytes() int64 { return s.segBytes }
+
+// Segments returns the retained segment index range [first, last].
+func (s *SegmentStore) Segments() (first, last uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.first, s.last
+}
+
+// Archived returns how many segments have been archived over the store's
+// lifetime.
+func (s *SegmentStore) Archived() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.archiveCnt
+}
+
+// Clone deep-copies a memory-backed store (for recovery equivalence
+// tests); it panics on a file-backed one.
+func (s *SegmentStore) Clone() *SegmentStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mb, ok := s.be.(*memSegBackend)
+	if !ok {
+		panic("wal: Clone requires a memory-backed SegmentStore")
+	}
+	nbe := mb.clone()
+	ns := &SegmentStore{
+		be:        nbe,
+		segBytes:  s.segBytes,
+		segs:      make(map[uint64]*logSegment, len(s.segs)),
+		first:     s.first,
+		last:      s.last,
+		size:      s.size,
+		durable:   s.durable,
+		sealFrom:  s.sealFrom,
+		sealed:    s.sealed,
+		master:    s.master,
+		failFlush: -1,
+	}
+	for k, seg := range s.segs {
+		ns.segs[k] = &logSegment{f: nbe.files[k], base: seg.base, sealed: seg.sealed}
+	}
+	return ns
+}
+
+// Close implements Store.
+func (s *SegmentStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	for _, seg := range s.segs {
+		err = errors.Join(err, seg.f.close())
+	}
+	return errors.Join(err, s.be.close())
+}
+
+// segBackend abstracts where segments live (memory or a directory).
+type segBackend interface {
+	list() ([]uint64, error)
+	create(idx uint64) (segFile, error)
+	open(idx uint64) (segFile, error)
+	remove(idx uint64) error
+	setMaster(l LSN) error
+	master() (LSN, error)
+	close() error
+}
+
+// segFile is one segment's backing file.
+type segFile interface {
+	writeAt(b []byte, off int64) error
+	readAt(b []byte, off int64) (int, error)
+	sync() error
+	truncate(n int64) error
+	size() int64
+	close() error
+}
+
+// --- memory backend ---
+
+type memSegBackend struct {
+	files     map[uint64]*memSegFile
+	masterLSN LSN
+}
+
+func newMemSegBackend() *memSegBackend {
+	return &memSegBackend{files: make(map[uint64]*memSegFile)}
+}
+
+func (b *memSegBackend) list() ([]uint64, error) {
+	var idxs []uint64
+	for k := range b.files {
+		idxs = append(idxs, k)
+	}
+	return idxs, nil
+}
+
+func (b *memSegBackend) create(idx uint64) (segFile, error) {
+	f := &memSegFile{}
+	b.files[idx] = f
+	return f, nil
+}
+
+func (b *memSegBackend) open(idx uint64) (segFile, error) {
+	f, ok := b.files[idx]
+	if !ok {
+		return nil, fmt.Errorf("wal: segment %d not found", idx)
+	}
+	return f, nil
+}
+
+func (b *memSegBackend) remove(idx uint64) error {
+	delete(b.files, idx)
+	return nil
+}
+
+func (b *memSegBackend) setMaster(l LSN) error { b.masterLSN = l; return nil }
+func (b *memSegBackend) master() (LSN, error)  { return b.masterLSN, nil }
+func (b *memSegBackend) close() error          { return nil }
+
+func (b *memSegBackend) clone() *memSegBackend {
+	nb := &memSegBackend{files: make(map[uint64]*memSegFile, len(b.files)), masterLSN: b.masterLSN}
+	for k, f := range b.files {
+		nb.files[k] = &memSegFile{data: append([]byte(nil), f.data...)}
+	}
+	return nb
+}
+
+type memSegFile struct{ data []byte }
+
+func (f *memSegFile) writeAt(b []byte, off int64) error {
+	end := off + int64(len(b))
+	for int64(len(f.data)) < end {
+		f.data = append(f.data, 0)
+	}
+	copy(f.data[off:end], b)
+	return nil
+}
+
+func (f *memSegFile) readAt(b []byte, off int64) (int, error) {
+	if off >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(b, f.data[off:])
+	if n < len(b) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memSegFile) sync() error { return nil }
+
+func (f *memSegFile) truncate(n int64) error {
+	if n < int64(len(f.data)) {
+		f.data = f.data[:n]
+	}
+	return nil
+}
+
+func (f *memSegFile) size() int64  { return int64(len(f.data)) }
+func (f *memSegFile) close() error { return nil }
+
+// --- file backend ---
+
+type fileSegBackend struct {
+	dir string
+	mf  *os.File // master LSN side file
+}
+
+func newFileSegBackend(dir string) (*fileSegBackend, error) {
+	m, err := os.OpenFile(filepath.Join(dir, "MASTER"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &fileSegBackend{dir: dir, mf: m}, nil
+}
+
+func segFileName(idx uint64) string { return fmt.Sprintf("%012d.seg", idx) }
+
+func (b *fileSegBackend) list() ([]uint64, error) {
+	ents, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		idx, err := strconv.ParseUint(strings.TrimSuffix(name, ".seg"), 10, 64)
+		if err != nil {
+			continue
+		}
+		idxs = append(idxs, idx)
+	}
+	return idxs, nil
+}
+
+func (b *fileSegBackend) create(idx uint64) (segFile, error) {
+	f, err := os.OpenFile(filepath.Join(b.dir, segFileName(idx)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &fileSegFile{f: f}, nil
+}
+
+func (b *fileSegBackend) open(idx uint64) (segFile, error) {
+	f, err := os.OpenFile(filepath.Join(b.dir, segFileName(idx)), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &fileSegFile{f: f, sz: st.Size()}, nil
+}
+
+func (b *fileSegBackend) remove(idx uint64) error {
+	return os.Remove(filepath.Join(b.dir, segFileName(idx)))
+}
+
+func (b *fileSegBackend) setMaster(l LSN) error {
+	var buf [8]byte
+	putLSN(buf[:], l)
+	if _, err := b.mf.WriteAt(buf[:], 0); err != nil {
+		return err
+	}
+	return b.mf.Sync()
+}
+
+func (b *fileSegBackend) master() (LSN, error) {
+	var buf [8]byte
+	n, err := b.mf.ReadAt(buf[:], 0)
+	if err != nil && n == 0 {
+		return NullLSN, nil // fresh master file
+	}
+	return getLSN(buf[:]), nil
+}
+
+func (b *fileSegBackend) close() error { return b.mf.Close() }
+
+type fileSegFile struct {
+	f  *os.File
+	sz int64
+}
+
+func (f *fileSegFile) writeAt(b []byte, off int64) error {
+	if _, err := f.f.WriteAt(b, off); err != nil {
+		return err
+	}
+	if end := off + int64(len(b)); end > f.sz {
+		f.sz = end
+	}
+	return nil
+}
+
+func (f *fileSegFile) readAt(b []byte, off int64) (int, error) {
+	return f.f.ReadAt(b, off)
+}
+
+func (f *fileSegFile) sync() error { return f.f.Sync() }
+
+func (f *fileSegFile) truncate(n int64) error {
+	if err := f.f.Truncate(n); err != nil {
+		return err
+	}
+	if n < f.sz {
+		f.sz = n
+	}
+	return nil
+}
+
+func (f *fileSegFile) size() int64  { return f.sz }
+func (f *fileSegFile) close() error { return f.f.Close() }
+
+var (
+	_ Store    = (*SegmentStore)(nil)
+	_ Archiver = (*SegmentStore)(nil)
+)

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"sync"
@@ -23,6 +24,16 @@ type Store interface {
 	DurableSize() int64
 	// Size returns the volatile high-water mark.
 	Size() int64
+	// Horizon returns the conservative durable floor that is provable
+	// after a crash: every byte below it was certainly made durable (by
+	// the last checkpoint's master record, a sealed segment header, or —
+	// for memory stores — exact durability bookkeeping). A record that
+	// fails its CRC below Horizon is corruption; at or above it, an
+	// expected torn tail.
+	Horizon() LSN
+	// Truncate discards everything at and beyond size, clipping a torn
+	// tail so subsequent inserts extend a fully valid log.
+	Truncate(size int64) error
 	// SetMaster durably records the master LSN (last completed checkpoint).
 	SetMaster(l LSN) error
 	// Master returns the master LSN.
@@ -118,11 +129,60 @@ func (s *MemStore) Master() (LSN, error) {
 	return s.master, nil
 }
 
+// Horizon implements Store. A memory store tracks durability exactly, so
+// the horizon is the durable boundary itself.
+func (s *MemStore) Horizon() LSN {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return LSN(s.durable)
+}
+
+// Truncate implements Store.
+func (s *MemStore) Truncate(size int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size < logHeaderSize {
+		return fmt.Errorf("%w: truncate to %d inside preamble", ErrInvalidLSN, size)
+	}
+	if size < int64(len(s.buf)) {
+		s.buf = s.buf[:size]
+	}
+	if s.durable > size {
+		s.durable = size
+	}
+	return nil
+}
+
 // Crash implements Store: everything beyond the durable boundary vanishes.
 func (s *MemStore) Crash() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.buf = s.buf[:s.durable]
+}
+
+// CrashTorn simulates power loss mid-write: up to keep bytes beyond the
+// durable boundary survive — typically the prefix of a record the OS had
+// pushed to disk before the cord was pulled — leaving a torn tail for
+// recovery to clip.
+func (s *MemStore) CrashTorn(keep int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	end := s.durable + keep
+	if end > int64(len(s.buf)) {
+		end = int64(len(s.buf))
+	}
+	s.buf = s.buf[:end]
+}
+
+// Clone returns an independent deep copy (for recovery equivalence tests).
+func (s *MemStore) Clone() *MemStore {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return &MemStore{
+		buf:     append([]byte(nil), s.buf...),
+		durable: s.durable,
+		master:  s.master,
+	}
 }
 
 // Close implements Store.
@@ -136,6 +196,11 @@ type FileStore struct {
 	master  *os.File
 	durable int64
 	size    int64
+	// synced is the prefix proven durable by a Sync this process issued.
+	// Unlike durable — which reopen optimistically seeds with the file
+	// size — it never includes bytes merely found on disk, so it is safe
+	// to fold into Horizon.
+	synced int64
 }
 
 // OpenFileStore opens (or creates) a file-backed log at path; the master
@@ -195,6 +260,9 @@ func (s *FileStore) Flush(upTo int64) error {
 	if upTo > s.durable {
 		s.durable = upTo
 	}
+	if upTo > s.synced {
+		s.synced = upTo
+	}
 	return nil
 }
 
@@ -235,6 +303,51 @@ func (s *FileStore) Master() (LSN, error) {
 		return NullLSN, nil // fresh master file
 	}
 	return getLSN(b[:]), nil
+}
+
+// Horizon implements Store. After reopening a plain log file nothing
+// records how much of it was fsynced, so the only provable floor is the
+// master LSN: the checkpoint protocol flushes the log through the
+// checkpoint before durably writing master, so every byte below it was
+// synced. Within one process lifetime the tracked durable boundary can be
+// stronger; take the max.
+func (s *FileStore) Horizon() LSN {
+	m, err := s.Master()
+	if err != nil {
+		m = NullLSN
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := int64(m)
+	if s.synced > h {
+		h = s.synced
+	}
+	if h < logHeaderSize {
+		h = logHeaderSize
+	}
+	return LSN(h)
+}
+
+// Truncate implements Store.
+func (s *FileStore) Truncate(size int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size < logHeaderSize {
+		return fmt.Errorf("%w: truncate to %d inside preamble", ErrInvalidLSN, size)
+	}
+	if size < s.size {
+		if err := s.f.Truncate(size); err != nil {
+			return err
+		}
+		s.size = size
+	}
+	if s.durable > size {
+		s.durable = size
+	}
+	if s.synced > size {
+		s.synced = size
+	}
+	return nil
 }
 
 // Crash implements Store: truncate the file to the durable boundary.

@@ -181,6 +181,20 @@ type Options struct {
 	// workloads bound their restart-recovery work without calling
 	// DB.Checkpoint manually. Zero disables automatic checkpoints.
 	CheckpointEvery int64
+	// LogSegmentBytes, when positive, rotates the write-ahead log into
+	// fixed-size segments with sealed headers: full segments are sealed
+	// (marked immutable with a recorded end LSN), checkpoints archive
+	// segments wholly below the recovery horizon, and restart recovery
+	// distinguishes a torn tail in the active segment (clipped and
+	// recovered) from corruption below the durable horizon (startup
+	// refused with wal.ErrCorrupt). Zero keeps the single unbounded log.
+	// With Dir set, segments live under Dir/wal/; see the README's
+	// "Recovery & the log" section.
+	LogSegmentBytes int64
+	// RedoWorkers sets the parallelism of restart recovery's redo pass
+	// (log records fan out to workers hash-partitioned by page ID). 0
+	// auto-scales to GOMAXPROCS; 1 forces serial replay.
+	RedoWorkers int
 	// Retry governs Update/View's automatic deadlock/timeout retry; the
 	// zero value selects the defaults (see RetryPolicy).
 	Retry RetryPolicy
@@ -236,6 +250,9 @@ func Open(opts Options) (*DB, error) {
 	if opts.CheckpointEvery > 0 {
 		cfg.CheckpointEvery = opts.CheckpointEvery
 	}
+	if opts.RedoWorkers > 0 {
+		cfg.RedoWorkers = opts.RedoWorkers
+	}
 
 	var vol disk.Volume
 	var logStore wal.Store
@@ -244,7 +261,12 @@ func Open(opts Options) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("shoremt: open volume: %w", err)
 		}
-		ls, err := wal.OpenFileStore(filepath.Join(opts.Dir, "wal.log"))
+		var ls wal.Store
+		if opts.LogSegmentBytes > 0 {
+			ls, err = wal.OpenSegmentStore(filepath.Join(opts.Dir, "wal"), opts.LogSegmentBytes)
+		} else {
+			ls, err = wal.OpenFileStore(filepath.Join(opts.Dir, "wal.log"))
+		}
 		if err != nil {
 			fv.Close()
 			return nil, fmt.Errorf("shoremt: open log: %w", err)
@@ -252,7 +274,11 @@ func Open(opts Options) (*DB, error) {
 		vol, logStore = fv, ls
 	} else {
 		vol = disk.NewMem(0)
-		logStore = wal.NewMemStore()
+		if opts.LogSegmentBytes > 0 {
+			logStore = wal.NewMemSegmentStore(opts.LogSegmentBytes)
+		} else {
+			logStore = wal.NewMemStore()
+		}
 	}
 	engine, err := core.Open(vol, logStore, cfg)
 	if err != nil {
