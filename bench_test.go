@@ -17,6 +17,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -30,6 +32,7 @@ import (
 	"repro/internal/space"
 	"repro/internal/sync2"
 	"repro/internal/tpcc"
+	"repro/internal/tx"
 	"repro/internal/wal"
 )
 
@@ -713,6 +716,175 @@ func BenchmarkUpdateRetry(b *testing.B) {
 			}
 		})
 	})
+}
+
+// benchViewWork measures read-only View transactions racing a background
+// write mix, on the classic S-locked path versus the multiversion
+// snapshot path. mode "scan" makes one iteration a full heap scan of the
+// table (store-level S vs an as-of page sweep); mode "get" makes it a
+// View of 64 random-order index point reads (per-key S locks vs pin-free
+// leaf probes plus chain resolution). Writers keep committing 8-row
+// transactions throughout: on the S-lock path they serialize against
+// scans and can deadlock against random-order getters, on the snapshot
+// path neither side ever waits for the other.
+func benchViewWork(b *testing.B, snapshot bool, mode string) {
+	cfg := core.StageConfig(core.StageFinal)
+	cfg.Frames = 4096
+	cfg.Snapshot = snapshot
+	e := newBenchEngineCfg(b, cfg)
+	store := benchCreateTable(b, e)
+	const rows = 2000
+	payload := make([]byte, 64)
+	benchKey := func(i int) []byte { return []byte(fmt.Sprintf("key%05d", i)) }
+	rids := make([]page.RID, rows)
+	setup, err := e.Begin()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := e.CreateIndex(setup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range rids {
+		if rids[i], err = e.HeapInsert(setup, store, payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.IndexInsert(setup, ix, benchKey(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Commit(setup); err != nil {
+		b.Fatal(err)
+	}
+
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var writes atomic.Uint64
+	var wwg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Update 4 heap rows then 4 index keys per transaction, each
+				// group in sorted order so writers never deadlock each
+				// other — the X locks are held across the whole commit,
+				// which is what the S-locked readers have to wait out.
+				picks := make([]int, 0, 8)
+				for len(picks) < 8 {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					picks = append(picks, int(rng>>33)%rows)
+				}
+				sort.Ints(picks)
+				err := e.RunCtx(ctx, core.RetryPolicy{}, func(t *tx.Tx) error {
+					for _, i := range picks[:4] {
+						if err := e.HeapUpdateCtx(ctx, t, store, rids[i], payload); err != nil {
+							return err
+						}
+					}
+					for _, i := range picks[4:] {
+						if err := e.IndexUpdateCtx(ctx, t, ix, benchKey(i), payload); err != nil {
+							return err
+						}
+					}
+					return nil
+				}, nil)
+				if err == nil {
+					writes.Add(1)
+				}
+			}
+		}(w)
+	}
+	// Checkpoint ticker stands in for the cleaner daemon: it advances the
+	// durable horizon and garbage-collects version chains, exactly as a
+	// production deployment would in the background.
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				_ = e.Checkpoint()
+			}
+		}
+	}()
+
+	var seq, giveups atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := seq.Add(1) * 0x9e3779b97f4a7c15
+		for pb.Next() {
+			var err error
+			switch mode {
+			case "scan":
+				count := 0
+				err = e.RunViewCtx(ctx, core.RetryPolicy{}, func(t *tx.Tx) error {
+					count = 0
+					return e.HeapScanCtx(ctx, t, store, func(rid page.RID, rec []byte) bool {
+						count++
+						return true
+					})
+				})
+				if err == nil && count != rows {
+					b.Errorf("scan saw %d rows, want %d", count, rows)
+					return
+				}
+			case "get":
+				err = e.RunViewCtx(ctx, core.RetryPolicy{}, func(t *tx.Tx) error {
+					for g := 0; g < 64; g++ {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						_, found, gerr := e.IndexLookupCtx(ctx, t, ix, benchKey(int(rng>>33)%rows))
+						if gerr != nil {
+							return gerr
+						}
+						if !found {
+							return fmt.Errorf("key missing")
+						}
+					}
+					return nil
+				})
+			}
+			if err != nil {
+				// S-locked getters can lose deadlocks against writers even
+				// after retries; that is part of what the baseline costs.
+				if core.IsRetryable(err) {
+					giveups.Add(1)
+					continue
+				}
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wwg.Wait()
+	st := e.Stats()
+	b.ReportMetric(float64(writes.Load())/float64(b.N), "writes/op")
+	b.ReportMetric(float64(st.Lock.Acquires)/float64(b.N), "lockacq/op")
+	b.ReportMetric(float64(giveups.Load())/float64(b.N), "giveups/op")
+	if snapshot {
+		b.ReportMetric(float64(st.Mvcc.ChainWalks)/float64(b.N), "chainwalks/op")
+	}
+}
+
+// BenchmarkViewScanParallel is the PR's headline comparison: S-locked
+// read-only transactions versus lock-free snapshot reads under a
+// concurrent write mix. Run with -cpu=8; CI captures it as
+// BENCH_view.json.
+func BenchmarkViewScanParallel(b *testing.B) {
+	b.Run("scan/slock", func(b *testing.B) { benchViewWork(b, false, "scan") })
+	b.Run("scan/snapshot", func(b *testing.B) { benchViewWork(b, true, "scan") })
+	b.Run("get/slock", func(b *testing.B) { benchViewWork(b, false, "get") })
+	b.Run("get/snapshot", func(b *testing.B) { benchViewWork(b, true, "get") })
 }
 
 // BenchmarkHeapSlotChurn measures insert/delete churn on full heap

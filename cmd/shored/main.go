@@ -47,6 +47,7 @@ func main() {
 	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers); overflow sheds with busy")
 	idle := flag.Duration("idle", 5*time.Minute, "idle-session timeout (rolls back and closes; <0 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	snapshot := flag.Bool("snapshot", false, "multiversion snapshot reads: View batches run lock-free against version chains")
 	warehouses := flag.Int("tpcc", 0, "preload a TPC-C database with this many warehouses and publish its catalog")
 	logSegment := flag.Int64("log-segment", 0, "rotate the log into fixed-size segments of this many bytes (0 = single unbounded log)")
 	redoWorkers := flag.Int("redo-workers", 0, "parallel redo workers during restart recovery (0 = GOMAXPROCS, 1 = serial)")
@@ -66,9 +67,15 @@ func main() {
 		OLC:          *olc,
 		DORA:         *dora,
 		Partitions:   *partitions,
+		Snapshot:     *snapshot,
 
 		LogSegmentBytes: *logSegment,
 		RedoWorkers:     *redoWorkers,
+	}
+	if *snapshot && opts.CheckpointEvery == 0 {
+		// Version-chain GC rides checkpoints; give a -snapshot server a
+		// default cadence so long-lived chains get reclaimed.
+		opts.CheckpointEvery = 8 << 20
 	}
 	if *durability == "relaxed" {
 		opts.Durability = shoremt.DurabilityRelaxed

@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -60,10 +61,12 @@ func main() {
 	addr := flag.String("addr", "", "drive a remote shored server at this address instead of an embedded engine")
 	logSegment := flag.Int64("log-segment", 0, "rotate the log into fixed-size segments of this many bytes (0 = single unbounded log)")
 	redoWorkers := flag.Int("redo-workers", 0, "parallel redo workers during restart recovery (0 = GOMAXPROCS, 1 = serial)")
+	readers := flag.Int("readers", 0, "concurrent read-only clients running Stock-Level / Order-Status scan loops next to the write mix")
+	snapshot := flag.Bool("snapshot", false, "multiversion snapshot reads: read-only transactions run lock-free against version chains")
 	flag.Parse()
 
 	if *addr != "" {
-		runRemote(*addr, *clients, *duration, *payPct)
+		runRemote(*addr, *clients, *readers, *duration, *payPct)
 		return
 	}
 
@@ -84,6 +87,12 @@ func main() {
 	}
 	cfg.CleanerInterval = 10 * time.Millisecond
 	cfg.RedoWorkers = *redoWorkers
+	cfg.Snapshot = *snapshot
+	if *snapshot {
+		// Version-chain GC rides checkpoints; without a checkpoint cadence
+		// a long -snapshot run grows chains without bound.
+		cfg.CheckpointEvery = 8 << 20
+	}
 
 	var logStore wal.Store = wal.NewMemStore()
 	if *logSegment > 0 {
@@ -159,7 +168,36 @@ func main() {
 			}
 		}(c)
 	}
-	fmt.Printf("running %d clients for %v (stage %s)...\n", *clients, *duration, stage)
+	// Read-only clients: Stock-Level / Order-Status scan loops running
+	// next to the write mix. With -snapshot these never touch the lock
+	// table; without it they contend for S locks against the writers.
+	var reads, readFailures atomic.Uint64
+	for c := 0; c < *readers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := tpcc.NewRand(int64(9000 + c))
+			home := uint32(c%*warehouses + 1)
+			for ctx.Err() == nil {
+				var err error
+				if r.Int(1, 100) <= 50 {
+					_, err = db.StockLevelCtx(ctx, tpcc.GenStockLevel(r, scale, home))
+				} else {
+					_, err = db.OrderStatusCtx(ctx, tpcc.GenOrderStatus(r, scale, home))
+				}
+				switch {
+				case err == nil:
+					reads.Add(1)
+				case ctx.Err() != nil, errors.Is(err, lock.ErrCanceled):
+					return // deadline: drain
+				default:
+					readFailures.Add(1)
+				}
+			}
+		}(c)
+	}
+	fmt.Printf("running %d clients + %d readers for %v (stage %s, snapshot %v)...\n",
+		*clients, *readers, *duration, stage, *snapshot)
 	wg.Wait()
 
 	secs := duration.Seconds()
@@ -169,6 +207,10 @@ func main() {
 	fmt.Printf("  new orders:  %8d (%8.1f tps, %d failed)\n", newOrders.Load(), float64(newOrders.Load())/secs, noFailures.Load())
 	fmt.Printf("  user aborts: %8d (the spec's 1%% intentional rollbacks)\n", userAborts.Load())
 	fmt.Printf("  total:       %8d committed (%8.1f tps)\n", total, float64(total)/secs)
+	if *readers > 0 {
+		fmt.Printf("  readers:     %8d read txns (%8.1f tps, %d failed)\n",
+			reads.Load(), float64(reads.Load())/secs, readFailures.Load())
+	}
 
 	st := engine.Stats()
 	fmt.Printf("\nengine statistics:\n")
@@ -188,6 +230,13 @@ func main() {
 		st.Lock.Acquires, st.Lock.Waits, st.Lock.Deadlocks, st.Lock.Timeouts, st.Lock.Cancels)
 	fmt.Printf("  lock bypass: %d cache hits, %d inherits, %d inherited grants, %d revokes\n",
 		st.Lock.CacheHits, st.Lock.Inherits, st.Lock.InheritedGrants, st.Lock.Revokes)
+	if *snapshot {
+		m := st.Mvcc
+		fmt.Printf("  mvcc:        %d versions installed (%d live), %d chain walks, %d reclaimed\n",
+			m.VersionsInstalled, m.LiveVersions, m.ChainWalks, m.GCReclaimed)
+		fmt.Printf("               %d snapshots (%d active, oldest LSN %d), %d reads, %d scans\n",
+			m.Snapshots, m.ActiveSnapshots, m.OldestSnapshot, m.SnapshotReads, m.SnapshotScans)
+	}
 	if *olc {
 		fmt.Printf("  btree OLC:   %d optimistic descents, %d restarts, %d fallbacks\n",
 			st.Btree.OptDescents, st.Btree.Restarts, st.Btree.Fallbacks)
@@ -211,8 +260,11 @@ func main() {
 
 // runRemote drives the Payment / New Order mix against a live shored
 // server: one connection per client goroutine, client-side retry on
-// deadlock/timeout/shed, server statistics fetched at the end.
-func runRemote(addr string, clients int, duration time.Duration, payPct int) {
+// deadlock/timeout/shed, server statistics fetched at the end. With
+// readers > 0, additional connections run Stock-Level / Order-Status
+// through the server's View path, which rides the snapshot read path
+// when shored was started with -snapshot.
+func runRemote(addr string, clients, readers int, duration time.Duration, payPct int) {
 	probe, err := client.Dial(addr, client.Options{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dial:", err)
@@ -307,7 +359,44 @@ func runRemote(addr string, clients int, duration time.Duration, payPct int) {
 			}
 		}(c)
 	}
-	fmt.Printf("running %d remote clients for %v...\n", clients, duration)
+	// Read-only connections: each dials its own session and drives the
+	// server's View path with Stock-Level / Order-Status scan loops.
+	var reads, readFailures atomic.Uint64
+	for c := 0; c < readers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := client.Dial(addr, client.Options{})
+			if err != nil {
+				return
+			}
+			defer cl.Close()
+			r, err := tpcc.OpenRemote(ctx, cl, stats)
+			if err != nil {
+				return
+			}
+			rnd := tpcc.NewRand(int64(9000 + c))
+			home := uint32(c%scale.Warehouses + 1)
+			for ctx.Err() == nil && !cl.Closed() {
+				var err error
+				if rnd.Int(1, 100) <= 50 {
+					_, err = r.StockLevel(ctx, tpcc.GenStockLevel(rnd, scale, home))
+				} else {
+					_, err = r.OrderStatus(ctx, tpcc.GenOrderStatus(rnd, scale, home))
+				}
+				switch {
+				case err == nil:
+					reads.Add(1)
+				case ctx.Err() != nil:
+					return // deadline: drain
+				default:
+					readFailures.Add(1)
+					sample(err)
+				}
+			}
+		}(c)
+	}
+	fmt.Printf("running %d remote clients + %d readers for %v...\n", clients, readers, duration)
 	wg.Wait()
 
 	secs := duration.Seconds()
@@ -317,6 +406,10 @@ func runRemote(addr string, clients int, duration time.Duration, payPct int) {
 	fmt.Printf("  new orders:  %8d (%8.1f tps, %d failed)\n", newOrders.Load(), float64(newOrders.Load())/secs, noFailures.Load())
 	fmt.Printf("  user aborts: %8d (the spec's 1%% intentional rollbacks)\n", userAborts.Load())
 	fmt.Printf("  total:       %8d committed (%8.1f tps)\n", total, float64(total)/secs)
+	if readers > 0 {
+		fmt.Printf("  readers:     %8d read txns (%8.1f tps, %d failed)\n",
+			reads.Load(), float64(reads.Load())/secs, readFailures.Load())
+	}
 	fmt.Printf("  retries:     %d shed (busy), %d deadlock victims, %d lock timeouts\n",
 		stats.Sheds.Load(), stats.Deadlocks.Load(), stats.Timeouts.Load())
 	errMu.Lock()
@@ -325,12 +418,20 @@ func runRemote(addr string, clients int, duration time.Duration, payPct int) {
 	}
 	errMu.Unlock()
 
-	if sst, _, err := probe.Stats(context.Background()); err == nil {
+	if sst, ejson, err := probe.Stats(context.Background()); err == nil {
 		fmt.Printf("\nserver statistics:\n")
 		fmt.Printf("  sessions:    %d open, %d peak, %d total\n", sst.SessionsOpen, sst.SessionsPeak, sst.SessionsTotal)
 		fmt.Printf("  requests:    %d (%d batches), queue high-water %d\n", sst.Requests, sst.Batches, sst.QueueHighWater)
 		fmt.Printf("  shed:        %d busy refusals\n", sst.Sheds)
 		fmt.Printf("  rollbacks:   %d on disconnect, %d idle closes\n", sst.DisconnectRollbacks, sst.IdleCloses)
+		var es core.EngineStats
+		if json.Unmarshal(ejson, &es) == nil && es.Mvcc.Snapshots > 0 {
+			m := es.Mvcc
+			fmt.Printf("  mvcc:        %d versions installed (%d live), %d chain walks, %d reclaimed\n",
+				m.VersionsInstalled, m.LiveVersions, m.ChainWalks, m.GCReclaimed)
+			fmt.Printf("               %d snapshots (%d active), %d reads, %d scans\n",
+				m.Snapshots, m.ActiveSnapshots, m.SnapshotReads, m.SnapshotScans)
+		}
 	}
 	probe.Close()
 }

@@ -49,24 +49,27 @@ type OptEnv interface {
 // OLCStats counts optimistic-descent outcomes. One instance is typically
 // shared by every tree an engine opens, so the counters are engine-wide.
 type OLCStats struct {
-	OptDescents atomic.Uint64 // descents whose inner levels completed optimistically
-	Restarts    atomic.Uint64 // descents restarted from the root after failed validation
-	Fallbacks   atomic.Uint64 // descents that exhausted retries and went fully latched
+	OptDescents  atomic.Uint64 // descents whose inner levels completed optimistically
+	Restarts     atomic.Uint64 // descents restarted from the root after failed validation
+	Fallbacks    atomic.Uint64 // descents that exhausted retries and went fully latched
+	OptLeafReads atomic.Uint64 // SearchOpt probes completed without any pin or latch
 }
 
 // OLCSnapshot is a point-in-time copy of OLCStats.
 type OLCSnapshot struct {
-	OptDescents uint64
-	Restarts    uint64
-	Fallbacks   uint64
+	OptDescents  uint64
+	Restarts     uint64
+	Fallbacks    uint64
+	OptLeafReads uint64
 }
 
 // Snapshot copies the counters.
 func (s *OLCStats) Snapshot() OLCSnapshot {
 	return OLCSnapshot{
-		OptDescents: s.OptDescents.Load(),
-		Restarts:    s.Restarts.Load(),
-		Fallbacks:   s.Fallbacks.Load(),
+		OptDescents:  s.OptDescents.Load(),
+		Restarts:     s.Restarts.Load(),
+		Fallbacks:    s.Fallbacks.Load(),
+		OptLeafReads: s.OptLeafReads.Load(),
 	}
 }
 
@@ -378,6 +381,119 @@ func (t *Tree) Search(key []byte) ([]byte, bool, error) {
 		return nil, false, err
 	}
 	return append([]byte(nil), v...), true, nil
+}
+
+// SearchOpt is Search extended to the leaf level of the optimistic
+// protocol: the entire probe — inner descent, Lehman-Yao leaf
+// move-right, and the entry read itself — runs on speculative page
+// images with no pin and no latch, validated after the value is copied
+// out. A concurrent writer on the leaf fails the validation (it holds
+// the frame EX, bumping the latch version), so a successful probe read
+// either a pre-writer or post-writer image, never a torn one. Bounded
+// restarts, then fall back to the classic latched Search. Without an
+// OptEnv it IS Search.
+func (t *Tree) SearchOpt(key []byte) ([]byte, bool, error) {
+	if t.opt == nil {
+		return t.Search(key)
+	}
+	if err := checkKV(key, nil); err != nil {
+		return nil, false, err
+	}
+	for attempt := 0; attempt < maxOptRestarts; attempt++ {
+		val, found, ok, err := t.searchOptOnce(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			t.stats.OptLeafReads.Add(1)
+			return val, found, nil
+		}
+		t.stats.Restarts.Add(1)
+	}
+	t.stats.Fallbacks.Add(1)
+	return t.Search(key)
+}
+
+// maxOptHops bounds one SearchOpt attempt's node visits (descent plus
+// sideways moves); exceeding it restarts rather than chasing a cycle on
+// speculative images.
+const maxOptHops = 64
+
+// searchOptOnce is one pin-free probe attempt. ok=false (with nil error)
+// means a validation failed or a node was not cleanly readable: restart.
+func (t *Tree) searchOptOnce(key []byte) (val []byte, found, ok bool, err error) {
+	pid := t.root
+	for hop := 0; hop < maxOptHops; hop++ {
+		ref, got := t.opt.FixOpt(pid)
+		if !got {
+			// Not resident or in flux; let the fallback path load it.
+			return nil, false, false, nil
+		}
+		p := ref.Page()
+		h, herr := peekHeader(p)
+		if herr != nil {
+			valid := t.opt.Validate(ref)
+			t.opt.ReleaseOpt(ref)
+			if !valid {
+				return nil, false, false, nil
+			}
+			return nil, false, false, herr
+		}
+		if !h.isLeaf() {
+			next, _, _, _, serr := nodeStep(p, key)
+			valid := t.opt.Validate(ref)
+			t.opt.ReleaseOpt(ref)
+			if !valid {
+				return nil, false, false, nil
+			}
+			if serr != nil {
+				return nil, false, false, serr
+			}
+			pid = next
+			continue
+		}
+		// Leaf: move right past a concurrent split's high key, then read
+		// the entry. Everything is copied before Validate decides whether
+		// any of it was real.
+		if needsMoveRight(h, key) {
+			right := h.right
+			valid := t.opt.Validate(ref)
+			t.opt.ReleaseOpt(ref)
+			if !valid {
+				return nil, false, false, nil
+			}
+			if right == 0 {
+				return nil, false, false, fmt.Errorf("%w: high key without right sibling", ErrCorruptNode)
+			}
+			pid = right
+			continue
+		}
+		var v []byte
+		exact := false
+		slot, ex, serr := searchEntries(p, key)
+		if serr == nil && ex {
+			if rec, rerr := p.Record(slot); rerr == nil {
+				if _, vv, derr := decodeLeafEntry(rec); derr == nil {
+					v = append([]byte(nil), vv...)
+					exact = true
+				} else {
+					serr = derr
+				}
+			} else {
+				serr = rerr
+			}
+		}
+		valid := t.opt.Validate(ref)
+		t.opt.ReleaseOpt(ref)
+		if !valid {
+			return nil, false, false, nil
+		}
+		if serr != nil {
+			return nil, false, false, serr
+		}
+		return v, exact, true, nil
+	}
+	return nil, false, false, nil
 }
 
 // Insert adds key→value; ErrDuplicateKey if present. The operation is

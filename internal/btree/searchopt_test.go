@@ -1,0 +1,115 @@
+package btree
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestSearchOptBasic: the pin-free probe returns exactly what the
+// latched Search does, over a multi-level tree, and records its hits.
+func TestSearchOptBasic(t *testing.T) {
+	tr, _, stats := newOLCTree(t, 256)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(1, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := tr.SearchOpt(key(i))
+		if err != nil || !ok {
+			t.Fatalf("SearchOpt(%s) = %v, %v", key(i), ok, err)
+		}
+		if !bytes.Equal(v, val(i)) {
+			t.Fatalf("SearchOpt(%s) = %q, want %q", key(i), v, val(i))
+		}
+	}
+	for _, miss := range []string{"key", "zzz", "key99999999x"} {
+		if _, ok, err := tr.SearchOpt([]byte(miss)); err != nil || ok {
+			t.Fatalf("SearchOpt(%q) = %v, %v; want miss", miss, ok, err)
+		}
+	}
+	s := stats.Snapshot()
+	if s.OptLeafReads == 0 {
+		t.Fatal("no pin-free leaf reads recorded")
+	}
+	t.Logf("searchopt: %d pin-free leaf reads, %d restarts, %d fallbacks",
+		s.OptLeafReads, s.Restarts, s.Fallbacks)
+}
+
+// TestSearchOptWithoutOLC: with no optimistic environment the probe
+// degrades to the plain latched Search.
+func TestSearchOptWithoutOLC(t *testing.T) {
+	tr, _ := newTestTree(t, 128)
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(1, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, err := tr.SearchOpt(key(7))
+	if err != nil || !ok || !bytes.Equal(v, val(7)) {
+		t.Fatalf("SearchOpt without OLC = %q, %v, %v", v, ok, err)
+	}
+}
+
+// TestSearchOptConcurrentInserts races pin-free probes against inserts
+// that split leaves and inner nodes; every present key must be found
+// with its exact value (values here are immutable once inserted, so a
+// torn read would surface as a mismatch). Run with -race.
+func TestSearchOptConcurrentInserts(t *testing.T) {
+	tr, _, stats := newOLCTree(t, 512)
+	const warm = 500
+	const extra = 1500
+	for i := 0; i < warm; i++ {
+		if err := tr.Insert(1, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := warm; i < warm+extra; i++ {
+			if err := tr.Insert(1, key(i), val(i)); err != nil {
+				t.Errorf("insert %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (r*31 + i) % warm // always-present keys
+				v, ok, err := tr.SearchOpt(key(k))
+				if err != nil {
+					t.Errorf("SearchOpt(%s): %v", key(k), err)
+					return
+				}
+				if !ok || !bytes.Equal(v, val(k)) {
+					t.Errorf("SearchOpt(%s) = %q, %v; want %q", key(k), v, ok, val(k))
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for i := 0; i < warm+extra; i++ {
+		v, ok, err := tr.SearchOpt(key(i))
+		if err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("after inserts SearchOpt(%s) = %q, %v, %v", key(i), v, ok, err)
+		}
+	}
+	s := stats.Snapshot()
+	t.Logf("searchopt under churn: %d pin-free, %d restarts, %d fallbacks",
+		s.OptLeafReads, s.Restarts, s.Fallbacks)
+}

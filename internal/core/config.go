@@ -126,6 +126,16 @@ type Config struct {
 	// warehouse count); a larger partition count is clamped to it with a
 	// logged warning.
 	DoraKeys int
+	// Snapshot enables multiversion snapshot reads: writers install the
+	// before-image of every row/key they touch in an in-memory version
+	// store, stamped at commit with their harden target, and read-only
+	// transactions begun with BeginSnapshot (the public DB.View) pin the
+	// durable horizon as their snapshot LSN and resolve anything newer by
+	// walking the chain — no lock-manager interaction at all, so long
+	// scans neither block writers nor abort. Version garbage collection
+	// rides the checkpoint (entries below the oldest pinned snapshot are
+	// dropped). Orthogonal to Stage, like SLI, OLC, and DORA.
+	Snapshot bool
 	// CheckpointEvery, when positive, runs a background fuzzy checkpoint
 	// whenever that many log bytes have accumulated since the last one,
 	// bounding restart-recovery work without manual Checkpoint calls.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/dora"
 	"repro/internal/lock"
+	"repro/internal/mvcc"
 	"repro/internal/page"
 	"repro/internal/pageop"
 	"repro/internal/space"
@@ -45,6 +46,7 @@ type Engine struct {
 	sm       *space.Manager
 	flushd   *wal.FlushDaemon // harden stage of the commit pipeline (nil unless CommitPipeline)
 	dora     *dora.Executor   // partition executor (nil unless Config.DORA)
+	mvcc     *mvcc.Store      // version store for snapshot reads (nil unless Config.Snapshot)
 
 	// ckptMu orders commit-point publication against checkpoint snapshots:
 	// committers hold it shared for the instant between inserting the
@@ -108,6 +110,9 @@ func Open(vol disk.Volume, logStore wal.Store, cfg Config) (*Engine, error) {
 	e.locks = lock.NewManager(cfg.Lock)
 	e.txns = tx.NewManager(tx.Options{CachedOldest: cfg.CachedOldest})
 	e.sm = space.NewManager(vol, cfg.Space)
+	if cfg.Snapshot {
+		e.mvcc = mvcc.NewStore()
+	}
 
 	if logStore.DurableSize() > 8 { // anything beyond the preamble
 		if err := e.restart(); err != nil {
@@ -396,6 +401,18 @@ func (e *Engine) CommitCtx(ctx context.Context, t *tx.Tx) error {
 func (e *Engine) publishCommit(t *tx.Tx) (wal.LSN, error) {
 	e.ckptMu.RLock()
 	defer e.ckptMu.RUnlock()
+	if st := t.Stamp(); st != nil && e.mvcc != nil {
+		// Pending floor: between here and the stamp store below, this
+		// commit is in the log but its versions are unstamped. New
+		// snapshots are clamped below the floor so they see the commit as
+		// a whole or not at all. The floor is exclusive (CurLSN+1, like a
+		// snapshot LSN): earlier commits stamped at exactly CurLSN stay
+		// visible, while this commit's stamp will land strictly above it.
+		// The deferred EndPublish also covers the insert-failure path
+		// (the stamp stays 0: still invisible).
+		e.mvcc.BeginPublish(st, uint64(e.log.CurLSN())+1)
+		defer e.mvcc.EndPublish(st)
+	}
 	lsn, err := e.log.Insert(&wal.Record{
 		Type: wal.RecTxCommit, TxID: t.ID(), PrevLSN: t.LastLSN(),
 	})
@@ -409,6 +426,14 @@ func (e *Engine) publishCommit(t *tx.Tx) (wal.LSN, error) {
 		target = h
 	}
 	t.SetHardenTarget(target)
+	if st := t.Stamp(); st != nil {
+		// Stamp with the harden target, not the commit record's own LSN:
+		// a snapshot S only admits stamps strictly below it, and S never
+		// exceeds the durable horizon, so stamp < S proves the whole
+		// commit record is on disk. Folding the ELR horizon keeps stamps
+		// ordered behind every early releaser whose data t read.
+		st.Commit(uint64(target))
+	}
 	if err := e.txns.BeginCommit(t); err != nil {
 		return wal.NullLSN, err
 	}
@@ -430,6 +455,13 @@ func (e *Engine) CommitReadOnly(ctx context.Context, t *tx.Tx) error {
 	}
 	if t.State() != tx.StateActive {
 		return fmt.Errorf("%w: tx %d is %v", ErrCommitting, t.ID(), t.State())
+	}
+	if t.IsSnapshot() {
+		// Snapshot reader: no commit record, no locks, no durability wait
+		// (its snapshot LSN was durable before it began — nothing it read
+		// can be un-committed by a crash). Just unpin and retire.
+		e.mvcc.Unpin(t.SnapshotLSN())
+		return e.txns.Commit(t)
 	}
 	if err := ctxErr(ctx); err != nil {
 		return err // still abortable; don't push past the point of no return
@@ -578,6 +610,11 @@ func (e *Engine) Abort(t *tx.Tx) error {
 		// already read. Only restart recovery may resolve it.
 		return fmt.Errorf("%w: tx %d", ErrCommitting, t.ID())
 	}
+	if t.IsSnapshot() {
+		// Snapshot reader: nothing to undo, nothing logged, no locks.
+		e.mvcc.Unpin(t.SnapshotLSN())
+		return e.txns.Abort(t)
+	}
 	lsn, err := e.log.Insert(&wal.Record{
 		Type: wal.RecTxAbort, TxID: t.ID(), PrevLSN: t.LastLSN(),
 	})
@@ -592,6 +629,13 @@ func (e *Engine) Abort(t *tx.Tx) error {
 		Type: wal.RecTxEnd, TxID: t.ID(), PrevLSN: t.LastLSN(),
 	}); err != nil {
 		return err
+	}
+	if st := t.Stamp(); st != nil {
+		// Only after rollback restored every page: an aborted entry may be
+		// GC'd at any time, and a reader finding neither the entry nor a
+		// restored page would return uncommitted data. From here on the
+		// entries' before-images equal the restored values — harmless.
+		st.Abort()
 	}
 	e.releaseLocks(t)
 	return e.txns.Abort(t)
@@ -738,6 +782,17 @@ func (e *Engine) logPhysical(txID uint64, t *tx.Tx, f *buffer.Frame, op pageop.O
 	if err != nil {
 		return err
 	}
+	if e.mvcc != nil && t != nil && !redoOnly {
+		// Install the before-image BEFORE applying the page change: a
+		// snapshot reader reads the page first (under its latch or a
+		// validated optimistic read) and resolves after, so any write it
+		// can observe in the page is guaranteed to have its chain entry.
+		// Rollback and recovery never come through here with undo
+		// (physical undo applies directly, logical undo re-enters the
+		// tree as redo-only), so versions install exactly once per
+		// forward update.
+		e.installVersion(t, f, op, undo)
+	}
 	if err := pageop.Apply(f.Page(), op); err != nil {
 		// The log record is already out; crash-correct but the in-memory
 		// state diverged. Treat as fatal for this operation.
@@ -798,6 +853,12 @@ func (e *Engine) Checkpoint() error {
 	// landed, so a failed attempt is retried on the daemon's next tick.
 	e.lastCkpt.Store(uint64(beginLSN))
 	e.archiveSegments(beginLSN, data.Dirty)
+	if e.mvcc != nil {
+		// Version GC rides the checkpoint daemon: drop every before-image
+		// committed below the oldest snapshot any reader can still pin
+		// (exclusive durable bound, matching BeginSnapshot's Pin).
+		e.mvcc.GC(uint64(e.log.DurableLSN()) + 1)
+	}
 	return nil
 }
 
@@ -878,6 +939,7 @@ type EngineStats struct {
 	Btree    btree.OLCSnapshot // zero unless OLC is enabled
 	Dora     dora.Stats        // zero unless DORA is enabled
 	Recovery RecoveryStats     // zero unless Open ran restart recovery
+	Mvcc     mvcc.Stats        // zero unless Snapshot is enabled
 }
 
 // Stats snapshots all component counters.
@@ -895,6 +957,9 @@ func (e *Engine) Stats() EngineStats {
 	}
 	if e.dora != nil {
 		s.Dora = e.dora.Stats()
+	}
+	if e.mvcc != nil {
+		s.Mvcc = e.mvcc.Stats()
 	}
 	s.Recovery = e.recovery
 	s.Recovery.SegmentsArchived = e.archived.Load()

@@ -37,6 +37,9 @@ func (e *Engine) CreateTable(t *tx.Tx) (uint32, error) {
 	if t == nil || t.State() != tx.StateActive {
 		return 0, fmt.Errorf("core: CreateTable requires an active transaction")
 	}
+	if err := snapshotGuard(t); err != nil {
+		return 0, err
+	}
 	return e.sm.CreateStore(space.KindHeap), nil
 }
 
@@ -99,6 +102,9 @@ func (e *Engine) HeapInsert(t *tx.Tx, store uint32, data []byte) (page.RID, erro
 func (e *Engine) HeapInsertCtx(ctx context.Context, t *tx.Tx, store uint32, data []byte) (page.RID, error) {
 	if e.closed.Load() {
 		return page.RID{}, ErrClosed
+	}
+	if err := snapshotGuard(t); err != nil {
+		return page.RID{}, err
 	}
 	if len(data) == 0 || len(data) > MaxRecord {
 		return page.RID{}, fmt.Errorf("core: record size %d out of range", len(data))
@@ -194,6 +200,9 @@ func (e *Engine) HeapReadCtx(ctx context.Context, t *tx.Tx, store uint32, rid pa
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
+	if t != nil && t.IsSnapshot() {
+		return e.heapReadSnapshot(t, store, rid)
+	}
 	if err := e.lockRow(ctx, t, store, rid, lock.S); err != nil {
 		return nil, err
 	}
@@ -218,6 +227,9 @@ func (e *Engine) HeapUpdate(t *tx.Tx, store uint32, rid page.RID, data []byte) e
 func (e *Engine) HeapUpdateCtx(ctx context.Context, t *tx.Tx, store uint32, rid page.RID, data []byte) error {
 	if e.closed.Load() {
 		return ErrClosed
+	}
+	if err := snapshotGuard(t); err != nil {
+		return err
 	}
 	if len(data) == 0 || len(data) > MaxRecord {
 		return fmt.Errorf("core: record size %d out of range", len(data))
@@ -249,6 +261,9 @@ func (e *Engine) HeapDelete(t *tx.Tx, store uint32, rid page.RID) error {
 func (e *Engine) HeapDeleteCtx(ctx context.Context, t *tx.Tx, store uint32, rid page.RID) error {
 	if e.closed.Load() {
 		return ErrClosed
+	}
+	if err := snapshotGuard(t); err != nil {
+		return err
 	}
 	if err := e.lockRow(ctx, t, store, rid, lock.X); err != nil {
 		return err
@@ -282,6 +297,9 @@ func (e *Engine) HeapScan(t *tx.Tx, store uint32, fn func(rid page.RID, rec []by
 func (e *Engine) HeapScanCtx(ctx context.Context, t *tx.Tx, store uint32, fn func(rid page.RID, rec []byte) bool) error {
 	if e.closed.Load() {
 		return ErrClosed
+	}
+	if t != nil && t.IsSnapshot() {
+		return e.heapScanSnapshot(t, store, fn)
 	}
 	if err := e.acquire(ctx, t, lock.DatabaseName(), lock.IS); err != nil {
 		return err

@@ -69,6 +69,9 @@ func (e *Engine) CreateIndex(t *tx.Tx) (*Index, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
+	if err := snapshotGuard(t); err != nil {
+		return nil, err
+	}
 	store := e.sm.CreateStore(space.KindBTree)
 	tr, err := btree.Create(btreeEnv{e}, t.ID(), store)
 	if err != nil {
@@ -161,6 +164,9 @@ func (e *Engine) IndexInsertCtx(ctx context.Context, t *tx.Tx, ix *Index, key, v
 	if e.closed.Load() {
 		return ErrClosed
 	}
+	if err := snapshotGuard(t); err != nil {
+		return err
+	}
 	if err := e.lockKey(ctx, t, ix.store, key, lock.X); err != nil {
 		return err
 	}
@@ -177,6 +183,9 @@ func (e *Engine) IndexLookup(t *tx.Tx, ix *Index, key []byte) ([]byte, bool, err
 func (e *Engine) IndexLookupCtx(ctx context.Context, t *tx.Tx, ix *Index, key []byte) ([]byte, bool, error) {
 	if e.closed.Load() {
 		return nil, false, ErrClosed
+	}
+	if t != nil && t.IsSnapshot() {
+		return e.indexLookupSnapshot(t, ix, key)
 	}
 	if err := e.lockKey(ctx, t, ix.store, key, lock.S); err != nil {
 		return nil, false, err
@@ -196,6 +205,9 @@ func (e *Engine) IndexLookupForUpdateCtx(ctx context.Context, t *tx.Tx, ix *Inde
 	if e.closed.Load() {
 		return nil, false, ErrClosed
 	}
+	if err := snapshotGuard(t); err != nil {
+		return nil, false, err
+	}
 	if err := e.lockKey(ctx, t, ix.store, key, lock.X); err != nil {
 		return nil, false, err
 	}
@@ -213,6 +225,9 @@ func (e *Engine) IndexUpdateCtx(ctx context.Context, t *tx.Tx, ix *Index, key, v
 	if e.closed.Load() {
 		return ErrClosed
 	}
+	if err := snapshotGuard(t); err != nil {
+		return err
+	}
 	if err := e.lockKey(ctx, t, ix.store, key, lock.X); err != nil {
 		return err
 	}
@@ -229,6 +244,9 @@ func (e *Engine) IndexDelete(t *tx.Tx, ix *Index, key []byte) ([]byte, error) {
 func (e *Engine) IndexDeleteCtx(ctx context.Context, t *tx.Tx, ix *Index, key []byte) ([]byte, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
+	}
+	if err := snapshotGuard(t); err != nil {
+		return nil, err
 	}
 	if err := e.lockKey(ctx, t, ix.store, key, lock.X); err != nil {
 		return nil, err
@@ -248,6 +266,9 @@ func (e *Engine) IndexScan(t *tx.Tx, ix *Index, from, to []byte, fn func(key, va
 func (e *Engine) IndexScanCtx(ctx context.Context, t *tx.Tx, ix *Index, from, to []byte, fn func(key, value []byte) bool) error {
 	if e.closed.Load() {
 		return ErrClosed
+	}
+	if t != nil && t.IsSnapshot() {
+		return e.indexScanSnapshot(t, ix, from, to, fn)
 	}
 	if err := e.acquire(ctx, t, lock.DatabaseName(), lock.IS); err != nil {
 		return err

@@ -1,0 +1,460 @@
+// Package mvcc is the version store behind snapshot (multiversion) reads:
+// writers install the before-image of every row/key they touch, keyed by a
+// commit stamp shared across the whole transaction, and read-only snapshot
+// transactions resolve any entry newer than their snapshot LSN by walking
+// the chain — without ever touching the lock manager.
+//
+// The package deliberately has no dependencies on the rest of the engine
+// (LSNs are plain uint64s), so the transaction layer can carry stamps
+// without an import cycle.
+//
+// # Visibility
+//
+// A version entry records the value a row/key held *before* its writer's
+// update; the newest value always lives in the page itself. The writer's
+// stamp starts at 0 (in flight), becomes the commit's harden target when
+// the commit record is published, or Aborted on rollback. For a reader
+// with snapshot LSN S, a write is visible iff 0 < stamp < Aborted and
+// stamp < S — strictly below the durability horizon the reader pinned, so
+// every visible commit record is already on disk. Resolution walks the
+// chain newest→oldest, taking the before-image of each invisible entry,
+// and stops at the first visible one (2PL serializes writers per key and
+// stamps land before locks release, so stamps descend along a chain; an
+// aborted entry's before-image equals the value rollback restored, making
+// it harmless wherever it sits).
+//
+// # Torn-snapshot prevention
+//
+// One stamp per transaction, stored with a single atomic write, publishes
+// all of its versions at once — a reader can never see half a
+// transaction. Across transactions the committing writer registers a
+// pending floor (the log position just below its commit record) before
+// inserting the record; Pin clamps new snapshots to the minimum pending
+// floor, so a commit whose stamp has not landed yet is invisible as a
+// whole rather than racing the durable horizon.
+package mvcc
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// aborted marks a rolled-back writer's stamp: never visible, reclaimable.
+const aborted = math.MaxUint64
+
+// Stamp is one writing transaction's commit timestamp, shared by every
+// version entry it installs. A single atomic store flips all of them from
+// in-flight (0) to committed-at-LSN or aborted.
+type Stamp struct{ v atomic.Uint64 }
+
+// NewStamp returns an in-flight stamp.
+func NewStamp() *Stamp { return new(Stamp) }
+
+// Commit publishes the writer's versions at lsn (its harden target: the
+// log position whose durability completes the commit).
+func (s *Stamp) Commit(lsn uint64) { s.v.Store(lsn) }
+
+// Abort marks the writer rolled back; its entries become garbage.
+func (s *Stamp) Abort() { s.v.Store(aborted) }
+
+func (s *Stamp) load() uint64 { return s.v.Load() }
+
+// Kind separates the two keyspaces a store versions.
+type Kind uint8
+
+// Version keyspaces.
+const (
+	KindHeap  Kind = iota // key = page id + slot
+	KindIndex             // key = the B-tree key bytes
+)
+
+// entry is one before-image in a version chain (newest first).
+type entry struct {
+	next   atomic.Pointer[entry]
+	stamp  *Stamp
+	before []byte // value before the writer's update; nil when !exists
+	exists bool   // false: the row/key did not exist before (insert)
+}
+
+// chain is the per-key version list. Readers walk it lock-free.
+type chain struct{ head atomic.Pointer[entry] }
+
+// storeVersions holds one (kind, store)'s chains. mu guards the map
+// (installs hold it shared, GC exclusively); chain links are atomic so
+// readers need no lock at all once they hold the chain pointer.
+type storeVersions struct {
+	mu     sync.RWMutex
+	chains map[string]*chain
+	count  atomic.Int64
+}
+
+type storeKey struct {
+	kind  Kind
+	store uint32
+}
+
+// Store is the engine-wide version store.
+type Store struct {
+	mu     sync.RWMutex
+	stores map[storeKey]*storeVersions
+
+	// pubMu orders snapshot pinning against commit publication: pending
+	// maps a committing writer's stamp to its floor (CurLSN just before
+	// its commit record), snaps refcounts pinned snapshot LSNs.
+	pubMu   sync.Mutex
+	pending map[*Stamp]uint64
+	snaps   map[uint64]int
+
+	installed atomic.Uint64
+	walks     atomic.Uint64
+	reclaimed atomic.Uint64
+	snapshots atomic.Uint64
+	reads     atomic.Uint64
+	scans     atomic.Uint64
+	oldestGC  atomic.Uint64
+}
+
+// NewStore builds an empty version store.
+func NewStore() *Store {
+	return &Store{
+		stores:  make(map[storeKey]*storeVersions),
+		pending: make(map[*Stamp]uint64),
+		snaps:   make(map[uint64]int),
+	}
+}
+
+// Stats is a point-in-time snapshot of version-store activity.
+type Stats struct {
+	VersionsInstalled uint64 // before-images installed by writers
+	LiveVersions      int64  // entries currently retained
+	ChainWalks        uint64 // reads that walked a non-empty chain
+	GCReclaimed       uint64 // entries dropped below the snapshot horizon
+	Snapshots         uint64 // snapshot transactions begun
+	ActiveSnapshots   int    // snapshots currently pinned
+	SnapshotReads     uint64 // point reads served on the snapshot path
+	SnapshotScans     uint64 // scans served on the snapshot path
+	OldestSnapshot    uint64 // horizon used by the most recent GC pass
+}
+
+func (s *Store) lookup(k Kind, store uint32) *storeVersions {
+	s.mu.RLock()
+	sv := s.stores[storeKey{k, store}]
+	s.mu.RUnlock()
+	return sv
+}
+
+func (s *Store) storeFor(k Kind, store uint32) *storeVersions {
+	key := storeKey{k, store}
+	if sv := s.lookup(k, store); sv != nil {
+		return sv
+	}
+	s.mu.Lock()
+	sv := s.stores[key]
+	if sv == nil {
+		sv = &storeVersions{chains: make(map[string]*chain)}
+		s.stores[key] = sv
+	}
+	s.mu.Unlock()
+	return sv
+}
+
+// Install prepends a before-image for (kind, store, key), stamped by st.
+// The caller must hold the page latch that serializes writers on this key
+// (2PL guarantees one writer per key anyway) and must install BEFORE
+// applying the page change, so a reader that saw the new page value is
+// guaranteed to find the entry. Install takes ownership of before.
+func (s *Store) Install(kind Kind, store uint32, key []byte, before []byte, exists bool, st *Stamp) {
+	sv := s.storeFor(kind, store)
+	e := &entry{stamp: st, before: before, exists: exists}
+	k := string(key)
+	sv.mu.RLock()
+	ch := sv.chains[k]
+	if ch != nil {
+		e.next.Store(ch.head.Load())
+		ch.head.Store(e)
+		sv.mu.RUnlock()
+	} else {
+		sv.mu.RUnlock()
+		sv.mu.Lock()
+		ch = sv.chains[k]
+		if ch == nil {
+			ch = new(chain)
+			sv.chains[k] = ch
+		}
+		e.next.Store(ch.head.Load())
+		ch.head.Store(e)
+		sv.mu.Unlock()
+	}
+	sv.count.Add(1)
+	s.installed.Add(1)
+}
+
+// Resolve returns the value of (kind, store, key) as of snapshot snap,
+// given the current page image (cur, curExists). It must be called AFTER
+// reading the page: the page latch (or a validated optimistic read)
+// orders any writer's install before this lookup. The returned slice may
+// alias a retained version entry — callers copy before exposing it.
+func (s *Store) Resolve(kind Kind, store uint32, key []byte, snap uint64, cur []byte, curExists bool) ([]byte, bool) {
+	sv := s.lookup(kind, store)
+	if sv == nil || sv.count.Load() == 0 {
+		return cur, curExists
+	}
+	sv.mu.RLock()
+	ch := sv.chains[string(key)]
+	sv.mu.RUnlock()
+	if ch == nil {
+		return cur, curExists
+	}
+	s.walks.Add(1)
+	return ch.resolve(snap, cur, curExists)
+}
+
+// resolve walks the chain newest→oldest: take the before-image of every
+// entry invisible to snap, stop at the first visible one.
+func (ch *chain) resolve(snap uint64, cur []byte, curExists bool) ([]byte, bool) {
+	val, ok := cur, curExists
+	for e := ch.head.Load(); e != nil; e = e.next.Load() {
+		st := e.stamp.load()
+		if st != 0 && st != aborted && st < snap {
+			break // committed before the snapshot; everything older is too
+		}
+		val, ok = e.before, e.exists
+	}
+	return val, ok
+}
+
+// Chain is an opaque handle to one key's version chain, as grabbed by
+// ChainsFor. The zero value resolves to the current page image.
+type Chain struct{ ch *chain }
+
+// Resolve answers exactly like Store.Resolve for the key this chain was
+// grabbed for. The same aliasing caveat applies: copy before exposing.
+func (c Chain) Resolve(snap uint64, cur []byte, curExists bool) ([]byte, bool) {
+	if c.ch == nil {
+		return cur, curExists
+	}
+	return c.ch.resolve(snap, cur, curExists)
+}
+
+// ChainsFor is the batch counterpart of Resolve for scans: it grabs the
+// version chains of every key in one (kind, store) under a single read
+// lock, instead of paying a lock round-trip per slot. A nil result means
+// the store holds no versions at all; otherwise out[i] is keys[i]'s
+// chain (zero if the key has none). Non-empty chains count as walks,
+// matching Resolve — the caller is expected to resolve each one.
+func (s *Store) ChainsFor(kind Kind, store uint32, keys [][]byte) []Chain {
+	sv := s.lookup(kind, store)
+	if sv == nil || sv.count.Load() == 0 {
+		return nil
+	}
+	out := make([]Chain, len(keys))
+	var walked uint64
+	sv.mu.RLock()
+	for i, k := range keys {
+		if ch := sv.chains[string(k)]; ch != nil && ch.head.Load() != nil {
+			out[i] = Chain{ch}
+			walked++
+		}
+	}
+	sv.mu.RUnlock()
+	if walked > 0 {
+		s.walks.Add(walked)
+	}
+	return out
+}
+
+// KeysInRange returns, sorted, every index key in [from, to) (nil bounds
+// are open) that has a live version chain in store. As-of scans merge
+// these with the tree's current keys to resurrect entries deleted after
+// the snapshot. Call it after reading the leaves it covers — a deletion
+// applied before a leaf read is then guaranteed to appear here.
+func (s *Store) KeysInRange(store uint32, from, to []byte) [][]byte {
+	sv := s.lookup(KindIndex, store)
+	if sv == nil || sv.count.Load() == 0 {
+		return nil
+	}
+	var keys [][]byte
+	sv.mu.RLock()
+	for k, ch := range sv.chains {
+		if ch.head.Load() == nil {
+			continue
+		}
+		kb := []byte(k)
+		if from != nil && bytes.Compare(kb, from) < 0 {
+			continue
+		}
+		if to != nil && bytes.Compare(kb, to) >= 0 {
+			continue
+		}
+		keys = append(keys, kb)
+	}
+	sv.mu.RUnlock()
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	return keys
+}
+
+// BeginPublish registers a committing writer's snapshot floor. It must be
+// called before the commit record is inserted, with floor = the log
+// position the record will land at or above; until EndPublish, new
+// snapshots are clamped below floor so the not-yet-stamped commit stays
+// invisible as a whole.
+func (s *Store) BeginPublish(st *Stamp, floor uint64) {
+	s.pubMu.Lock()
+	s.pending[st] = floor
+	s.pubMu.Unlock()
+}
+
+// EndPublish removes the floor once the stamp is stored (or the commit
+// record failed to insert).
+func (s *Store) EndPublish(st *Stamp) {
+	s.pubMu.Lock()
+	delete(s.pending, st)
+	s.pubMu.Unlock()
+}
+
+// Pin chooses and registers a snapshot LSN for a new reader: the durable
+// horizon, clamped below every pending commit publication. Entries the
+// snapshot may need are protected from GC until Unpin.
+func (s *Store) Pin(durable uint64) uint64 {
+	s.pubMu.Lock()
+	snap := durable
+	for _, floor := range s.pending {
+		if floor < snap {
+			snap = floor
+		}
+	}
+	s.snaps[snap]++
+	s.pubMu.Unlock()
+	s.snapshots.Add(1)
+	return snap
+}
+
+// Unpin releases a snapshot previously returned by Pin.
+func (s *Store) Unpin(snap uint64) {
+	s.pubMu.Lock()
+	if n := s.snaps[snap]; n <= 1 {
+		delete(s.snaps, snap)
+	} else {
+		s.snaps[snap] = n - 1
+	}
+	s.pubMu.Unlock()
+}
+
+// horizon is the oldest LSN any current or future snapshot can pin:
+// the minimum over the durable horizon, pending publication floors, and
+// registered snapshots. Entries committed strictly below it are visible
+// to every snapshot (their before-images can never be consumed again).
+func (s *Store) horizon(durable uint64) uint64 {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	oldest := durable
+	for _, f := range s.pending {
+		if f < oldest {
+			oldest = f
+		}
+	}
+	for snap := range s.snaps {
+		if snap < oldest {
+			oldest = snap
+		}
+	}
+	return oldest
+}
+
+// GC drops every entry no snapshot can need — committed below the
+// horizon, or aborted — and returns how many were reclaimed. In-flight
+// entries (stamp 0) are always kept. Safe against concurrent readers:
+// chains are rebuilt with fresh nodes, so a walk in progress keeps a
+// fully linked (if stale) view whose extra entries are all visible-to-
+// everyone and therefore never change an answer.
+func (s *Store) GC(durable uint64) int {
+	oldest := s.horizon(durable)
+	s.oldestGC.Store(oldest)
+	s.mu.RLock()
+	svs := make([]*storeVersions, 0, len(s.stores))
+	for _, sv := range s.stores {
+		svs = append(svs, sv)
+	}
+	s.mu.RUnlock()
+	total := 0
+	for _, sv := range svs {
+		total += sv.gc(oldest)
+	}
+	if total > 0 {
+		s.reclaimed.Add(uint64(total))
+	}
+	return total
+}
+
+func (sv *storeVersions) gc(oldest uint64) int {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	dropped := 0
+	for k, ch := range sv.chains {
+		var keep []*entry
+		changed := false
+		for e := ch.head.Load(); e != nil; e = e.next.Load() {
+			st := e.stamp.load()
+			if st == aborted || (st != 0 && st < oldest) {
+				dropped++
+				changed = true
+				continue
+			}
+			keep = append(keep, e)
+		}
+		if !changed {
+			continue
+		}
+		if len(keep) == 0 {
+			delete(sv.chains, k)
+			continue
+		}
+		var head *entry
+		for i := len(keep) - 1; i >= 0; i-- {
+			n := &entry{stamp: keep[i].stamp, before: keep[i].before, exists: keep[i].exists}
+			n.next.Store(head)
+			head = n
+		}
+		ch.head.Store(head)
+	}
+	if dropped > 0 {
+		sv.count.Add(int64(-dropped))
+	}
+	return dropped
+}
+
+// CountRead notes one point read served on the snapshot path.
+func (s *Store) CountRead() { s.reads.Add(1) }
+
+// CountScan notes one scan served on the snapshot path.
+func (s *Store) CountScan() { s.scans.Add(1) }
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.pubMu.Lock()
+	active := 0
+	for _, n := range s.snaps {
+		active += n
+	}
+	s.pubMu.Unlock()
+	var live int64
+	s.mu.RLock()
+	for _, sv := range s.stores {
+		live += sv.count.Load()
+	}
+	s.mu.RUnlock()
+	return Stats{
+		VersionsInstalled: s.installed.Load(),
+		LiveVersions:      live,
+		ChainWalks:        s.walks.Load(),
+		GCReclaimed:       s.reclaimed.Load(),
+		Snapshots:         s.snapshots.Load(),
+		ActiveSnapshots:   active,
+		SnapshotReads:     s.reads.Load(),
+		SnapshotScans:     s.scans.Load(),
+		OldestSnapshot:    s.oldestGC.Load(),
+	}
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	shoremt "repro"
+	"repro/client"
+)
+
+// newSnapshotServer serves a database with multiversion snapshot reads
+// enabled, so wire.BatchView batches ride the lock-free View path.
+func newSnapshotServer(t testing.TB) *testServer {
+	t.Helper()
+	db, err := shoremt.Open(shoremt.Options{CleanerInterval: -1, Snapshot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		db.Close()
+	})
+	return &testServer{db: db, srv: srv, addr: l.Addr().String()}
+}
+
+// TestServerViewRidesSnapshotPath: remote View batches on a snapshot
+// server acquire no locks at all — the engine's lock counter stays flat
+// across them while the mvcc counters climb — and still read correct,
+// committed data before and after a concurrent update.
+func TestServerViewRidesSnapshotPath(t *testing.T) {
+	ts := newSnapshotServer(t)
+	c := ts.dial(t)
+	ctx := context.Background()
+
+	store, err := c.CreateIndex(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	if err := c.Update(ctx, func(b *client.Batch) {
+		for i := 0; i < n; i++ {
+			b.IndexInsert(store, []byte(fmt.Sprintf("k%02d", i)), []byte("v1"))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	base := ts.db.Stats()
+
+	const views = 5
+	for v := 0; v < views; v++ {
+		var g *client.Lookup
+		var sc *client.Scanned
+		if err := c.View(ctx, func(b *client.Batch) {
+			g = b.IndexGet(store, []byte("k00"))
+			sc = b.IndexScan(store, nil, nil, 0)
+		}); err != nil {
+			t.Fatalf("view %d: %v", v, err)
+		}
+		if !g.Found || string(g.Value) != "v1" {
+			t.Fatalf("view get k00 = %q, %v; want v1", g.Value, g.Found)
+		}
+		if len(sc.KVs) != n {
+			t.Fatalf("view scan saw %d keys, want %d", len(sc.KVs), n)
+		}
+	}
+
+	st := ts.db.Stats()
+	if st.Lock.Acquires != base.Lock.Acquires {
+		t.Fatalf("remote views acquired locks: %d -> %d", base.Lock.Acquires, st.Lock.Acquires)
+	}
+	m := st.Mvcc
+	if m.Snapshots-base.Mvcc.Snapshots != views {
+		t.Fatalf("snapshots begun = %d, want %d", m.Snapshots-base.Mvcc.Snapshots, views)
+	}
+	if m.SnapshotReads == base.Mvcc.SnapshotReads || m.SnapshotScans == base.Mvcc.SnapshotScans {
+		t.Fatalf("mvcc read counters flat: %+v", m)
+	}
+
+	// A committed update is visible to the next (fresh) snapshot.
+	if err := c.Update(ctx, func(b *client.Batch) {
+		b.IndexUpdate(store, []byte("k00"), []byte("v2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var g *client.Lookup
+	if err := c.View(ctx, func(b *client.Batch) {
+		g = b.IndexGet(store, []byte("k00"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Found || string(g.Value) != "v2" {
+		t.Fatalf("post-update view get k00 = %q, %v; want v2", g.Value, g.Found)
+	}
+	if got := ts.db.Stats().Mvcc.VersionsInstalled; got == 0 {
+		t.Fatal("update installed no versions")
+	}
+}

@@ -173,11 +173,11 @@ func (db *DB) OrderStatus(in OrderStatusInput) (OrderStatusResult, error) {
 // OrderStatusCtx is OrderStatus with managed retry and ctx-aware waits.
 func (db *DB) OrderStatusCtx(ctx context.Context, in OrderStatusInput) (OrderStatusResult, error) {
 	var res OrderStatusResult
-	err := db.Engine.RunCtx(ctx, retryPolicy, func(t *tx.Tx) error {
+	err := db.Engine.RunViewCtx(ctx, retryPolicy, func(t *tx.Tx) error {
 		var err error
 		res, err = db.orderStatus(ctx, t, in)
 		return err
-	}, db.Engine.CommitReadOnly)
+	})
 	if err != nil {
 		return OrderStatusResult{}, err
 	}
@@ -256,11 +256,11 @@ func (db *DB) StockLevel(in StockLevelInput) (int, error) {
 // StockLevelCtx is StockLevel with managed retry and ctx-aware waits.
 func (db *DB) StockLevelCtx(ctx context.Context, in StockLevelInput) (int, error) {
 	var low int
-	err := db.Engine.RunCtx(ctx, retryPolicy, func(t *tx.Tx) error {
+	err := db.Engine.RunViewCtx(ctx, retryPolicy, func(t *tx.Tx) error {
 		var err error
 		low, err = db.stockLevel(ctx, t, in)
 		return err
-	}, db.Engine.CommitReadOnly)
+	})
 	if err != nil {
 		return 0, err
 	}

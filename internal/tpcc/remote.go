@@ -235,6 +235,133 @@ func (r *Remote) paymentOnce(ctx context.Context, in PaymentInput) error {
 	return nil
 }
 
+// OrderStatus runs one remote Order-Status query through the server's
+// View path (wire.BatchView): with the server opened under snapshot
+// reads every batch below is a lock-free as-of read. The query spans
+// two View batches — the second fetches the order lines found by the
+// first — so it reads across two snapshots; each batch is individually
+// consistent, which is what a status screen needs.
+func (r *Remote) OrderStatus(ctx context.Context, in OrderStatusInput) (OrderStatusResult, error) {
+	var res OrderStatusResult
+	err := r.retryRemote(ctx, func() error {
+		res = OrderStatusResult{}
+		var gc *client.Lookup
+		var orders *client.Scanned
+		if err := r.C.View(ctx, func(b *client.Batch) {
+			gc = b.IndexGet(r.customer, cKey(in.WID, in.DID, in.CID))
+			orders = b.IndexScan(r.orders, oKey(in.WID, in.DID, 0), oKey(in.WID, in.DID+1, 0), 0)
+		}); err != nil {
+			return err
+		}
+		if !gc.Found {
+			return fmt.Errorf("tpcc: customer %d/%d/%d missing", in.WID, in.DID, in.CID)
+		}
+		cust, err := decodeCustomer(gc.Value)
+		if err != nil {
+			return err
+		}
+		res.Customer = cust
+		for _, kv := range orders.KVs {
+			ord, err := decodeOrder(kv.Value)
+			if err != nil {
+				return err
+			}
+			if ord.CID == in.CID {
+				res.Order = ord
+				res.HasOrder = true
+			}
+		}
+		if !res.HasOrder {
+			return nil
+		}
+		var lines *client.Scanned
+		if err := r.C.View(ctx, func(b *client.Batch) {
+			lines = b.IndexScan(r.orderLine,
+				olKey(in.WID, in.DID, res.Order.ID, 0),
+				olKey(in.WID, in.DID, res.Order.ID+1, 0), 0)
+		}); err != nil {
+			return err
+		}
+		for _, kv := range lines.KVs {
+			ol, err := decodeOrderLine(kv.Value)
+			if err != nil {
+				return err
+			}
+			res.Lines = append(res.Lines, ol)
+		}
+		return nil
+	})
+	return res, err
+}
+
+// StockLevel runs one remote Stock-Level query through the View path:
+// district read, order-line range scan, then the distinct items' stock
+// rows — three read-only batches, the heaviest remote scanner of the
+// mix.
+func (r *Remote) StockLevel(ctx context.Context, in StockLevelInput) (int, error) {
+	low := 0
+	err := r.retryRemote(ctx, func() error {
+		low = 0
+		var gd *client.Lookup
+		if err := r.C.View(ctx, func(b *client.Batch) {
+			gd = b.IndexGet(r.district, dKey(in.WID, in.DID))
+		}); err != nil {
+			return err
+		}
+		if !gd.Found {
+			return fmt.Errorf("tpcc: district %d/%d missing", in.WID, in.DID)
+		}
+		dist, err := decodeDistrict(gd.Value)
+		if err != nil {
+			return err
+		}
+		firstOID := uint32(1)
+		if dist.NextOID > 20 {
+			firstOID = dist.NextOID - 20
+		}
+		var lines *client.Scanned
+		if err := r.C.View(ctx, func(b *client.Batch) {
+			lines = b.IndexScan(r.orderLine,
+				olKey(in.WID, in.DID, firstOID, 0), oKey(in.WID, in.DID+1, 0), 0)
+		}); err != nil {
+			return err
+		}
+		items := map[uint32]struct{}{}
+		for _, kv := range lines.KVs {
+			ol, err := decodeOrderLine(kv.Value)
+			if err != nil {
+				return err
+			}
+			items[ol.ItemID] = struct{}{}
+		}
+		if len(items) == 0 {
+			return nil
+		}
+		stocks := make(map[uint32]*client.Lookup, len(items))
+		if err := r.C.View(ctx, func(b *client.Batch) {
+			for item := range items {
+				stocks[item] = b.IndexGet(r.stock, sKey(in.WID, item))
+			}
+		}); err != nil {
+			return err
+		}
+		for _, g := range stocks {
+			if !g.Found {
+				continue
+			}
+			st, err := decodeStock(g.Value)
+			if err != nil {
+				return err
+			}
+			if st.Quantity < in.Threshold {
+				low++
+			}
+		}
+		return nil
+	})
+	return low, err
+}
+
 // NewOrder runs one remote New Order transaction.
 func (r *Remote) NewOrder(ctx context.Context, in NewOrderInput) error {
 	err := r.retryRemote(ctx, func() error { return r.newOrderOnce(ctx, in) })

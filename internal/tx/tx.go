@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/lock"
+	"repro/internal/mvcc"
 	"repro/internal/space"
 	"repro/internal/sync2"
 	"repro/internal/wal"
@@ -108,6 +109,17 @@ type Tx struct {
 	// conflicting action, so the engine skips lock-manager acquisition
 	// for it entirely (logging, latching, and rollback are unchanged).
 	noLock bool
+	// snapshot marks a multiversion read-only transaction: it never logs,
+	// never locks, and reads as of snapLSN by resolving version chains.
+	// Checkpoints and the log-archive safe point skip it (it has no log
+	// chain and must not block archiving). Set before the Tx is published
+	// in the transaction table, never mutated after.
+	snapshot bool
+	// snapLSN is the pinned snapshot LSN (owner-only).
+	snapLSN uint64
+	// stamp, on a writing transaction, is the commit stamp shared by every
+	// version entry it installed; nil until the first install (owner-only).
+	stamp *mvcc.Stamp
 
 	// ExtentCache is the per-transaction (conceptually thread-local)
 	// extent-membership cache of §6.2.2.
@@ -207,6 +219,28 @@ func (t *Tx) SetNoLock() { t.noLock = true }
 // NoLock reports whether the engine should skip lock acquisition for t.
 func (t *Tx) NoLock() bool { return t.noLock }
 
+// IsSnapshot reports whether t is a multiversion read-only transaction.
+func (t *Tx) IsSnapshot() bool { return t.snapshot }
+
+// SetSnapshotLSN pins the LSN this snapshot transaction reads as of.
+func (t *Tx) SetSnapshotLSN(lsn uint64) { t.snapLSN = lsn }
+
+// SnapshotLSN returns the pinned snapshot LSN.
+func (t *Tx) SnapshotLSN() uint64 { return t.snapLSN }
+
+// Stamp returns the commit stamp shared by every version this writing
+// transaction installed, or nil if it installed none.
+func (t *Tx) Stamp() *mvcc.Stamp { return t.stamp }
+
+// EnsureStamp returns the transaction's commit stamp, creating it on the
+// first version install.
+func (t *Tx) EnsureStamp() *mvcc.Stamp {
+	if t.stamp == nil {
+		t.stamp = mvcc.NewStamp()
+	}
+	return t.stamp
+}
+
 // SetAgent binds the worker agent whose inherited locks this
 // transaction may claim (nil detaches it).
 func (t *Tx) SetAgent(a *lock.Agent) { t.agent = a }
@@ -293,9 +327,16 @@ func NewManager(opts Options) *Manager {
 }
 
 // Begin starts a transaction.
-func (m *Manager) Begin() *Tx {
+func (m *Manager) Begin() *Tx { return m.begin(false) }
+
+// BeginSnapshot starts a multiversion read-only transaction. It lives in
+// the active table (so ActiveCount and stats see it) but is skipped by
+// checkpoint snapshots and the archive safe point: it has no log chain.
+func (m *Manager) BeginSnapshot() *Tx { return m.begin(true) }
+
+func (m *Manager) begin(snapshot bool) *Tx {
 	id := m.nextID.Add(1) - 1
-	t := &Tx{id: id} // zero state == StateActive
+	t := &Tx{id: id, snapshot: snapshot} // zero state == StateActive
 	m.mu.Lock()
 	m.active[id] = t
 	if m.opts.CachedOldest && len(m.active) == 1 {
@@ -418,6 +459,10 @@ func (m *Manager) Snapshot() []wal.TxInfo {
 	defer m.mu.Unlock()
 	out := make([]wal.TxInfo, 0, len(m.active))
 	for _, t := range m.active {
+		if t.snapshot {
+			// Snapshot readers never log; there is nothing to recover.
+			continue
+		}
 		if t.State() == StateCommitting {
 			// Pre-committed: its commit record is already in the log below
 			// the checkpoint-end record, so the checkpoint flush hardens it
@@ -444,6 +489,11 @@ func (m *Manager) MinFirstLSN() (min wal.LSN, ok bool) {
 	defer m.mu.Unlock()
 	min = wal.NullLSN
 	for _, t := range m.active {
+		if t.snapshot {
+			// Snapshot readers never log: a permanently-Null FirstLSN must
+			// not block log archiving.
+			continue
+		}
 		first := t.FirstLSN()
 		if first == wal.NullLSN {
 			return wal.NullLSN, false

@@ -176,6 +176,17 @@ type Options struct {
 	// Partitions fixes the DORA executor's partition count; 0
 	// auto-scales to GOMAXPROCS. Ignored unless DORA is set.
 	Partitions int
+	// Snapshot enables lock-free snapshot reads: View transactions pin
+	// the durable log horizon at begin and read everything as of that
+	// LSN through writer-installed version chains, never touching the
+	// lock table — a long analytical scan neither blocks TPC-C writers
+	// nor can be picked as a deadlock victim, and it is never retried.
+	// Writes pay one version install per row/key update; versions are
+	// garbage-collected below the oldest active snapshot at every
+	// checkpoint. Observability: Stats().Mvcc (VersionsInstalled /
+	// ChainWalks / GCReclaimed / OldestSnapshot). See the README's
+	// "Snapshot reads" section.
+	Snapshot bool
 	// CheckpointEvery, when positive, takes a background fuzzy checkpoint
 	// every time that many log bytes accumulate, so long-running
 	// workloads bound their restart-recovery work without calling
@@ -246,6 +257,9 @@ func Open(opts Options) (*DB, error) {
 	if opts.DORA {
 		cfg.DORA = true
 		cfg.DoraPartitions = opts.Partitions
+	}
+	if opts.Snapshot {
+		cfg.Snapshot = true
 	}
 	if opts.CheckpointEvery > 0 {
 		cfg.CheckpointEvery = opts.CheckpointEvery
@@ -366,20 +380,24 @@ func (db *DB) Update(ctx context.Context, fn func(*Tx) error) error {
 }
 
 // View executes fn inside a managed read-only transaction: every write
-// method returns ErrReadOnly. Reads still lock (S mode, two-phase), so a
-// View can be a deadlock victim; like Update it is retried automatically,
-// and fn may run several times. Because a read-only transaction has
-// nothing to make durable, its commit never waits on the log.
+// method returns ErrReadOnly. With Options.Snapshot the transaction is a
+// lock-free snapshot reader — it sees the database as of the durable
+// horizon at begin, cannot block or be blocked by writers, can never be
+// a deadlock victim, and fn therefore runs exactly once. Without
+// Snapshot, reads lock (S mode, two-phase), a View can be a deadlock
+// victim, and like Update it is retried automatically (fn may run
+// several times). Because a read-only transaction has nothing to make
+// durable, its commit never waits on the log.
 func (db *DB) View(ctx context.Context, fn func(*Tx) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return db.engine.RunCtx(ctx, db.retry, func(inner *tx.Tx) error {
+	return db.engine.RunViewCtx(ctx, db.retry, func(inner *tx.Tx) error {
 		w := &Tx{db: db, inner: inner, ctx: ctx, managed: true, readonly: true}
 		err := fn(w)
 		w.done = true // a leaked wrapper gets ErrTxDone, not a retired txID
 		return err
-	}, db.engine.CommitReadOnly)
+	})
 }
 
 // commitInner commits a finished inner transaction per the DB's
