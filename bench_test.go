@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -363,6 +364,136 @@ func BenchmarkDoraParallel(b *testing.B) {
 	b.Run("payment/dora", func(b *testing.B) { benchDoraParallel(b, true, doraPayment) })
 	b.Run("neworder/sli", func(b *testing.B) { benchDoraParallel(b, false, newOrder) })
 	b.Run("neworder/dora", func(b *testing.B) { benchDoraParallel(b, true, doraNewOrder) })
+}
+
+// benchPlpParallel drives one TPC-C transaction type through the DORA
+// executor from concurrent workers (run with -cpu=8), comparing
+// shared-tree DORA (partition-local locks, shared B-trees) against PLP
+// (per-partition segment forests with latch-free owner-path index
+// operations plus the skew re-balancer). One iteration is one committed
+// transaction. With zipf, each worker draws its home warehouse
+// per-iteration from a Zipfian distribution, so the re-balancer has
+// real skew to correct.
+func benchPlpParallel(b *testing.B, plpOn, zipf bool, run func(db *tpcc.DB, r *tpcc.Rand, home uint32) error) {
+	const warehouses = 8
+	cfg := core.StageConfig(core.StageFinal)
+	cfg.Frames = 4096
+	cfg.DORA = true
+	cfg.DoraKeys = warehouses
+	if zipf {
+		// Fewer partitions than routing keys, so partitions own multi-key
+		// spans and the re-balancer has boundary keys to migrate; with one
+		// partition per warehouse the map is born converged.
+		cfg.DoraPartitions = warehouses / 2
+	}
+	if plpOn {
+		cfg.PLP = true
+		cfg.PlpRebalanceEvery = 5 * time.Millisecond
+	}
+	e := newBenchEngineCfg(b, cfg)
+	db, err := tpcc.Load(e, tpcc.Scale{Warehouses: warehouses, Districts: 4, Customers: 50, Items: 100, StockPerItem: true}, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seq, giveUps atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := seq.Add(1)
+		r := tpcc.NewRand(id)
+		home := uint32(id%warehouses + 1)
+		var z *mrand.Zipf
+		if zipf {
+			z = mrand.NewZipf(mrand.New(mrand.NewSource(id)), 1.3, 1, warehouses-1)
+		}
+		for pb.Next() {
+			if z != nil {
+				home = uint32(z.Uint64() + 1)
+			}
+			err := run(db, r, home)
+			switch {
+			case err == nil, errors.Is(err, tpcc.ErrUserAbort):
+			case core.IsRetryable(err):
+				giveUps.Add(1) // retry budget exhausted under contention
+			default:
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(giveUps.Load())/float64(b.N), "giveups/op")
+	if zipf {
+		b.ReportMetric(benchResidualSkew(b, db, warehouses), "skewratio")
+	}
+	if plpOn {
+		st := e.Stats()
+		b.ReportMetric(float64(st.Btree.OwnerDescents+st.Btree.OwnerReads)/float64(b.N), "ownerops/op")
+		b.ReportMetric(float64(st.Plp.Migrations), "migrations")
+	}
+}
+
+// benchResidualSkew measures the routing skew left over after the timed
+// run (and, under PLP, after any migrations the re-balancer committed
+// during it): it drives a short untimed burst of the same Zipfian
+// Payment load and returns max/mean of the per-partition routing deltas
+// over that burst. Shared-tree DORA cannot adapt, so its ratio stays at
+// the distribution's intrinsic skew; PLP's converges toward uniform as
+// boundary keys migrate off the hot partition.
+func benchResidualSkew(b *testing.B, db *tpcc.DB, warehouses int) float64 {
+	b.Helper()
+	parts := db.Engine.Stats().Dora.Parts
+	base := make([]uint64, len(parts))
+	for i, p := range parts {
+		base[i] = p.Routed
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := tpcc.NewRand(int64(7700 + w))
+			z := mrand.NewZipf(mrand.New(mrand.NewSource(int64(8800+w))), 1.3, 1, uint64(warehouses-1))
+			for ctx.Err() == nil {
+				home := uint32(z.Uint64() + 1)
+				_ = db.DoraPayment(ctx, tpcc.GenPayment(r, db.Scale, home))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total, max uint64
+	after := db.Engine.Stats().Dora.Parts
+	for i, p := range after {
+		d := p.Routed - base[i]
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) / (float64(total) / float64(len(after)))
+}
+
+// BenchmarkPlpParallel is this PR's headline comparison: shared-tree
+// DORA versus physiologically partitioned trees, per transaction type,
+// plus a Zipfian-skewed variant that exercises the re-balancer and
+// reports the residual routing skew. CI captures it as BENCH_plp.json.
+func BenchmarkPlpParallel(b *testing.B) {
+	payment := func(db *tpcc.DB, r *tpcc.Rand, home uint32) error {
+		return db.DoraPayment(context.Background(), tpcc.GenPayment(r, db.Scale, home))
+	}
+	newOrder := func(db *tpcc.DB, r *tpcc.Rand, home uint32) error {
+		return db.DoraNewOrder(context.Background(), tpcc.GenNewOrder(r, db.Scale, home))
+	}
+	b.Run("payment/dora", func(b *testing.B) { benchPlpParallel(b, false, false, payment) })
+	b.Run("payment/plp", func(b *testing.B) { benchPlpParallel(b, true, false, payment) })
+	b.Run("neworder/dora", func(b *testing.B) { benchPlpParallel(b, false, false, newOrder) })
+	b.Run("neworder/plp", func(b *testing.B) { benchPlpParallel(b, true, false, newOrder) })
+	b.Run("zipf-payment/dora", func(b *testing.B) { benchPlpParallel(b, false, true, payment) })
+	b.Run("zipf-payment/plp", func(b *testing.B) { benchPlpParallel(b, true, true, payment) })
 }
 
 func BenchmarkFigure6_FreeSpaceMutex(b *testing.B) {

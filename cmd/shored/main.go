@@ -42,6 +42,7 @@ func main() {
 	sli := flag.Bool("sli", false, "speculative lock inheritance")
 	olc := flag.Bool("olc", false, "optimistic latch coupling on B-tree descents")
 	dora := flag.Bool("dora", false, "data-oriented execution (partitioned lock tables)")
+	plp := flag.Bool("plp", false, "physiological partitioning (implies -dora): per-partition B-tree segments with a skew re-balancer")
 	partitions := flag.Int("partitions", 0, "DORA partitions (0 = GOMAXPROCS)")
 	workers := flag.Int("workers", 0, "execution pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers); overflow sheds with busy")
@@ -66,6 +67,7 @@ func main() {
 		SLI:          *sli,
 		OLC:          *olc,
 		DORA:         *dora,
+		PLP:          *plp,
 		Partitions:   *partitions,
 		Snapshot:     *snapshot,
 
@@ -158,6 +160,16 @@ func main() {
 	es := db.Stats()
 	log.Printf("engine: %d commits, %d aborts, %d lock acquires (%d live at exit)",
 		es.Tx.Commits, es.Tx.Aborts, es.Lock.Acquires, es.Lock.LiveRequests)
+	if *snapshot {
+		m := es.Mvcc
+		log.Printf("mvcc: %d versions installed (%d live, %d B, chain high-water %d), %d walks, %d reclaimed, %d snapshots",
+			m.VersionsInstalled, m.LiveVersions, m.LiveBytes, m.ChainLenHW, m.ChainWalks, m.GCReclaimed, m.Snapshots)
+	}
+	if *plp {
+		p := es.Plp
+		log.Printf("plp: %d keys over %d partitions (%d forests), map v%d, %d migrations, dora skew %.2f",
+			p.Keys, p.Partitions, p.Tables, p.MapVersion, p.Migrations, es.Dora.SkewRatio)
+	}
 	if err := db.Close(); err != nil {
 		log.Printf("close: %v", err)
 	}

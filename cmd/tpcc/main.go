@@ -57,6 +57,7 @@ func main() {
 	sli := flag.Bool("sli", false, "speculative lock inheritance: park intent locks on the worker agent across transactions")
 	olc := flag.Bool("olc", false, "optimistic latch coupling: validate B-tree inner nodes against latch versions instead of pinning them")
 	dorafl := flag.Bool("dora", false, "data-oriented execution: route decomposed actions to partition owners with thread-local lock tables")
+	plpfl := flag.Bool("plp", false, "physiological partitioning (implies -dora): per-partition B-tree segments with latch-free owner access and a skew re-balancer")
 	partitions := flag.Int("partitions", 0, "DORA partitions (0 = GOMAXPROCS; clamped to -warehouses)")
 	addr := flag.String("addr", "", "drive a remote shored server at this address instead of an embedded engine")
 	logSegment := flag.Int64("log-segment", 0, "rotate the log into fixed-size segments of this many bytes (0 = single unbounded log)")
@@ -75,11 +76,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown stage %q\n", *stageName)
 		os.Exit(2)
 	}
+	useDora := *dorafl || *plpfl
 	cfg := core.StageConfig(stage)
 	cfg.Frames = *frames
 	cfg.SLI = *sli
 	cfg.OLC = *olc
-	cfg.DORA = *dorafl
+	cfg.DORA = useDora
+	cfg.PLP = *plpfl
 	cfg.DoraPartitions = *partitions
 	cfg.DoraKeys = *warehouses
 	if *shards > 0 {
@@ -133,7 +136,7 @@ func main() {
 				if r.Int(1, 100) <= *payPct {
 					in := tpcc.GenPayment(r, scale, home)
 					var err error
-					if *dorafl {
+					if useDora {
 						err = db.DoraPayment(ctx, in)
 					} else {
 						err = db.PaymentCtx(ctx, in)
@@ -149,7 +152,7 @@ func main() {
 				} else {
 					in := tpcc.GenNewOrder(r, scale, home)
 					var err error
-					if *dorafl {
+					if useDora {
 						err = db.DoraNewOrder(ctx, in)
 					} else {
 						err = db.NewOrderCtx(ctx, in)
@@ -232,8 +235,8 @@ func main() {
 		st.Lock.CacheHits, st.Lock.Inherits, st.Lock.InheritedGrants, st.Lock.Revokes)
 	if *snapshot {
 		m := st.Mvcc
-		fmt.Printf("  mvcc:        %d versions installed (%d live), %d chain walks, %d reclaimed\n",
-			m.VersionsInstalled, m.LiveVersions, m.ChainWalks, m.GCReclaimed)
+		fmt.Printf("  mvcc:        %d versions installed (%d live, %.1f KiB, chain high-water %d), %d chain walks, %d reclaimed\n",
+			m.VersionsInstalled, m.LiveVersions, float64(m.LiveBytes)/1024, m.ChainLenHW, m.ChainWalks, m.GCReclaimed)
 		fmt.Printf("               %d snapshots (%d active, oldest LSN %d), %d reads, %d scans\n",
 			m.Snapshots, m.ActiveSnapshots, m.OldestSnapshot, m.SnapshotReads, m.SnapshotScans)
 	}
@@ -241,16 +244,24 @@ func main() {
 		fmt.Printf("  btree OLC:   %d optimistic descents, %d restarts, %d fallbacks\n",
 			st.Btree.OptDescents, st.Btree.Restarts, st.Btree.Fallbacks)
 	}
-	if *dorafl {
+	if useDora {
 		d := st.Dora
 		fmt.Printf("  dora:        %d partitions, %d actions routed, %d local tx, %d cross-partition tx, %d aborted\n",
 			d.Partitions, d.Routed, d.LocalTx, d.CrossTx, d.Aborts)
-		fmt.Printf("               %d local acquires, %d local waits, %d rendezvous waits, queue high-water %d\n",
-			d.LocalAcquires, d.LocalWaits, d.RendezvousWaits, d.QueueHighWater)
+		fmt.Printf("               %d local acquires, %d local waits, %d rendezvous waits, queue high-water %d, skew %.2f (max/mean routed)\n",
+			d.LocalAcquires, d.LocalWaits, d.RendezvousWaits, d.QueueHighWater, d.SkewRatio)
 		for i, p := range d.Parts {
 			fmt.Printf("    part %2d:   %8d actions, %8d acquires, %6d waits, %8d commits, %6d aborts, queue hw %d\n",
 				i, p.Routed, p.Acquires, p.LockWaits, p.Commits, p.Aborts, p.QueueHighWater)
 		}
+	}
+	if *plpfl {
+		p := st.Plp
+		b := st.Btree
+		fmt.Printf("  plp:         %d routing keys over %d partitions (%d forests), map v%d, %d migrations\n",
+			p.Keys, p.Partitions, p.Tables, p.MapVersion, p.Migrations)
+		fmt.Printf("               owner path: %d descents, %d reads, %d writes, %d scans, %d fallbacks\n",
+			b.OwnerDescents, b.OwnerReads, b.OwnerWrites, b.OwnerScans, b.OwnerFallbacks)
 	}
 	fmt.Printf("  space:       %d page allocations, %d extent grows\n",
 		st.Space.Allocs, st.Space.ExtentsGrown)

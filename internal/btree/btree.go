@@ -53,6 +53,18 @@ type OLCStats struct {
 	Restarts     atomic.Uint64 // descents restarted from the root after failed validation
 	Fallbacks    atomic.Uint64 // descents that exhausted retries and went fully latched
 	OptLeafReads atomic.Uint64 // SearchOpt probes completed without any pin or latch
+
+	// Latched-descent and partition-owner (PLP) counters. LatchedDescents
+	// counts classic pinned descents — the latch traffic PLP exists to
+	// avoid; the Owner* counters count operations served on the
+	// partition-owner path (pin-free validated reads, single-leaf EX write
+	// fence, no latch coupling).
+	LatchedDescents atomic.Uint64 // classic SH-coupled descents (fallbacks included)
+	OwnerDescents   atomic.Uint64 // owner-path write descents completed without inner latches
+	OwnerReads      atomic.Uint64 // owner-path point reads completed with no pin and no latch
+	OwnerWrites     atomic.Uint64 // owner-path mutations (insert/update/delete)
+	OwnerScans      atomic.Uint64 // owner-path range scans completed on validated leaf images
+	OwnerFallbacks  atomic.Uint64 // owner-path operations that fell back to the latched path
 }
 
 // OLCSnapshot is a point-in-time copy of OLCStats.
@@ -61,6 +73,13 @@ type OLCSnapshot struct {
 	Restarts     uint64
 	Fallbacks    uint64
 	OptLeafReads uint64
+
+	LatchedDescents uint64
+	OwnerDescents   uint64
+	OwnerReads      uint64
+	OwnerWrites     uint64
+	OwnerScans      uint64
+	OwnerFallbacks  uint64
 }
 
 // Snapshot copies the counters.
@@ -70,6 +89,13 @@ func (s *OLCStats) Snapshot() OLCSnapshot {
 		Restarts:     s.Restarts.Load(),
 		Fallbacks:    s.Fallbacks.Load(),
 		OptLeafReads: s.OptLeafReads.Load(),
+
+		LatchedDescents: s.LatchedDescents.Load(),
+		OwnerDescents:   s.OwnerDescents.Load(),
+		OwnerReads:      s.OwnerReads.Load(),
+		OwnerWrites:     s.OwnerWrites.Load(),
+		OwnerScans:      s.OwnerScans.Load(),
+		OwnerFallbacks:  s.OwnerFallbacks.Load(),
 	}
 }
 
@@ -94,6 +120,15 @@ func (t *Tree) EnableOLC(opt OptEnv, stats *OLCStats) {
 		stats = new(OLCStats)
 	}
 	t.opt, t.stats = opt, stats
+}
+
+// SetStats points the tree's counters at stats without enabling
+// optimistic descents (EnableOLC does both). Useful for trees that stay
+// on the latched path but should still feed engine-wide counters.
+func (t *Tree) SetStats(stats *OLCStats) {
+	if stats != nil {
+		t.stats = stats
+	}
 }
 
 // Create allocates and initializes an empty tree for store, returning the
@@ -305,6 +340,9 @@ func nodeStep(p *page.Page, key []byte) (next page.ID, level uint8, leaf, sidewa
 // level, releasing each node before fixing the next (B-link move-right
 // repairs any split that slips in between).
 func (t *Tree) descendLatched(key []byte, leafMode sync2.LatchMode) (*buffer.Frame, nodeHeader, []page.ID, error) {
+	if t.stats != nil {
+		t.stats.LatchedDescents.Add(1)
+	}
 	var path []page.ID
 	pid := t.root
 	for {
@@ -500,22 +538,22 @@ func (t *Tree) searchOptOnce(key []byte) (val []byte, found, ok bool, err error)
 // logged with a logical undo (delete key), so aborting the transaction
 // removes the key even if splits moved it.
 func (t *Tree) Insert(txID uint64, key, value []byte) error {
-	return t.insert(txID, key, value, true)
+	return t.insert(txID, key, value, true, false)
 }
 
 // InsertNoUndo adds key→value with redo-only logging. Recovery's logical
 // undo path uses it (a CLR-covered action must not generate further undo).
 func (t *Tree) InsertNoUndo(txID uint64, key, value []byte) error {
-	return t.insert(txID, key, value, false)
+	return t.insert(txID, key, value, false, false)
 }
 
-func (t *Tree) insert(txID uint64, key, value []byte, withUndo bool) error {
+func (t *Tree) insert(txID uint64, key, value []byte, withUndo, owner bool) error {
 	if err := checkKV(key, value); err != nil {
 		return err
 	}
 	entry := encodeLeafEntry(key, value)
 	for {
-		f, hdr, path, err := t.descendToLeaf(key, sync2.LatchEX)
+		f, hdr, path, err := t.descendForWrite(owner, key)
 		if err != nil {
 			return err
 		}
@@ -548,21 +586,21 @@ func (t *Tree) insert(txID uint64, key, value []byte, withUndo bool) error {
 // Update replaces the value for key. Logged with logical undo restoring
 // the old value.
 func (t *Tree) Update(txID uint64, key, value []byte) error {
-	return t.update(txID, key, value, true)
+	return t.update(txID, key, value, true, false)
 }
 
 // UpdateNoUndo is Update with redo-only logging (for recovery undo).
 func (t *Tree) UpdateNoUndo(txID uint64, key, value []byte) error {
-	return t.update(txID, key, value, false)
+	return t.update(txID, key, value, false, false)
 }
 
-func (t *Tree) update(txID uint64, key, value []byte, withUndo bool) error {
+func (t *Tree) update(txID uint64, key, value []byte, withUndo, owner bool) error {
 	if err := checkKV(key, value); err != nil {
 		return err
 	}
 	entry := encodeLeafEntry(key, value)
 	for {
-		f, hdr, path, err := t.descendToLeaf(key, sync2.LatchEX)
+		f, hdr, path, err := t.descendForWrite(owner, key)
 		if err != nil {
 			return err
 		}
@@ -607,19 +645,19 @@ func (t *Tree) update(txID uint64, key, value []byte, withUndo bool) error {
 // re-inserting the key. Underflowed leaves are left in place (lazy
 // deletion; no merges), which keeps sibling pointers stable.
 func (t *Tree) Delete(txID uint64, key []byte) ([]byte, error) {
-	return t.delete(txID, key, true)
+	return t.delete(txID, key, true, false)
 }
 
 // DeleteNoUndo is Delete with redo-only logging (for recovery undo).
 func (t *Tree) DeleteNoUndo(txID uint64, key []byte) ([]byte, error) {
-	return t.delete(txID, key, false)
+	return t.delete(txID, key, false, false)
 }
 
-func (t *Tree) delete(txID uint64, key []byte, withUndo bool) ([]byte, error) {
+func (t *Tree) delete(txID uint64, key []byte, withUndo, owner bool) ([]byte, error) {
 	if err := checkKV(key, nil); err != nil {
 		return nil, err
 	}
-	f, _, _, err := t.descendToLeaf(key, sync2.LatchEX)
+	f, _, _, err := t.descendForWrite(owner, key)
 	if err != nil {
 		return nil, err
 	}

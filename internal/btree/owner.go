@@ -1,0 +1,246 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+	"repro/internal/sync2"
+)
+
+// Partition-owner operations (PLP). A physiologically partitioned index
+// gives each DORA partition its own segment tree, and the owning
+// partition goroutine is the only writer that ever mutates it. The
+// Owner* entry points exploit that: reads and scans run entirely on
+// speculative page images — no pin, no latch, no shared-memory write —
+// and write descents cross the inner levels the same way, fixing only
+// the target leaf in EX. That single-leaf EX "write fence" is the one
+// latch a mutation keeps, and it exists for the engine's other
+// contracts, not for tree consistency: the page cleaner reads page
+// bytes under SH while flushing, and snapshot readers validate their
+// optimistic copies against the frame's latch version word, so an
+// unfenced in-place write would tear both.
+//
+// Validation on the owner path cannot fail while the single-writer
+// discipline holds (nobody else bumps the segment's frame versions),
+// so the optimistic reads complete first try; it is kept anyway so the
+// operations stay correct even when a non-owner thread writes the
+// segment (recovery undo, cross-partition inserts routed through the
+// logical lock protocol) — such writers are fenced by the same EX
+// latch the owner's own mutations use. Fallbacks to the classic
+// latched path (cold pages, bounded validation failures) are counted
+// in OwnerFallbacks rather than hidden.
+
+// SearchOwner is the owner-path point read: the whole probe runs on
+// validated speculative images with no pin and no latch. Without an
+// OptEnv it degrades to the latched Search.
+func (t *Tree) SearchOwner(key []byte) ([]byte, bool, error) {
+	if t.opt == nil {
+		return t.Search(key)
+	}
+	if err := checkKV(key, nil); err != nil {
+		return nil, false, err
+	}
+	for attempt := 0; attempt < maxOptRestarts; attempt++ {
+		val, found, ok, err := t.searchOptOnce(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			t.stats.OwnerReads.Add(1)
+			return val, found, nil
+		}
+	}
+	t.stats.OwnerFallbacks.Add(1)
+	return t.Search(key)
+}
+
+// InsertOwner is Insert on the owner path: latch-free descent, single
+// leaf EX write fence, logical undo.
+func (t *Tree) InsertOwner(txID uint64, key, value []byte) error {
+	return t.insert(txID, key, value, true, true)
+}
+
+// UpdateOwner is Update on the owner path.
+func (t *Tree) UpdateOwner(txID uint64, key, value []byte) error {
+	return t.update(txID, key, value, true, true)
+}
+
+// DeleteOwner is Delete on the owner path.
+func (t *Tree) DeleteOwner(txID uint64, key []byte) ([]byte, error) {
+	return t.delete(txID, key, true, true)
+}
+
+// descendForWrite picks the descent for a mutation: the shared-tree
+// path counts in descendToLeaf as usual; the owner path crosses inner
+// levels on speculative images (counted separately so the latch-bypass
+// invariant is observable) and only the leaf is fixed EX.
+func (t *Tree) descendForWrite(owner bool, key []byte) (*buffer.Frame, nodeHeader, []page.ID, error) {
+	if !owner {
+		return t.descendToLeaf(key, sync2.LatchEX)
+	}
+	if t.opt != nil {
+		for attempt := 0; attempt < maxOptRestarts; attempt++ {
+			f, hdr, path, ok, err := t.descendOpt(key, sync2.LatchEX)
+			if err != nil {
+				return nil, nodeHeader{}, nil, err
+			}
+			if ok {
+				t.stats.OwnerDescents.Add(1)
+				t.stats.OwnerWrites.Add(1)
+				return f, hdr, path, nil
+			}
+		}
+		t.stats.OwnerFallbacks.Add(1)
+	}
+	return t.descendLatched(key, sync2.LatchEX)
+}
+
+// ScanOwner iterates [from, to) like Scan, but each leaf is read as a
+// validated speculative copy instead of under an SH latch: the entries
+// in range are copied out, the image is validated, and only then are
+// they emitted. A leaf that fails validation (or is not resident) is
+// retried by re-descending to the first unemitted key; bounded
+// failures per position fall back to the latched Scan for the
+// remainder. Splits between leaf reads are benign: a validated copy is
+// a consistent pre- or post-split image, and entries that moved right
+// were either in the copy already or are reached through the (copied)
+// right pointer. fn receives copies it may retain.
+func (t *Tree) ScanOwner(from, to []byte, fn func(key, value []byte) bool) error {
+	if t.opt == nil {
+		return t.Scan(from, to, fn)
+	}
+	t.stats.OwnerScans.Add(1)
+	lo := from
+	if lo == nil {
+		lo = []byte{0}
+	}
+	fails := 0
+	for fails <= maxOptRestarts {
+		pid, ok := t.leafPidOpt(lo)
+		if !ok {
+			fails++
+			continue
+		}
+		// Walk the leaf chain from pid, emitting validated copies; a
+		// failed leaf read breaks out to re-descend (the position in lo
+		// is preserved, so nothing is skipped or re-emitted).
+		for hop := 0; hop < maxOptHops; hop++ {
+			pairs, right, done, ok, err := t.leafRangeOpt(pid, lo, to)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				fails++
+				break
+			}
+			fails = 0
+			for _, kv := range pairs {
+				if !fn(kv[0], kv[1]) {
+					return nil
+				}
+				// Next position: the emitted key's immediate successor.
+				lo = append(append([]byte(nil), kv[0]...), 0)
+			}
+			if done || right == 0 {
+				return nil
+			}
+			pid = right
+		}
+	}
+	// Too much churn (a non-owner writer is active, or pages keep
+	// leaving the pool): finish under latches from the last position.
+	t.stats.OwnerFallbacks.Add(1)
+	return t.Scan(lo, to, fn)
+}
+
+// leafPidOpt optimistically locates the leaf responsible for key,
+// returning its page id. ok=false means a validation failed or a node
+// was not cleanly readable.
+func (t *Tree) leafPidOpt(key []byte) (page.ID, bool) {
+	pid := t.root
+	for hop := 0; hop < maxOptHops; hop++ {
+		ref, got := t.opt.FixOpt(pid)
+		if !got {
+			return 0, false
+		}
+		next, _, leaf, _, err := nodeStep(ref.Page(), key)
+		valid := t.opt.Validate(ref)
+		t.opt.ReleaseOpt(ref)
+		if !valid || err != nil {
+			return 0, false
+		}
+		if leaf {
+			return pid, true
+		}
+		pid = next
+	}
+	return 0, false
+}
+
+// leafRangeOpt copies every entry of leaf pid in [lo, hi) from a
+// speculative image, returning the pairs, the right sibling, and done
+// when hi was reached within the leaf. ok=false means the image failed
+// validation (retry); errors were observed on validated reads.
+func (t *Tree) leafRangeOpt(pid page.ID, lo, hi []byte) (pairs [][2][]byte, right page.ID, done, ok bool, err error) {
+	ref, got := t.opt.FixOpt(pid)
+	if !got {
+		return nil, 0, false, false, nil
+	}
+	p := ref.Page()
+	h, serr := peekHeader(p)
+	if serr == nil && !h.isLeaf() {
+		serr = fmt.Errorf("%w: scan reached a branch node", ErrCorruptNode)
+	}
+	if serr == nil && needsMoveRight(h, lo) {
+		// The leaf split since we located it; chase the right pointer.
+		right = h.right
+		valid := t.opt.Validate(ref)
+		t.opt.ReleaseOpt(ref)
+		if !valid {
+			return nil, 0, false, false, nil
+		}
+		if right == 0 {
+			return nil, 0, false, false, fmt.Errorf("%w: high key without right sibling", ErrCorruptNode)
+		}
+		return nil, right, false, true, nil
+	}
+	if serr == nil {
+		right = h.right
+		var slot int
+		slot, _, serr = searchEntries(p, lo)
+		if serr == nil {
+			n := numEntries(p)
+			for ; slot <= n; slot++ {
+				rec, rerr := p.Record(slot)
+				if rerr != nil {
+					serr = rerr
+					break
+				}
+				k, v, derr := decodeLeafEntry(rec)
+				if derr != nil {
+					serr = derr
+					break
+				}
+				if hi != nil && bytes.Compare(k, hi) >= 0 {
+					done = true
+					break
+				}
+				pairs = append(pairs, [2][]byte{
+					append([]byte(nil), k...),
+					append([]byte(nil), v...),
+				})
+			}
+		}
+	}
+	valid := t.opt.Validate(ref)
+	t.opt.ReleaseOpt(ref)
+	if !valid {
+		return nil, 0, false, false, nil
+	}
+	if serr != nil {
+		return nil, 0, false, false, serr
+	}
+	return pairs, right, done, true, nil
+}

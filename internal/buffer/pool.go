@@ -476,7 +476,21 @@ func (p *Pool) FixNew(pid page.ID) (*Frame, error) {
 		if err != nil {
 			return nil, err
 		}
-		return nil, fmt.Errorf("buffer: FixNew(%v): page already cached", pid)
+		// A concurrent last-page reader can fix a freshly allocated page
+		// before its allocator gets here, caching the raw zeroed image.
+		// The pid is still exclusively ours (readers never write a
+		// non-heap page), so take the cached frame over: EX-latch it and
+		// hand it back for formatting.
+		g, ferr := p.Fix(pid, sync2.LatchEX)
+		if ferr != nil {
+			return nil, ferr
+		}
+		if g.Page().Type() != page.TypeFree {
+			p.Unfix(g, sync2.LatchEX)
+			return nil, fmt.Errorf("buffer: FixNew(%v): page already cached", pid)
+		}
+		g.pg.Init(pid, page.TypeFree, 0)
+		return g, nil
 	}
 	f.pg.Init(pid, page.TypeFree, 0)
 	return f, nil

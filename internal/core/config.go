@@ -126,6 +126,25 @@ type Config struct {
 	// warehouse count); a larger partition count is clamped to it with a
 	// logged warning.
 	DoraKeys int
+	// PLP enables physiological partitioning (the DORA authors' own
+	// follow-up): every partitioned index becomes a forest of per-
+	// routing-key B-tree segments, and the partition that owns a routing
+	// key is the only writer that ever mutates its segments — so
+	// partition-local index operations descend, split, and scan on
+	// validated speculative page images with no latch acquisition at all
+	// (EngineStats.Btree.Owner* counters observe the bypass). The
+	// partition map (segment roots + ownership bounds) lives in a
+	// catalog store and is rebuilt by crash recovery; a background
+	// re-balancer migrates boundary routing keys between adjacent
+	// partitions when routing skew exceeds a threshold. Implies DORA.
+	PLP bool
+	// PlpRebalanceEvery is the skew re-balancer's poll interval. 0
+	// defaults to 100ms — long enough that one tick aggregates routing
+	// across scheduler rotations even on few cores (short windows see
+	// whichever worker happened to run and mistake time-slicing for
+	// skew); negative disables re-balancing (the initial even split is
+	// kept).
+	PlpRebalanceEvery time.Duration
 	// Snapshot enables multiversion snapshot reads: writers install the
 	// before-image of every row/key they touch in an in-memory version
 	// store, stamped at commit with their harden target, and read-only
@@ -226,6 +245,24 @@ func (c *Config) normalize() {
 	}
 	if c.RedoWorkers <= 0 {
 		c.RedoWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.PLP {
+		// PLP layers on DORA: routing, ownership, and the single-writer
+		// discipline all come from the partition executor.
+		c.DORA = true
+		if c.DoraKeys <= 0 {
+			// The routing keyspace sizes the segment forests, so it must
+			// be fixed: default to the partition count (one routing key
+			// per partition owner).
+			if c.DoraPartitions > 0 {
+				c.DoraKeys = c.DoraPartitions
+			} else {
+				c.DoraKeys = runtime.GOMAXPROCS(0)
+			}
+		}
+		if c.PlpRebalanceEvery == 0 {
+			c.PlpRebalanceEvery = 100 * time.Millisecond
+		}
 	}
 	c.Buffer.Frames = c.Frames
 	c.Buffer.Seed = c.Seed

@@ -16,6 +16,7 @@ import (
 	"repro/internal/mvcc"
 	"repro/internal/page"
 	"repro/internal/pageop"
+	"repro/internal/plp"
 	"repro/internal/space"
 	"repro/internal/sync2"
 	"repro/internal/tx"
@@ -47,6 +48,18 @@ type Engine struct {
 	flushd   *wal.FlushDaemon // harden stage of the commit pipeline (nil unless CommitPipeline)
 	dora     *dora.Executor   // partition executor (nil unless Config.DORA)
 	mvcc     *mvcc.Store      // version store for snapshot reads (nil unless Config.Snapshot)
+
+	// PLP state (Config.PLP): the current partition map, published
+	// through an atomic pointer so the router and index dispatch read it
+	// without locks; plpMu serializes map mutations (registration,
+	// migration) with their catalog persistence; plpRID tracks the
+	// catalog record. See plp.go.
+	plpMap        atomic.Pointer[plp.Map]
+	plpMu         sync.Mutex
+	plpRID        page.RID
+	plpStop       chan struct{}
+	plpDone       chan struct{}
+	plpMigrations atomic.Uint64
 
 	// ckptMu orders commit-point publication against checkpoint snapshots:
 	// committers hold it shared for the instant between inserting the
@@ -131,6 +144,11 @@ func Open(vol disk.Volume, logStore wal.Store, cfg Config) (*Engine, error) {
 			Keys:       cfg.DoraKeys,
 		})
 	}
+	if cfg.PLP {
+		if err := e.plpInit(); err != nil {
+			return nil, fmt.Errorf("core: plp: %w", err)
+		}
+	}
 	if cfg.CheckpointEvery > 0 {
 		e.lastCkpt.Store(uint64(e.log.CurLSN()))
 		e.ckptStop = make(chan struct{})
@@ -212,6 +230,7 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.stopCheckpointLoop()
+	e.stopRebalancer() // before dora.Close: a migration barrier needs live owners
 	if e.dora != nil {
 		e.dora.Close() // partition owners drain their queues
 	}
@@ -899,6 +918,7 @@ func (e *Engine) Crash() {
 		return
 	}
 	e.stopCheckpointLoop()
+	e.stopRebalancer()
 	if e.dora != nil {
 		e.dora.Close()
 	}
@@ -918,6 +938,7 @@ func (e *Engine) CrashHard() {
 		return
 	}
 	e.stopCheckpointLoop()
+	e.stopRebalancer()
 	if e.dora != nil {
 		e.dora.Close()
 	}
@@ -940,6 +961,7 @@ type EngineStats struct {
 	Dora     dora.Stats        // zero unless DORA is enabled
 	Recovery RecoveryStats     // zero unless Open ran restart recovery
 	Mvcc     mvcc.Stats        // zero unless Snapshot is enabled
+	Plp      PlpStats          // zero unless PLP is enabled
 }
 
 // Stats snapshots all component counters.
@@ -960,6 +982,15 @@ func (e *Engine) Stats() EngineStats {
 	}
 	if e.mvcc != nil {
 		s.Mvcc = e.mvcc.Stats()
+	}
+	if m := e.plpMap.Load(); m != nil {
+		s.Plp = PlpStats{
+			Keys:       m.Keys(),
+			Partitions: m.Parts(),
+			Tables:     len(m.Tables()),
+			MapVersion: m.Version(),
+			Migrations: e.plpMigrations.Load(),
+		}
 	}
 	s.Recovery = e.recovery
 	s.Recovery.SegmentsArchived = e.archived.Load()

@@ -138,6 +138,15 @@ func (e *Engine) HeapInsertCtx(ctx context.Context, t *tx.Tx, store uint32, data
 			if err != nil {
 				return page.RID{}, err
 			}
+			if f.Page().Type() != page.TypeHeap {
+				// The last-page hint can race a concurrent allocation: the
+				// page is claimed in the extent bitmap but its formatting
+				// happens under the allocator's EX latch, which we may beat
+				// to the fix. Never write to the raw image — retry; the
+				// allocator formats it (or our own retry allocates anew).
+				e.pool.Unfix(f, sync2.LatchEX)
+				continue
+			}
 			if !f.Page().CanFit(len(data)) {
 				e.pool.Unfix(f, sync2.LatchEX)
 				f, pid, err = e.allocHeapPage(t, store)

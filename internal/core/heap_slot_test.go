@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/disk"
@@ -117,4 +119,71 @@ func TestHeapSlotHintAbortReuse(t *testing.T) {
 		t.Fatalf("insert after abort got %v, want reuse of %v", rid, doomed)
 	}
 	_ = base
+}
+
+// TestHeapInsertAllocRace hammers one heap store from many writers so
+// page allocations constantly race the last-page hint. A reader that
+// beats the allocator to the fix of a freshly claimed page sees its raw
+// zeroed image — which looks writable (heapTop 0 reads as an empty
+// page) — so without the page-type guard this corrupts the unformatted
+// page, and without FixNew's takeover path the allocator errors with
+// "page already cached". Every insert must succeed and every record
+// must be readable afterwards.
+func TestHeapInsertAllocRace(t *testing.T) {
+	e, _, _ := newEngine(t, StageFinal)
+	store := createTable(t, e)
+
+	const writers = 8
+	const perWriter = 300
+	// Big enough records that pages fill after a handful of inserts,
+	// keeping the allocation rate (and the race window) high.
+	payload := make([]byte, 512)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				txn, err := e.Begin()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := e.HeapInsert(txn, store, payload); err != nil {
+					_ = e.Abort(txn)
+					errs <- fmt.Errorf("writer %d insert %d: %w", w, i, err)
+					return
+				}
+				if err := e.Commit(txn); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	rd, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Abort(rd)
+	n := 0
+	if err := e.HeapScan(rd, store, func(rid page.RID, rec []byte) bool {
+		if len(rec) != len(payload) {
+			t.Errorf("record %v has %d bytes, want %d", rid, len(rec), len(payload))
+		}
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := writers * perWriter; n != want {
+		t.Fatalf("scan found %d records, want %d", n, want)
+	}
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
+	"fmt"
 
 	"repro/internal/btree"
 	"repro/internal/buffer"
@@ -47,21 +49,92 @@ func (e *Engine) newTree(store uint32, root page.ID) *btree.Tree {
 	return tr
 }
 
-// Index is a B-tree index handle.
+// Index is a B-tree index handle: a single tree, or — under PLP — a
+// forest of per-routing-key segment trees in one store.
 type Index struct {
 	tree  *btree.Tree
 	store uint32
+	// segs holds a PLP forest's segment trees indexed by routing key - 1
+	// (nil for an unpartitioned index). Segment identity is fixed at
+	// creation; only partition ownership of routing keys moves.
+	segs []*btree.Tree
 }
 
 // Store returns the index's store id.
 func (ix *Index) Store() uint32 { return ix.store }
 
-// Verify checks the index's structural invariants (entry ordering, high
-// keys, level consistency, leaf chains) and returns its key count. Meant
-// for tests and offline integrity checks; it latches node by node.
-func (ix *Index) Verify() (int, error) { return ix.tree.Verify() }
+// Partitioned reports whether the index is a PLP forest.
+func (ix *Index) Partitioned() bool { return ix.segs != nil }
 
-// Root returns the index's root page.
+// plpRouteKey extracts a key's 1-based routing key: its first four bytes
+// big-endian (TPC-C keys lead with the warehouse id). Short keys route
+// to the first segment.
+func plpRouteKey(key []byte) uint32 {
+	if len(key) < 4 {
+		return 1
+	}
+	return binary.BigEndian.Uint32(key[:4])
+}
+
+// segFor returns the tree responsible for key: the routing-key segment
+// of a forest (out-of-range keys clamp), the single tree otherwise.
+func (ix *Index) segFor(key []byte) *btree.Tree {
+	if ix.segs == nil {
+		return ix.tree
+	}
+	rk := plpRouteKey(key)
+	if rk < 1 {
+		rk = 1
+	}
+	if int(rk) > len(ix.segs) {
+		rk = uint32(len(ix.segs))
+	}
+	return ix.segs[rk-1]
+}
+
+// ownerPath reports whether t's index operations should use the
+// latch-free owner entry points: PLP forest + DORA sub-transaction (the
+// partition's thread-local lock table already serialized conflicting
+// key accesses, and the owner goroutine is the segment's only writer).
+func (ix *Index) ownerPath(t *tx.Tx) bool {
+	return ix.segs != nil && t != nil && t.NoLock()
+}
+
+// Verify checks the index's structural invariants (entry ordering, high
+// keys, level consistency, leaf chains) and returns its key count. For a
+// forest it verifies every segment and additionally checks that each
+// segment holds only keys carrying its routing prefix. Meant for tests
+// and offline integrity checks; it latches node by node.
+func (ix *Index) Verify() (int, error) {
+	if ix.segs == nil {
+		return ix.tree.Verify()
+	}
+	total := 0
+	for i, tr := range ix.segs {
+		n, err := tr.Verify()
+		if err != nil {
+			return total, fmt.Errorf("segment %d: %w", i+1, err)
+		}
+		want := uint32(i + 1)
+		var perr error
+		if err := tr.Scan(nil, nil, func(k, _ []byte) bool {
+			if plpRouteKey(k) != want {
+				perr = fmt.Errorf("segment %d holds foreign key % x (route key %d)", i+1, k, plpRouteKey(k))
+				return false
+			}
+			return true
+		}); err != nil {
+			return total, err
+		}
+		if perr != nil {
+			return total, perr
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Root returns the index's root page (the first segment's, for a forest).
 func (ix *Index) Root() page.ID { return ix.tree.Root() }
 
 // CreateIndex allocates a new B-tree index inside transaction t.
@@ -86,10 +159,16 @@ func (e *Engine) CreateIndex(t *tx.Tx) (*Index, error) {
 	return &Index{tree: tr, store: store}, nil
 }
 
-// OpenIndex attaches to an existing index by store id.
+// OpenIndex attaches to an existing index by store id — as a forest
+// when the PLP partition map has the store registered.
 func (e *Engine) OpenIndex(store uint32) (*Index, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
+	}
+	if m := e.plpMap.Load(); m != nil {
+		if roots := m.Roots(store); roots != nil {
+			return e.plpForest(store, roots), nil
+		}
 	}
 	root, err := e.sm.Root(store)
 	if err != nil {
@@ -171,7 +250,10 @@ func (e *Engine) IndexInsertCtx(ctx context.Context, t *tx.Tx, ix *Index, key, v
 		return err
 	}
 	e.probeLockTable(t, ix.store, key)
-	return ix.tree.Insert(t.ID(), key, value)
+	if ix.ownerPath(t) {
+		return ix.segFor(key).InsertOwner(t.ID(), key, value)
+	}
+	return ix.segFor(key).Insert(t.ID(), key, value)
 }
 
 // IndexLookup probes the index under an S key lock.
@@ -191,7 +273,10 @@ func (e *Engine) IndexLookupCtx(ctx context.Context, t *tx.Tx, ix *Index, key []
 		return nil, false, err
 	}
 	e.probeLockTable(t, ix.store, key)
-	return ix.tree.Search(key)
+	if ix.ownerPath(t) {
+		return ix.segFor(key).SearchOwner(key)
+	}
+	return ix.segFor(key).Search(key)
 }
 
 // IndexLookupForUpdateCtx probes the index under an X key lock — SELECT
@@ -212,7 +297,10 @@ func (e *Engine) IndexLookupForUpdateCtx(ctx context.Context, t *tx.Tx, ix *Inde
 		return nil, false, err
 	}
 	e.probeLockTable(t, ix.store, key)
-	return ix.tree.Search(key)
+	if ix.ownerPath(t) {
+		return ix.segFor(key).SearchOwner(key)
+	}
+	return ix.segFor(key).Search(key)
 }
 
 // IndexUpdate replaces the value for key under an X key lock.
@@ -232,7 +320,10 @@ func (e *Engine) IndexUpdateCtx(ctx context.Context, t *tx.Tx, ix *Index, key, v
 		return err
 	}
 	e.probeLockTable(t, ix.store, key)
-	return ix.tree.Update(t.ID(), key, value)
+	if ix.ownerPath(t) {
+		return ix.segFor(key).UpdateOwner(t.ID(), key, value)
+	}
+	return ix.segFor(key).Update(t.ID(), key, value)
 }
 
 // IndexDelete removes key under an X key lock, returning the old value.
@@ -252,7 +343,10 @@ func (e *Engine) IndexDeleteCtx(ctx context.Context, t *tx.Tx, ix *Index, key []
 		return nil, err
 	}
 	e.probeLockTable(t, ix.store, key)
-	return ix.tree.Delete(t.ID(), key)
+	if ix.ownerPath(t) {
+		return ix.segFor(key).DeleteOwner(t.ID(), key)
+	}
+	return ix.segFor(key).Delete(t.ID(), key)
 }
 
 // IndexScan iterates keys in [from, to) under a store-level S lock,
@@ -276,13 +370,87 @@ func (e *Engine) IndexScanCtx(ctx context.Context, t *tx.Tx, ix *Index, from, to
 	if err := e.acquire(ctx, t, lock.StoreName(ix.store), lock.S); err != nil {
 		return err
 	}
+	if ix.segs != nil {
+		return ix.scanForest(ix.ownerPath(t), from, to, fn)
+	}
 	return ix.tree.Scan(from, to, func(k, v []byte) bool {
 		return fn(append([]byte(nil), k...), append([]byte(nil), v...))
 	})
 }
 
-// openTreeByStore returns a tree handle for a store during rollback.
-func (e *Engine) openTreeByStore(store uint32) (*btree.Tree, error) {
+// scanForest stitches a cross-segment range scan in key order: routing
+// keys are the keys' leading four bytes, so ascending segments yield
+// globally ascending keys, and only the edge segments need the caller's
+// bounds. With owner=true each segment is read through the latch-free
+// ScanOwner path (which already emits private copies).
+func (ix *Index) scanForest(owner bool, from, to []byte, fn func(key, value []byte) bool) error {
+	loRK, hiRK := 1, len(ix.segs)
+	if from != nil {
+		if rk := int(plpRouteKey(from)); rk > loRK {
+			loRK = rk
+		}
+	}
+	if to != nil {
+		if rk := int(plpRouteKey(to)); rk < hiRK {
+			hiRK = rk
+		}
+	}
+	if loRK > len(ix.segs) || hiRK < 1 {
+		return nil
+	}
+	stopped := false
+	for rk := loRK; rk <= hiRK && !stopped; rk++ {
+		segFrom, segTo := from, to
+		if rk > loRK {
+			segFrom = nil
+		}
+		if rk < hiRK {
+			segTo = nil
+		}
+		tr := ix.segs[rk-1]
+		var err error
+		if owner {
+			err = tr.ScanOwner(segFrom, segTo, func(k, v []byte) bool {
+				if !fn(k, v) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+		} else {
+			err = tr.Scan(segFrom, segTo, func(k, v []byte) bool {
+				if !fn(append([]byte(nil), k...), append([]byte(nil), v...)) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openTreeByStore returns the tree holding key in store during
+// rollback: the key's routing-key segment when the store is a
+// registered PLP forest (segment roots come from the partition map —
+// the directory's single root slot is meaningless for a forest),
+// otherwise the store's tree.
+func (e *Engine) openTreeByStore(store uint32, key []byte) (*btree.Tree, error) {
+	if m := e.plpMap.Load(); m != nil {
+		if roots := m.Roots(store); roots != nil {
+			rk := plpRouteKey(key)
+			if rk < 1 {
+				rk = 1
+			}
+			if int(rk) > len(roots) {
+				rk = uint32(len(roots))
+			}
+			return e.newTree(store, page.ID(roots[rk-1])), nil
+		}
+	}
 	root, err := e.sm.Root(store)
 	if err != nil {
 		return nil, err

@@ -123,7 +123,7 @@ func (e *Engine) undoLogical(t interface {
 	if err != nil {
 		return err
 	}
-	tr, err := e.openTreeByStore(l.Store)
+	tr, err := e.openTreeByStore(l.Store, l.Key)
 	if err != nil {
 		return err
 	}

@@ -79,8 +79,13 @@ type entry struct {
 	exists bool   // false: the row/key did not exist before (insert)
 }
 
-// chain is the per-key version list. Readers walk it lock-free.
-type chain struct{ head atomic.Pointer[entry] }
+// chain is the per-key version list. Readers walk it lock-free. length
+// tracks the number of live entries (maintained by installers and GC,
+// both of which hold the owning store's map lock at least shared).
+type chain struct {
+	head   atomic.Pointer[entry]
+	length atomic.Int64
+}
 
 // storeVersions holds one (kind, store)'s chains. mu guards the map
 // (installs hold it shared, GC exclusively); chain links are atomic so
@@ -108,13 +113,15 @@ type Store struct {
 	pending map[*Stamp]uint64
 	snaps   map[uint64]int
 
-	installed atomic.Uint64
-	walks     atomic.Uint64
-	reclaimed atomic.Uint64
-	snapshots atomic.Uint64
-	reads     atomic.Uint64
-	scans     atomic.Uint64
-	oldestGC  atomic.Uint64
+	installed  atomic.Uint64
+	walks      atomic.Uint64
+	reclaimed  atomic.Uint64
+	snapshots  atomic.Uint64
+	reads      atomic.Uint64
+	scans      atomic.Uint64
+	oldestGC   atomic.Uint64
+	liveBytes  atomic.Int64 // before-image bytes currently retained
+	chainLenHW atomic.Int64 // longest chain ever observed at install
 }
 
 // NewStore builds an empty version store.
@@ -137,6 +144,8 @@ type Stats struct {
 	SnapshotReads     uint64 // point reads served on the snapshot path
 	SnapshotScans     uint64 // scans served on the snapshot path
 	OldestSnapshot    uint64 // horizon used by the most recent GC pass
+	LiveBytes         int64  // before-image bytes currently retained
+	ChainLenHW        int64  // longest version chain observed at install
 }
 
 func (s *Store) lookup(k Kind, store uint32) *storeVersions {
@@ -188,7 +197,15 @@ func (s *Store) Install(kind Kind, store uint32, key []byte, before []byte, exis
 		ch.head.Store(e)
 		sv.mu.Unlock()
 	}
+	n := ch.length.Add(1)
+	for {
+		hw := s.chainLenHW.Load()
+		if n <= hw || s.chainLenHW.CompareAndSwap(hw, n) {
+			break
+		}
+	}
 	sv.count.Add(1)
+	s.liveBytes.Add(int64(len(before)))
 	s.installed.Add(1)
 }
 
@@ -380,19 +397,24 @@ func (s *Store) GC(durable uint64) int {
 	}
 	s.mu.RUnlock()
 	total := 0
+	var freed int64
 	for _, sv := range svs {
-		total += sv.gc(oldest)
+		d, b := sv.gc(oldest)
+		total += d
+		freed += b
 	}
 	if total > 0 {
 		s.reclaimed.Add(uint64(total))
+		s.liveBytes.Add(-freed)
 	}
 	return total
 }
 
-func (sv *storeVersions) gc(oldest uint64) int {
+func (sv *storeVersions) gc(oldest uint64) (int, int64) {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
 	dropped := 0
+	var freed int64
 	for k, ch := range sv.chains {
 		var keep []*entry
 		changed := false
@@ -400,6 +422,7 @@ func (sv *storeVersions) gc(oldest uint64) int {
 			st := e.stamp.load()
 			if st == aborted || (st != 0 && st < oldest) {
 				dropped++
+				freed += int64(len(e.before))
 				changed = true
 				continue
 			}
@@ -419,11 +442,12 @@ func (sv *storeVersions) gc(oldest uint64) int {
 			head = n
 		}
 		ch.head.Store(head)
+		ch.length.Store(int64(len(keep)))
 	}
 	if dropped > 0 {
 		sv.count.Add(int64(-dropped))
 	}
-	return dropped
+	return dropped, freed
 }
 
 // CountRead notes one point read served on the snapshot path.
@@ -456,5 +480,7 @@ func (s *Store) Stats() Stats {
 		SnapshotReads:     s.reads.Load(),
 		SnapshotScans:     s.scans.Load(),
 		OldestSnapshot:    s.oldestGC.Load(),
+		LiveBytes:         s.liveBytes.Load(),
+		ChainLenHW:        s.chainLenHW.Load(),
 	}
 }

@@ -1,0 +1,255 @@
+// Package plp holds the partition map behind physiological partitioning
+// (PLP): the assignment of routing keys to DORA partitions, and the
+// per-routing-key B-tree segment roots of every partitioned index.
+//
+// The design keeps segment identity immutable and makes only *ownership*
+// mobile. Each routing key (a TPC-C warehouse) gets its own segment tree
+// per partitioned index, fixed at index creation; the map assigns
+// contiguous routing-key ranges to partitions through a bounds array.
+// Re-balancing moves a boundary key between adjacent partitions by
+// rewriting the bounds — pure metadata, no key ever changes trees — so a
+// migration is crash-atomic as a single catalog-record update, and
+// routing a key to its segment never needs the (mutable) ownership
+// assignment at all.
+//
+// A Map value is immutable after construction; mutations return a new
+// Map (WithBounds, WithTable), so the engine publishes it through an
+// atomic pointer and readers need no lock.
+package plp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrCorrupt reports an undecodable serialized map.
+var ErrCorrupt = errors.New("plp: corrupt partition map")
+
+// magic versions the serialized form.
+const magic = "PLP1"
+
+// Map is one immutable version of the partition map.
+type Map struct {
+	keys    int                 // routing keyspace size; routing keys are 1..keys
+	bounds  []uint32            // len parts+1; partition p owns keys [bounds[p], bounds[p+1])
+	version uint64              // bumped by every ownership change
+	tables  map[uint32][]uint64 // store → segment root pages, indexed by routing key - 1
+}
+
+// New builds the initial map: keys routing keys split evenly (contiguous
+// ranges) across parts partitions, version 1, no tables registered.
+func New(keys, parts int) *Map {
+	if parts > keys {
+		parts = keys
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	bounds := evenBounds(keys, parts)
+	return &Map{keys: keys, bounds: bounds, version: 1, tables: map[uint32][]uint64{}}
+}
+
+// evenBounds splits [1, keys+1) into parts contiguous ranges.
+func evenBounds(keys, parts int) []uint32 {
+	bounds := make([]uint32, parts+1)
+	for p := 0; p <= parts; p++ {
+		bounds[p] = uint32(1 + p*keys/parts)
+	}
+	return bounds
+}
+
+// Keys returns the routing keyspace size.
+func (m *Map) Keys() int { return m.keys }
+
+// Parts returns the partition count.
+func (m *Map) Parts() int { return len(m.bounds) - 1 }
+
+// Version returns the map version (bumped by every ownership change).
+func (m *Map) Version() uint64 { return m.version }
+
+// Bounds returns a copy of the ownership bounds array.
+func (m *Map) Bounds() []uint32 { return append([]uint32(nil), m.bounds...) }
+
+// Owner returns the partition owning routing key rk. Out-of-range keys
+// clamp to the nearest partition, so a router built on Owner is total.
+func (m *Map) Owner(rk uint32) int {
+	if rk < m.bounds[0] {
+		return 0
+	}
+	// First partition whose range starts above rk, minus one.
+	p := sort.Search(m.Parts(), func(i int) bool { return m.bounds[i+1] > rk })
+	if p >= m.Parts() {
+		return m.Parts() - 1
+	}
+	return p
+}
+
+// Span returns the routing-key range [lo, hi) partition p owns.
+func (m *Map) Span(p int) (lo, hi uint32) { return m.bounds[p], m.bounds[p+1] }
+
+// Tables returns the registered partitioned stores, sorted.
+func (m *Map) Tables() []uint32 {
+	out := make([]uint32, 0, len(m.tables))
+	for s := range m.tables {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Roots returns store's segment roots (indexed by routing key - 1), or
+// nil when store is not a partitioned index.
+func (m *Map) Roots(store uint32) []uint64 { return m.tables[store] }
+
+// WithTable returns a copy of m with store registered to roots (one
+// segment root per routing key). Registration does not bump the version:
+// it changes the catalog, not ownership.
+func (m *Map) WithTable(store uint32, roots []uint64) (*Map, error) {
+	if len(roots) != m.keys {
+		return nil, fmt.Errorf("plp: store %d registered %d segment roots, keyspace is %d", store, len(roots), m.keys)
+	}
+	n := m.clone()
+	n.tables[store] = append([]uint64(nil), roots...)
+	return n, nil
+}
+
+// WithBounds returns a copy of m with new ownership bounds and a bumped
+// version. The bounds must cover the same keyspace with the same
+// partition count, monotonically.
+func (m *Map) WithBounds(bounds []uint32) (*Map, error) {
+	if len(bounds) != len(m.bounds) {
+		return nil, fmt.Errorf("plp: bounds length %d, want %d", len(bounds), len(m.bounds))
+	}
+	if bounds[0] != 1 || bounds[len(bounds)-1] != uint32(m.keys+1) {
+		return nil, fmt.Errorf("plp: bounds %v do not cover keyspace 1..%d", bounds, m.keys)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			return nil, fmt.Errorf("plp: bounds %v not monotonic", bounds)
+		}
+	}
+	n := m.clone()
+	n.bounds = append([]uint32(nil), bounds...)
+	n.version++
+	return n, nil
+}
+
+// Repartition returns a copy of m redistributed evenly over parts
+// partitions (used when an engine reopens with a different partition
+// count than the persisted map), with a bumped version.
+func (m *Map) Repartition(parts int) *Map {
+	if parts > m.keys {
+		parts = m.keys
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	n := m.clone()
+	n.bounds = evenBounds(m.keys, parts)
+	n.version++
+	return n
+}
+
+// clone copies m (deep enough that the copy's maps/slices are private).
+func (m *Map) clone() *Map {
+	n := &Map{
+		keys:    m.keys,
+		bounds:  append([]uint32(nil), m.bounds...),
+		version: m.version,
+		tables:  make(map[uint32][]uint64, len(m.tables)),
+	}
+	for s, roots := range m.tables {
+		n.tables[s] = append([]uint64(nil), roots...)
+	}
+	return n
+}
+
+// Encode serializes the map deterministically (tables sorted by store),
+// so byte-identical recovery is testable by comparison.
+func (m *Map) Encode() []byte {
+	size := 4 + 8 + 4 + 4 + 4*len(m.bounds) + 4
+	for range m.tables {
+		size += 4 + 8*m.keys
+	}
+	out := make([]byte, 0, size)
+	out = append(out, magic...)
+	out = binary.BigEndian.AppendUint64(out, m.version)
+	out = binary.BigEndian.AppendUint32(out, uint32(m.keys))
+	out = binary.BigEndian.AppendUint32(out, uint32(m.Parts()))
+	for _, b := range m.bounds {
+		out = binary.BigEndian.AppendUint32(out, b)
+	}
+	stores := m.Tables()
+	out = binary.BigEndian.AppendUint32(out, uint32(len(stores)))
+	for _, s := range stores {
+		out = binary.BigEndian.AppendUint32(out, s)
+		for _, r := range m.tables[s] {
+			out = binary.BigEndian.AppendUint64(out, r)
+		}
+	}
+	return out
+}
+
+// Decode parses a serialized map.
+func Decode(data []byte) (*Map, error) {
+	r := reader{data: data}
+	if string(r.bytes(4)) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	version := r.u64()
+	keys := int(r.u32())
+	parts := int(r.u32())
+	if r.err || keys <= 0 || parts <= 0 || parts > keys {
+		return nil, fmt.Errorf("%w: keys=%d parts=%d", ErrCorrupt, keys, parts)
+	}
+	bounds := make([]uint32, parts+1)
+	for i := range bounds {
+		bounds[i] = r.u32()
+	}
+	ntables := int(r.u32())
+	if r.err || ntables < 0 {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	tables := make(map[uint32][]uint64, ntables)
+	for i := 0; i < ntables; i++ {
+		store := r.u32()
+		roots := make([]uint64, keys)
+		for j := range roots {
+			roots[j] = r.u64()
+		}
+		if r.err {
+			return nil, fmt.Errorf("%w: truncated table", ErrCorrupt)
+		}
+		tables[store] = roots
+	}
+	if r.err || len(r.data) != r.off {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	m := &Map{keys: keys, bounds: bounds, version: version, tables: tables}
+	if _, err := m.WithBounds(bounds); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return m, nil
+}
+
+// reader is a bounds-checked big-endian cursor.
+type reader struct {
+	data []byte
+	off  int
+	err  bool
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.off+n > len(r.data) {
+		r.err = true
+		return make([]byte, n)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u32() uint32 { return binary.BigEndian.Uint32(r.bytes(4)) }
+func (r *reader) u64() uint64 { return binary.BigEndian.Uint64(r.bytes(8)) }

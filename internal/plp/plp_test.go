@@ -1,0 +1,132 @@
+package plp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestOwnerAndBounds(t *testing.T) {
+	m := New(8, 4)
+	if got := m.Bounds(); !equalU32(got, []uint32{1, 3, 5, 7, 9}) {
+		t.Fatalf("bounds = %v", got)
+	}
+	for rk, want := range map[uint32]int{1: 0, 2: 0, 3: 1, 6: 2, 7: 3, 8: 3} {
+		if got := m.Owner(rk); got != want {
+			t.Errorf("Owner(%d) = %d, want %d", rk, got, want)
+		}
+	}
+	// Clamping keeps the router total.
+	if m.Owner(0) != 0 || m.Owner(99) != m.Parts()-1 {
+		t.Errorf("out-of-range keys did not clamp: %d %d", m.Owner(0), m.Owner(99))
+	}
+	// More partitions than keys clamps the partition count.
+	if n := New(3, 8); n.Parts() != 3 {
+		t.Errorf("Parts = %d, want 3", n.Parts())
+	}
+}
+
+func TestWithBoundsVersioning(t *testing.T) {
+	m := New(8, 4)
+	n, err := m.WithBounds([]uint32{1, 4, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Version() != m.Version()+1 {
+		t.Fatalf("version = %d, want %d", n.Version(), m.Version()+1)
+	}
+	if m.Owner(3) != 1 || n.Owner(3) != 0 {
+		t.Fatalf("ownership flip not visible: old=%d new=%d", m.Owner(3), n.Owner(3))
+	}
+	for _, bad := range [][]uint32{
+		{1, 4, 5, 9},     // wrong length
+		{2, 4, 5, 7, 9},  // does not start at 1
+		{1, 4, 5, 7, 10}, // does not cover the keyspace
+		{1, 5, 4, 7, 9},  // not monotonic
+	} {
+		if _, err := m.WithBounds(bad); err == nil {
+			t.Errorf("WithBounds(%v) accepted", bad)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := New(4, 2)
+	m, err := m.WithTable(7, []uint64{10, 20, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = m.WithTable(3, []uint64{11, 21, 31, 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = m.WithBounds([]uint32{1, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := m.Encode()
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Encode(), enc) {
+		t.Fatal("roundtrip not byte-identical")
+	}
+	if got.Version() != m.Version() || got.Owner(3) != 0 || got.Owner(4) != 1 {
+		t.Fatalf("decoded map differs: version=%d owner(3)=%d owner(4)=%d",
+			got.Version(), got.Owner(3), got.Owner(4))
+	}
+	if !equalU64(got.Roots(3), []uint64{11, 21, 31, 41}) {
+		t.Fatalf("roots(3) = %v", got.Roots(3))
+	}
+	// Registration with the wrong segment count is rejected.
+	if _, err := m.WithTable(9, []uint64{1}); err == nil {
+		t.Error("short root list accepted")
+	}
+	// Corruption is detected: bad magic, truncation, trailing bytes.
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xff
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad magic decoded")
+	}
+	if _, err := Decode(enc[:10]); err == nil {
+		t.Error("truncated map decoded")
+	}
+	if _, err := Decode(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Error("trailing bytes decoded")
+	}
+}
+
+func TestRepartition(t *testing.T) {
+	m := New(8, 4)
+	n := m.Repartition(2)
+	if n.Parts() != 2 || n.Version() != m.Version()+1 {
+		t.Fatalf("parts=%d version=%d", n.Parts(), n.Version())
+	}
+	if !equalU32(n.Bounds(), []uint32{1, 5, 9}) {
+		t.Fatalf("bounds = %v", n.Bounds())
+	}
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

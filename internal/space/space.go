@@ -202,7 +202,12 @@ func (m *Manager) AllocPage(store uint32, fixInCS func(page.ID) error) (page.ID,
 		m.mu.Unlock()
 		return 0, err
 	}
-	if m.opts.LastPageCache {
+	if m.opts.LastPageCache && (m.opts.LatchInCS || fixInCS == nil) {
+		// Publishing the hint here is only safe when the page is fixed
+		// before mu is released (or not fixed through us at all): with the
+		// refactored fix-outside-CS protocol a concurrent LastPage reader
+		// could otherwise fix the page before the allocator does. Those
+		// callers publish via SetLastPage once the page is formatted.
 		s.lastHint = pid
 	}
 	if m.opts.LatchInCS && fixInCS != nil {

@@ -116,28 +116,36 @@ func Load(engine *core.Engine, scale Scale, seed int64) (*DB, error) {
 		return nil, err
 	}
 	mk := func() (*core.Index, error) { return engine.CreateIndex(t) }
-	if db.Warehouse, err = mk(); err != nil {
+	// Warehouse-prefixed indexes become PLP forests when the engine runs
+	// physiological partitioning: every key's first four bytes are the
+	// warehouse id, which is exactly the DORA routing key. ITEM is shared
+	// across warehouses and stays a single tree.
+	mkPart := mk
+	if engine.PlpMap() != nil {
+		mkPart = func() (*core.Index, error) { return engine.CreatePartitionedIndex(t) }
+	}
+	if db.Warehouse, err = mkPart(); err != nil {
 		return nil, err
 	}
-	if db.District, err = mk(); err != nil {
+	if db.District, err = mkPart(); err != nil {
 		return nil, err
 	}
-	if db.Customer, err = mk(); err != nil {
+	if db.Customer, err = mkPart(); err != nil {
 		return nil, err
 	}
-	if db.Orders, err = mk(); err != nil {
+	if db.Orders, err = mkPart(); err != nil {
 		return nil, err
 	}
-	if db.NewOrderTab, err = mk(); err != nil {
+	if db.NewOrderTab, err = mkPart(); err != nil {
 		return nil, err
 	}
-	if db.OrderLine, err = mk(); err != nil {
+	if db.OrderLine, err = mkPart(); err != nil {
 		return nil, err
 	}
 	if db.Item, err = mk(); err != nil {
 		return nil, err
 	}
-	if db.Stock, err = mk(); err != nil {
+	if db.Stock, err = mkPart(); err != nil {
 		return nil, err
 	}
 	if db.History, err = engine.CreateTable(t); err != nil {

@@ -88,13 +88,19 @@ func (db *DB) DoraPayment(ctx context.Context, in PaymentInput) error {
 	home.add(kDist(in.WID, in.DID), lock.X)
 	homeP := x.Route(in.WID)
 	custP := x.Route(in.CWID)
-	if custP == homeP {
-		// One partition owns both sides (local customer, or a remote
-		// one that routes home): a single action, no rendezvous.
+	// With a static router, any customer warehouse that routes home can be
+	// folded into the home action. Under PLP the router can change between
+	// planning and Submit (a migration), so actions are merged only when
+	// they name the same warehouse — every action's lock set must live in
+	// the table of the partition that owns its route key at Submit time.
+	merged := in.CWID == in.WID || (db.Engine.PlpMap() == nil && custP == homeP)
+	if merged {
+		// One partition owns both sides: a single action, no rendezvous.
 		home.add(kWh(in.CWID), lock.IX)
 		home.add(kCust(in.CWID, in.CDID, in.CID), lock.X)
 		t.Add(dora.ActionSpec{
 			Partition: homeP,
+			RouteKey:  in.WID,
 			Locks:     home,
 			Run: func(ctx context.Context, sub *tx.Tx, _ uint64) error {
 				if err := db.paymentHome(ctx, sub, in); err != nil {
@@ -106,6 +112,7 @@ func (db *DB) DoraPayment(ctx context.Context, in PaymentInput) error {
 	} else {
 		t.Add(dora.ActionSpec{
 			Partition: homeP,
+			RouteKey:  in.WID,
 			Locks:     home,
 			Run: func(ctx context.Context, sub *tx.Tx, _ uint64) error {
 				return db.paymentHome(ctx, sub, in)
@@ -116,6 +123,7 @@ func (db *DB) DoraPayment(ctx context.Context, in PaymentInput) error {
 		cust.add(kCust(in.CWID, in.CDID, in.CID), lock.X)
 		t.Add(dora.ActionSpec{
 			Partition: custP,
+			RouteKey:  in.CWID,
 			Locks:     cust,
 			Run: func(ctx context.Context, sub *tx.Tx, _ uint64) error {
 				return db.paymentCustomer(ctx, sub, in)
@@ -193,14 +201,27 @@ func (db *DB) DoraNewOrder(ctx context.Context, in NewOrderInput) error {
 		idx  int
 		line NewOrderLine
 	}
+	// Lines are grouped into one action per partition. With a static
+	// router the planning-time Route is authoritative; under PLP a
+	// migration can re-route between planning and Submit, so lines are
+	// grouped by supply warehouse instead — each group's lock set then
+	// names only that warehouse's resources, and Submit places it on
+	// whichever partition owns the warehouse at that instant.
+	plp := db.Engine.PlpMap() != nil
 	var homeLines []lineRef
-	remote := make(map[int][]lineRef)
+	remote := make(map[uint32][]lineRef) // keyed by warehouse (PLP) or partition (static)
 	for i, l := range in.Lines {
 		ref := lineRef{idx: i, line: l}
-		if p := x.Route(l.SupplyWID); p == homeP {
+		if plp {
+			if l.SupplyWID == in.WID {
+				homeLines = append(homeLines, ref)
+			} else {
+				remote[l.SupplyWID] = append(remote[l.SupplyWID], ref)
+			}
+		} else if p := x.Route(l.SupplyWID); p == homeP {
 			homeLines = append(homeLines, ref)
 		} else {
-			remote[p] = append(remote[p], ref)
+			remote[uint32(p)] = append(remote[uint32(p)], ref)
 		}
 	}
 
@@ -216,6 +237,7 @@ func (db *DB) DoraNewOrder(ctx context.Context, in NewOrderInput) error {
 	}
 	t.Add(dora.ActionSpec{
 		Partition: homeP,
+		RouteKey:  in.WID,
 		Locks:     home,
 		Produces:  len(remote) > 0,
 		Run: func(ctx context.Context, sub *tx.Tx, _ uint64) error {
@@ -267,14 +289,13 @@ func (db *DB) DoraNewOrder(ctx context.Context, in NewOrderInput) error {
 			return nil
 		},
 	})
-	for p, group := range remote {
+	for k, group := range remote {
 		var locks lockList
 		for _, ref := range group {
 			locks.add(kWh(ref.line.SupplyWID), lock.IX)
 			locks.add(kStock(ref.line.SupplyWID, ref.line.ItemID), lock.X)
 		}
-		t.Add(dora.ActionSpec{
-			Partition: p,
+		spec := dora.ActionSpec{
 			Locks:     locks,
 			Dependent: true,
 			Run: func(ctx context.Context, sub *tx.Tx, input uint64) error {
@@ -286,7 +307,13 @@ func (db *DB) DoraNewOrder(ctx context.Context, in NewOrderInput) error {
 				}
 				return nil
 			},
-		})
+		}
+		if plp {
+			spec.RouteKey = k
+		} else {
+			spec.Partition = int(k)
+		}
+		t.Add(spec)
 	}
 	return x.Submit(t)
 }
@@ -342,6 +369,7 @@ func (db *DB) DoraDelivery(ctx context.Context, in DeliveryInput) (int, error) {
 	var delivered int
 	t.Add(dora.ActionSpec{
 		Partition: x.Route(in.WID),
+		RouteKey:  in.WID,
 		Locks:     []dora.LockReq{{Key: kWh(in.WID), Mode: lock.X}},
 		Run: func(ctx context.Context, sub *tx.Tx, _ uint64) error {
 			n, err := db.delivery(ctx, sub, in)
@@ -374,6 +402,7 @@ func (db *DB) DoraOrderStatus(ctx context.Context, in OrderStatusInput) (OrderSt
 	var res OrderStatusResult
 	t.Add(dora.ActionSpec{
 		Partition: x.Route(in.WID),
+		RouteKey:  in.WID,
 		Locks:     locks,
 		ReadOnly:  true,
 		Run: func(ctx context.Context, sub *tx.Tx, _ uint64) error {
@@ -400,6 +429,7 @@ func (db *DB) DoraStockLevel(ctx context.Context, in StockLevelInput) (int, erro
 	var low int
 	t.Add(dora.ActionSpec{
 		Partition: x.Route(in.WID),
+		RouteKey:  in.WID,
 		Locks:     []dora.LockReq{{Key: kWh(in.WID), Mode: lock.S}},
 		ReadOnly:  true,
 		Run: func(ctx context.Context, sub *tx.Tx, _ uint64) error {

@@ -1,0 +1,432 @@
+package tpcc
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/tx"
+	"repro/internal/wal"
+)
+
+// newPlpDB opens a PLP engine (physiologically partitioned B-trees over
+// DORA) and loads TPC-C into it: the warehouse-prefixed indexes become
+// per-partition segment forests. rebalance < 0 disables the skew
+// re-balancer for deterministic tests.
+func newPlpDB(t testing.TB, scale Scale, partitions int, rebalance time.Duration) *DB {
+	t.Helper()
+	cfg := core.StageConfig(core.StageFinal)
+	cfg.Frames = 4096
+	cfg.PLP = true
+	cfg.DoraPartitions = partitions
+	cfg.DoraKeys = scale.Warehouses
+	cfg.PlpRebalanceEvery = rebalance
+	e, err := core.Open(disk.NewMem(0), wal.NewMemStore(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	db, err := Load(e, scale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// verifyForests checks structural integrity and segment routing of every
+// partitioned index (and the shared ITEM tree).
+func verifyForests(t *testing.T, db *DB) {
+	t.Helper()
+	for _, ix := range []struct {
+		name string
+		ix   *core.Index
+	}{
+		{"warehouse", db.Warehouse}, {"district", db.District},
+		{"customer", db.Customer}, {"orders", db.Orders},
+		{"neworder", db.NewOrderTab}, {"orderline", db.OrderLine},
+		{"stock", db.Stock}, {"item", db.Item},
+	} {
+		if _, err := ix.ix.Verify(); err != nil {
+			t.Errorf("%s: Verify: %v", ix.name, err)
+		}
+	}
+}
+
+// TestPlpLatchBypass drives partition-local Payments and Order-Status
+// reads through the executor and asserts the latch-free contract: every
+// index operation lands on the Owner* counters while the shared-tree
+// descent counters (optimistic and latched alike) stay flat — partition
+// owners never take a B-tree latch beyond the single-leaf write fence.
+func TestPlpLatchBypass(t *testing.T) {
+	scale := Scale{Warehouses: 4, Districts: 2, Customers: 10, Items: 50, StockPerItem: true}
+	db := newPlpDB(t, scale, 2, -1)
+	ctx := context.Background()
+
+	if db.Engine.PlpMap() == nil {
+		t.Fatal("no partition map")
+	}
+	before := db.Engine.Stats().Btree
+
+	r := NewRand(11)
+	for i := 0; i < 200; i++ {
+		w := uint32(i%scale.Warehouses + 1)
+		d := uint8(r.Int(1, scale.Districts))
+		c := uint32(r.Int(1, scale.Customers))
+		in := PaymentInput{
+			WID: w, DID: d, CWID: w, CDID: d, CID: c,
+			Amount: float64(r.Int(1, 500)),
+		}
+		if err := db.DoraPayment(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+		if i%4 == 0 {
+			if _, err := db.DoraOrderStatus(ctx, OrderStatusInput{WID: w, DID: d, CID: c}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	after := db.Engine.Stats().Btree
+	if after.OwnerDescents <= before.OwnerDescents {
+		t.Error("owner write descents did not climb")
+	}
+	if after.OwnerWrites <= before.OwnerWrites {
+		t.Error("owner writes did not climb")
+	}
+	if after.OwnerReads <= before.OwnerReads {
+		t.Error("owner point reads did not climb")
+	}
+	if after.OwnerScans <= before.OwnerScans {
+		t.Error("owner scans did not climb")
+	}
+	if after.OptDescents != before.OptDescents {
+		t.Errorf("shared optimistic descents moved: %d -> %d", before.OptDescents, after.OptDescents)
+	}
+	if after.LatchedDescents != before.LatchedDescents {
+		t.Errorf("latched descents moved: %d -> %d", before.LatchedDescents, after.LatchedDescents)
+	}
+	if after.OwnerFallbacks != before.OwnerFallbacks {
+		t.Errorf("owner fallbacks moved: %d -> %d", before.OwnerFallbacks, after.OwnerFallbacks)
+	}
+}
+
+// TestPlpCrossPartitionStress is the DORA cross-partition stress shaped
+// for PLP (run under -race in CI): forced-remote Payments and New Orders
+// from many goroutines, then a money/order audit and a full forest
+// Verify — segment routing intact, every key in its owner's sub-range.
+func TestPlpCrossPartitionStress(t *testing.T) {
+	scale := Scale{Warehouses: 4, Districts: 2, Customers: 10, Items: 50, StockPerItem: true}
+	db := newPlpDB(t, scale, 2, -1)
+	ctx := context.Background()
+
+	const (
+		workers = 8
+		iters   = 40
+	)
+	var whYTD [5]atomic.Int64
+	var orders [5][3]atomic.Int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := NewRand(int64(7100 + w))
+			home := uint32(w%scale.Warehouses + 1)
+			remote := home%uint32(scale.Warehouses) + 1
+			for i := 0; i < iters; i++ {
+				if i%2 == 0 {
+					amount := float64(r.Int(1, 500))
+					in := PaymentInput{
+						WID: home, DID: uint8(r.Int(1, scale.Districts)),
+						CWID: remote, CDID: uint8(r.Int(1, scale.Districts)),
+						CID: uint32(r.Int(1, scale.Customers)), Amount: amount,
+					}
+					if err := db.DoraPayment(ctx, in); err != nil {
+						t.Error(err)
+						return
+					}
+					whYTD[home].Add(int64(amount))
+				} else {
+					did := uint8(r.Int(1, scale.Districts))
+					in := NewOrderInput{
+						WID: home, DID: did, CID: uint32(r.Int(1, scale.Customers)),
+						Lines: []NewOrderLine{
+							{ItemID: uint32(r.Int(1, scale.Items)), SupplyWID: home, Quantity: 1 + uint8(i%5)},
+							{ItemID: uint32(r.Int(1, scale.Items)), SupplyWID: remote, Quantity: 1 + uint8(w%5)},
+						},
+					}
+					if err := db.DoraNewOrder(ctx, in); err != nil {
+						t.Error(err)
+						return
+					}
+					orders[home][did].Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	rd, err := db.Engine.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Engine.Abort(rd)
+	for w := 1; w <= scale.Warehouses; w++ {
+		wh, err := db.readWarehouse(ctx, rd, uint32(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := float64(whYTD[w].Load()); wh.YTD != want {
+			t.Errorf("warehouse %d YTD = %v, want %v (lost update)", w, wh.YTD, want)
+		}
+		for d := 1; d <= scale.Districts; d++ {
+			dist, err := db.readDistrict(ctx, rd, uint32(w), uint8(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := uint32(scale.InitialOrders) + 1 + uint32(orders[w][d].Load())
+			if dist.NextOID != want {
+				t.Errorf("district (%d,%d) NextOID = %d, want %d", w, d, dist.NextOID, want)
+			}
+		}
+	}
+
+	verifyForests(t, db)
+
+	st := db.Engine.Stats()
+	if st.Dora.CrossTx == 0 {
+		t.Error("no cross-partition transactions ran")
+	}
+	if st.Btree.OwnerWrites == 0 {
+		t.Error("no owner-path writes recorded")
+	}
+	if st.Plp.Tables == 0 {
+		t.Error("no partitioned indexes registered")
+	}
+}
+
+// TestPlpSnapshotCoexistence runs lock-free View readers scanning a
+// partitioned forest while partition-local writers commit through the
+// executor (run under -race in CI): every snapshot scan must see a
+// stable, fully stitched customer count in global key order, and the
+// version-memory gauges must account for the writers' installs.
+func TestPlpSnapshotCoexistence(t *testing.T) {
+	scale := Scale{Warehouses: 4, Districts: 2, Customers: 20, Items: 50, StockPerItem: true}
+	cfg := core.StageConfig(core.StageFinal)
+	cfg.Frames = 4096
+	cfg.PLP = true
+	cfg.DoraPartitions = 2
+	cfg.DoraKeys = scale.Warehouses
+	cfg.PlpRebalanceEvery = -1
+	cfg.Snapshot = true
+	e, err := core.Open(disk.NewMem(0), wal.NewMemStore(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	db, err := Load(e, scale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	wantCustomers := scale.Warehouses * scale.Districts * scale.Customers
+	done := make(chan struct{})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := NewRand(int64(8200 + w))
+			home := uint32(w%scale.Warehouses + 1)
+			remote := home%uint32(scale.Warehouses) + 1
+			for i := 0; i < 60; i++ {
+				cw := home
+				if i%3 == 0 {
+					cw = remote
+				}
+				in := PaymentInput{
+					WID: home, DID: uint8(r.Int(1, scale.Districts)),
+					CWID: cw, CDID: uint8(r.Int(1, scale.Districts)),
+					CID: uint32(r.Int(1, scale.Customers)), Amount: float64(r.Int(1, 500)),
+				}
+				if err := db.DoraPayment(ctx, in); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	var rg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for scans := 0; ; scans++ {
+				select {
+				case <-done:
+					if scans == 0 {
+						t.Error("reader finished without a single scan")
+					}
+					return
+				default:
+				}
+				n := 0
+				var prev []byte
+				err := db.Engine.RunViewCtx(ctx, core.RetryPolicy{}, func(vt *tx.Tx) error {
+					return db.Engine.IndexScanCtx(ctx, vt, db.Customer, nil, nil, func(k, v []byte) bool {
+						if prev != nil && bytes.Compare(prev, k) >= 0 {
+							t.Errorf("stitched scan out of order: %x after %x", k, prev)
+							return false
+						}
+						prev = append(prev[:0], k...)
+						if _, err := decodeCustomer(v); err != nil {
+							t.Errorf("torn customer row: %v", err)
+							return false
+						}
+						n++
+						return true
+					})
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n != wantCustomers {
+					t.Errorf("snapshot scan saw %d customers, want %d", n, wantCustomers)
+					return
+				}
+			}
+		}()
+	}
+	rg.Wait()
+	wg.Wait()
+	verifyForests(t, db)
+
+	m := db.Engine.Stats().Mvcc
+	if m.VersionsInstalled == 0 {
+		t.Error("no versions installed by partition-local writers")
+	}
+	if m.LiveBytes <= 0 {
+		t.Errorf("LiveBytes gauge = %d, want > 0", m.LiveBytes)
+	}
+	if m.ChainLenHW < 1 {
+		t.Errorf("ChainLenHW = %d, want >= 1", m.ChainLenHW)
+	}
+	if m.Snapshots == 0 {
+		t.Error("no snapshot transactions recorded")
+	}
+}
+
+// TestPlpRebalanceSkew aims the whole write mix at the two warehouses of
+// one partition and waits for the re-balancer to migrate the boundary
+// key to its neighbor, then audits correctness: migrations are pure
+// metadata flips, so the money sums and forest structure must be exactly
+// as if the load had never moved.
+func TestPlpRebalanceSkew(t *testing.T) {
+	scale := Scale{Warehouses: 8, Districts: 1, Customers: 5, Items: 20, StockPerItem: true}
+	// Ticks long enough that even a race-detector-throttled run clears
+	// the re-balancer's minimum per-tick sample (plpMinSample).
+	db := newPlpDB(t, scale, 4, 50*time.Millisecond)
+	v0 := db.Engine.Stats().Plp.MapVersion
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var whYTD [9]atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := NewRand(int64(9300 + w))
+			// All load on warehouses 1 and 2 — both initially owned by
+			// partition 0 (even bounds over 8 keys, 4 partitions).
+			home := uint32(w%2 + 1)
+			for ctx.Err() == nil {
+				amount := float64(r.Int(1, 100))
+				in := PaymentInput{
+					WID: home, DID: 1, CWID: home, CDID: 1,
+					CID: uint32(r.Int(1, scale.Customers)), Amount: amount,
+				}
+				if err := db.DoraPayment(ctx, in); err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					t.Error(err)
+					return
+				}
+				whYTD[home].Add(int64(amount))
+			}
+		}(w)
+	}
+
+	// Wait for the re-balancer's stable terminal state under this load:
+	// each hot warehouse alone in a singleton partition. Intermediate
+	// states can oscillate (a quiet tick on one hot warehouse lets its
+	// neighbor shed the boundary key back), but once both spans hit 1
+	// neither partition is eligible as a migration source again, so the
+	// separation is permanent and safe to assert after cancel.
+	deadline := time.After(20 * time.Second)
+	for separated := false; !separated; {
+		select {
+		case <-deadline:
+			cancel()
+			wg.Wait()
+			t.Fatalf("hot warehouses not separated after 20s: stats %+v, bounds %v",
+				db.Engine.Stats().Plp, db.Engine.PlpMap().Bounds())
+		case <-time.After(10 * time.Millisecond):
+			m := db.Engine.PlpMap()
+			b := m.Bounds()
+			o1, o2 := m.Owner(1), m.Owner(2)
+			separated = o1 != o2 && b[o1+1]-b[o1] == 1 && b[o2+1]-b[o2] == 1
+		}
+	}
+	cancel()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	st := db.Engine.Stats().Plp
+	if st.MapVersion <= v0 {
+		t.Errorf("map version did not advance: %d -> %d", v0, st.MapVersion)
+	}
+	if st.Migrations < 1 {
+		t.Errorf("migrations = %d, want >= 1", st.Migrations)
+	}
+	m := db.Engine.PlpMap()
+	if m.Owner(1) == m.Owner(2) {
+		t.Errorf("hot warehouses still share partition %d (bounds %v)", m.Owner(1), m.Bounds())
+	}
+
+	// Correctness audit: a migration must not lose or duplicate a cent.
+	// (Fresh context: ctx was canceled to stop the workers.)
+	actx := context.Background()
+	rd, err := db.Engine.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Engine.Abort(rd)
+	for w := 1; w <= scale.Warehouses; w++ {
+		wh, err := db.readWarehouse(actx, rd, uint32(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := float64(whYTD[w].Load()); wh.YTD != want {
+			t.Errorf("warehouse %d YTD = %v, want %v", w, wh.YTD, want)
+		}
+	}
+	verifyForests(t, db)
+}
